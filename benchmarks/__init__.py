@@ -1,0 +1,1 @@
+"""Benchmarks regenerating the paper's tables and figures."""

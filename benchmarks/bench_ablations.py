@@ -1,0 +1,187 @@
+"""Ablations of FASTOD's individual design choices (Section 4.6).
+
+Beyond the paper's headline pruning ablation (Exp-5), these isolate:
+
+* **partition products vs from-scratch hashing** — the level-wise
+  reuse that makes Π*_X linear per node;
+* **error-rate FD test vs direct class scan** — the O(1) constancy
+  check enabled by keeping parent partitions;
+* **swap check strategies** — the per-class sort used by the library vs
+  the paper's Table-2 sorted-partition bucketization;
+* **level pruning and key pruning toggles** — runtime effect of each
+  individually (results are invariant, property-tested).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import Reporter, dataset, fmt_seconds, timed
+from repro import discover_ods
+from repro.core.validation import (
+    is_compatible_in_classes,
+    is_constant_in_classes,
+)
+from repro.partitions.cache import PartitionCache
+from repro.partitions.partition import partition_from_columns
+from repro.partitions.sorted_partition import (
+    SortedPartition,
+    swap_free_buckets,
+)
+from repro.relation.schema import bit_count, iter_bits
+
+N_ROWS = 2000
+N_ATTRS = 8
+
+_structures = Reporter(
+    experiment="ablation_structures",
+    title=(f"Ablation (flight-like {N_ROWS}x{N_ATTRS}): "
+           "partition and validation strategies"),
+    columns=["operation", "fast path", "naive path", "speedup"])
+_toggles = Reporter(
+    experiment="ablation_toggles",
+    title="Ablation: FASTOD pruning toggles (results are identical)",
+    columns=["configuration", "time", "#ODs"])
+
+
+def _masks(max_size: int = 3):
+    return [m for m in range(1, 1 << N_ATTRS)
+            if bit_count(m) <= max_size]
+
+
+def _ablate_partition_product() -> None:
+    relation = dataset("flight", N_ROWS, N_ATTRS).encode()
+    masks = _masks()
+    started = time.perf_counter()
+    cache = PartitionCache(relation)
+    for mask in masks:
+        cache.get(mask)
+    fast = time.perf_counter() - started
+    started = time.perf_counter()
+    for mask in masks:
+        partition_from_columns(relation, iter_bits(mask))
+    naive = time.perf_counter() - started
+    _structures.add(
+        operation=f"partition build ({len(masks)} masks, <=3 attrs)",
+        **{"fast path": fmt_seconds(fast),
+           "naive path": fmt_seconds(naive),
+           "speedup": f"{naive / max(fast, 1e-9):.1f}x"})
+
+
+def _ablate_fd_check() -> None:
+    relation = dataset("flight", N_ROWS, N_ATTRS).encode()
+    cache = PartitionCache(relation)
+    checks = [
+        (mask, attribute)
+        for mask in _masks(2)
+        for attribute in range(N_ATTRS)
+        if not mask & (1 << attribute)
+    ]
+    for mask, attribute in checks:       # warm the cache fairly
+        cache.get(mask | (1 << attribute))
+    started = time.perf_counter()
+    for mask, attribute in checks:
+        context = cache.get(mask)
+        refined = cache.get(mask | (1 << attribute))
+        _ = context.error == refined.error
+    fast = time.perf_counter() - started
+    started = time.perf_counter()
+    for mask, attribute in checks:
+        is_constant_in_classes(
+            relation.column(attribute), cache.get(mask))
+    naive = time.perf_counter() - started
+    _structures.add(
+        operation=f"FD check ({len(checks)} candidates)",
+        **{"fast path": fmt_seconds(fast),
+           "naive path": fmt_seconds(naive),
+           "speedup": f"{naive / max(fast, 1e-9):.1f}x"})
+
+
+def _ablate_swap_check() -> None:
+    relation = dataset("flight", N_ROWS, N_ATTRS).encode()
+    cache = PartitionCache(relation)
+    pairs = [(a, b) for a in range(N_ATTRS) for b in range(a + 1, N_ATTRS)]
+    contexts = [cache.get(1 << c) for c in range(N_ATTRS)]
+    started = time.perf_counter()
+    for context in contexts:
+        for a, b in pairs:
+            is_compatible_in_classes(
+                relation.column(a), relation.column(b), context)
+    sort_scan = time.perf_counter() - started
+    taus = [SortedPartition.for_attribute(relation, a)
+            for a in range(N_ATTRS)]
+    started = time.perf_counter()
+    for context in contexts:
+        for a, b in pairs:
+            tau = taus[a]
+            for rows in context.classes:
+                if not swap_free_buckets(tau.restrict(rows),
+                                         relation.column(b)):
+                    break
+    bucketized = time.perf_counter() - started
+    _structures.add(
+        operation=f"swap check ({len(contexts) * len(pairs)} candidates)",
+        **{"fast path": fmt_seconds(sort_scan),
+           "naive path": fmt_seconds(bucketized),
+           "speedup": f"{bucketized / max(sort_scan, 1e-9):.1f}x"})
+
+
+def _ablate_toggles() -> None:
+    relation = dataset("flight", 500, 12)
+    configurations = [
+        ("all pruning on", {}),
+        ("level pruning off", {"level_pruning": False}),
+        ("key pruning off", {"key_pruning": False}),
+        ("both off", {"level_pruning": False, "key_pruning": False}),
+    ]
+    baseline = None
+    for label, kwargs in configurations:
+        result, seconds = timed(lambda: discover_ods(relation, **kwargs))
+        if baseline is None:
+            baseline = result
+        assert result.same_ods(baseline), "toggles changed the output!"
+        _toggles.add(configuration=label, time=fmt_seconds(seconds),
+                     **{"#ODs": result.paper_counts()})
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _publish():
+    yield
+    _structures.finish()
+    _toggles.finish()
+
+
+def test_ablation_partition_product(benchmark):
+    benchmark.pedantic(_ablate_partition_product, rounds=1, iterations=1)
+
+
+def test_ablation_fd_check(benchmark):
+    benchmark.pedantic(_ablate_fd_check, rounds=1, iterations=1)
+
+
+def test_ablation_swap_check(benchmark):
+    benchmark.pedantic(_ablate_swap_check, rounds=1, iterations=1)
+
+
+def test_ablation_toggles(benchmark):
+    benchmark.pedantic(_ablate_toggles, rounds=1, iterations=1)
+
+
+def main() -> None:
+    _ablate_partition_product()
+    _ablate_fd_check()
+    _ablate_swap_check()
+    _ablate_toggles()
+    _structures.finish()
+    _toggles.finish()
+
+
+if __name__ == "__main__":
+    main()

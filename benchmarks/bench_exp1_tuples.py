@@ -1,0 +1,95 @@
+"""Exp-1 (Figure 4): scalability in the number of tuples |r|.
+
+The paper's claim: FASTOD (like TANE) scales *linearly* in tuples;
+the OD counts stabilize as samples grow; ORDER's runtime depends on
+how aggressively its pruning fires per dataset.
+
+Reproduced on flight/ncvoter/dbtesma-like data with 8 attributes and a
+growing row count.  Run directly (``python benchmarks/
+bench_exp1_tuples.py``) or via ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import (
+    ORDER_MAX_NODES,
+    ORDER_TIMEOUT,
+    Reporter,
+    dataset,
+    fmt_counts,
+    fmt_seconds,
+    timed,
+)
+from repro import discover_ods
+from repro.baselines import discover_fds, discover_ods_order
+
+DATASETS = ["flight", "ncvoter", "dbtesma"]
+ROW_COUNTS = [1000, 2000, 3000, 4000, 5000]
+N_ATTRS = 8
+
+_reporters = {}
+
+
+def _reporter(name: str) -> Reporter:
+    if name not in _reporters:
+        _reporters[name] = Reporter(
+            experiment=f"exp1_{name}",
+            title=(f"Exp-1 / Figure 4 ({name}-like, {N_ATTRS} attrs): "
+                   "runtime and #ODs vs tuples"),
+            columns=["rows", "TANE", "FASTOD", "ORDER",
+                     "FASTOD #ODs (FD+OCD)", "ORDER #ODs (FD+OCD)"])
+    return _reporters[name]
+
+
+def _run_row(name: str, rows: int) -> dict:
+    relation = dataset(name, rows, N_ATTRS)
+    tane, tane_s = timed(lambda: discover_fds(relation))
+    fastod, fastod_s = timed(lambda: discover_ods(relation))
+    order, order_s = timed(lambda: discover_ods_order(
+        relation, max_nodes=ORDER_MAX_NODES,
+        timeout_seconds=ORDER_TIMEOUT))
+    _reporter(name).add(
+        rows=rows,
+        TANE=fmt_seconds(tane_s),
+        FASTOD=fmt_seconds(fastod_s),
+        ORDER=fmt_seconds(order_s, dnf=order.timed_out),
+        **{
+            "FASTOD #ODs (FD+OCD)": fmt_counts(fastod),
+            "ORDER #ODs (FD+OCD)": fmt_counts(order, dnf=order.timed_out),
+        })
+    return {"fastod": fastod_s, "tane": tane_s}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _publish():
+    yield
+    for reporter in _reporters.values():
+        reporter.finish()
+
+
+@pytest.mark.parametrize("rows", ROW_COUNTS)
+@pytest.mark.parametrize("name", DATASETS)
+def test_exp1_scaling(benchmark, name, rows):
+    relation = dataset(name, rows, N_ATTRS)
+    benchmark.pedantic(
+        lambda: discover_ods(relation), rounds=1, iterations=1)
+    _run_row(name, rows)
+
+
+def main() -> None:
+    for name in DATASETS:
+        for rows in ROW_COUNTS:
+            _run_row(name, rows)
+    for reporter in _reporters.values():
+        reporter.finish()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Exp-2 (Figure 5): scalability in the number of attributes |R|.
+
+The paper's claim: runtime grows exponentially with attributes (the
+set lattice has 2^|R| nodes), with the slope governed by how many ODs
+each dataset hides — hepatitis (tiny but wide, FD/OCD-rich) is the
+most expensive per attribute; ORDER DNFs early on OD-rich data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import (
+    ORDER_MAX_NODES,
+    ORDER_TIMEOUT,
+    Reporter,
+    dataset,
+    fmt_counts,
+    fmt_seconds,
+    timed,
+)
+from repro import discover_ods
+from repro.baselines import discover_fds, discover_ods_order
+
+#: dataset family -> (row count, attribute sweep)
+SWEEPS = {
+    "flight": (500, [4, 6, 8, 10, 12, 14]),
+    "ncvoter": (500, [4, 6, 8, 10, 12]),
+    "hepatitis": (155, [4, 6, 8, 10, 12]),
+    "dbtesma": (500, [4, 6, 8, 10, 12]),
+}
+
+_reporters = {}
+
+
+def _reporter(name: str) -> Reporter:
+    if name not in _reporters:
+        rows = SWEEPS[name][0]
+        _reporters[name] = Reporter(
+            experiment=f"exp2_{name}",
+            title=(f"Exp-2 / Figure 5 ({name}-like, {rows} rows): "
+                   "runtime and #ODs vs attributes"),
+            columns=["attrs", "TANE", "FASTOD", "ORDER",
+                     "FASTOD #ODs (FD+OCD)", "ORDER #ODs (FD+OCD)"])
+    return _reporters[name]
+
+
+def _run_row(name: str, attrs: int) -> None:
+    rows = SWEEPS[name][0]
+    relation = dataset(name, rows, attrs)
+    tane, tane_s = timed(lambda: discover_fds(relation))
+    fastod, fastod_s = timed(lambda: discover_ods(relation))
+    order, order_s = timed(lambda: discover_ods_order(
+        relation, max_nodes=ORDER_MAX_NODES,
+        timeout_seconds=ORDER_TIMEOUT))
+    _reporter(name).add(
+        attrs=attrs,
+        TANE=fmt_seconds(tane_s),
+        FASTOD=fmt_seconds(fastod_s),
+        ORDER=fmt_seconds(order_s, dnf=order.timed_out),
+        **{
+            "FASTOD #ODs (FD+OCD)": fmt_counts(fastod),
+            "ORDER #ODs (FD+OCD)": fmt_counts(order, dnf=order.timed_out),
+        })
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _publish():
+    yield
+    for reporter in _reporters.values():
+        reporter.finish()
+
+
+@pytest.mark.parametrize("name,attrs", [
+    (name, attrs)
+    for name, (_, sweep) in SWEEPS.items()
+    for attrs in sweep
+])
+def test_exp2_scaling(benchmark, name, attrs):
+    rows = SWEEPS[name][0]
+    relation = dataset(name, rows, attrs)
+    benchmark.pedantic(
+        lambda: discover_ods(relation), rounds=1, iterations=1)
+    _run_row(name, attrs)
+
+
+def main() -> None:
+    for name, (_, sweep) in SWEEPS.items():
+        for attrs in sweep:
+            _run_row(name, attrs)
+    for reporter in _reporters.values():
+        reporter.finish()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Exp-5 (Figure 6, runtime): the impact of the pruning strategies.
+
+FASTOD with candidate-set/minimality pruning versus *FASTOD-No
+Pruning* (validate every candidate at every node, the paper's
+ablation).  The paper reports orders-of-magnitude gaps that widen with
+the attribute count; no-pruning runs that exceed the budget report DNF
+the way the paper reports "* 5h".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import (
+    NOPRUNE_TIMEOUT,
+    Reporter,
+    dataset,
+    fmt_counts,
+    fmt_seconds,
+    timed,
+)
+from repro import discover_ods
+
+ROW_SWEEP = [500, 1000, 1500, 2000, 2500]     # at 8 attributes
+ATTR_SWEEP = [4, 6, 8, 10, 12]                # at 300 rows
+N_ATTRS_FOR_ROWS = 8
+N_ROWS_FOR_ATTRS = 300
+
+_rows_reporter = Reporter(
+    experiment="exp5_pruning_rows",
+    title=(f"Exp-5 / Figure 6 (flight-like, {N_ATTRS_FOR_ROWS} attrs): "
+           "pruning impact vs tuples"),
+    columns=["rows", "FASTOD", "FASTOD-NoPruning", "speedup"])
+_attrs_reporter = Reporter(
+    experiment="exp5_pruning_attrs",
+    title=(f"Exp-5 / Figure 6 (flight-like, {N_ROWS_FOR_ATTRS} rows): "
+           "pruning impact vs attributes"),
+    columns=["attrs", "FASTOD", "FASTOD-NoPruning", "speedup"])
+
+
+def _run_rows(rows: int) -> None:
+    relation = dataset("flight", rows, N_ATTRS_FOR_ROWS)
+    pruned, pruned_s = timed(lambda: discover_ods(relation))
+    unpruned, unpruned_s = timed(lambda: discover_ods(
+        relation, minimality_pruning=False,
+        timeout_seconds=NOPRUNE_TIMEOUT))
+    _rows_reporter.add(
+        rows=rows,
+        FASTOD=fmt_seconds(pruned_s),
+        **{
+            "FASTOD-NoPruning": fmt_seconds(
+                unpruned_s, dnf=unpruned.timed_out),
+            "speedup": ("-" if unpruned.timed_out
+                        else f"{unpruned_s / max(pruned_s, 1e-9):.1f}x"),
+        })
+
+
+def _run_attrs(attrs: int) -> None:
+    relation = dataset("flight", N_ROWS_FOR_ATTRS, attrs)
+    pruned, pruned_s = timed(lambda: discover_ods(relation))
+    unpruned, unpruned_s = timed(lambda: discover_ods(
+        relation, minimality_pruning=False,
+        timeout_seconds=NOPRUNE_TIMEOUT))
+    _attrs_reporter.add(
+        attrs=attrs,
+        FASTOD=fmt_seconds(pruned_s),
+        **{
+            "FASTOD-NoPruning": fmt_seconds(
+                unpruned_s, dnf=unpruned.timed_out),
+            "speedup": ("-" if unpruned.timed_out
+                        else f"{unpruned_s / max(pruned_s, 1e-9):.1f}x"),
+        })
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _publish():
+    yield
+    _rows_reporter.finish()
+    _attrs_reporter.finish()
+
+
+@pytest.mark.parametrize("rows", ROW_SWEEP)
+def test_exp5_rows(benchmark, rows):
+    relation = dataset("flight", rows, N_ATTRS_FOR_ROWS)
+    benchmark.pedantic(
+        lambda: discover_ods(relation), rounds=1, iterations=1)
+    _run_rows(rows)
+
+
+@pytest.mark.parametrize("attrs", ATTR_SWEEP)
+def test_exp5_attrs(benchmark, attrs):
+    relation = dataset("flight", N_ROWS_FOR_ATTRS, attrs)
+    benchmark.pedantic(
+        lambda: discover_ods(relation, minimality_pruning=False,
+                             timeout_seconds=NOPRUNE_TIMEOUT),
+        rounds=1, iterations=1)
+    _run_attrs(attrs)
+
+
+def main() -> None:
+    for rows in ROW_SWEEP:
+        _run_rows(rows)
+    for attrs in ATTR_SWEEP:
+        _run_attrs(attrs)
+    _rows_reporter.finish()
+    _attrs_reporter.finish()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Exp-6 (Figure 6, counts): minimal vs non-minimal OD counts.
+
+The paper: the canonical representation prunes enormous redundancy —
+e.g. ~700 minimal ODs vs ~50 million non-minimal ones on flight with
+20 attributes.  Scaled down, the ratio still explodes with the
+attribute count: every valid non-trivial canonical OD at every lattice
+node is counted for the no-pruning run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import (
+    NOPRUNE_TIMEOUT,
+    Reporter,
+    dataset,
+    fmt_counts,
+    timed,
+)
+from repro import discover_ods
+
+ATTR_SWEEP = [4, 6, 8, 10]
+N_ROWS = 300
+
+_reporter = Reporter(
+    experiment="exp6_minimality",
+    title=(f"Exp-6 / Figure 6 (flight-like, {N_ROWS} rows): "
+           "minimal vs non-minimal OD counts"),
+    columns=["attrs", "minimal #ODs (FD+OCD)",
+             "non-minimal #ODs (FD+OCD)", "redundancy factor"])
+
+
+def _run(attrs: int) -> None:
+    relation = dataset("flight", N_ROWS, attrs)
+    minimal, _ = timed(lambda: discover_ods(relation))
+    everything, _ = timed(lambda: discover_ods(
+        relation, minimality_pruning=False,
+        timeout_seconds=NOPRUNE_TIMEOUT))
+    factor = ("-" if everything.timed_out or not minimal.n_ods
+              else f"{everything.n_ods / minimal.n_ods:.0f}x")
+    _reporter.add(
+        attrs=attrs,
+        **{
+            "minimal #ODs (FD+OCD)": fmt_counts(minimal),
+            "non-minimal #ODs (FD+OCD)": fmt_counts(
+                everything, dnf=everything.timed_out),
+            "redundancy factor": factor,
+        })
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _publish():
+    yield
+    _reporter.finish()
+
+
+@pytest.mark.parametrize("attrs", ATTR_SWEEP)
+def test_exp6_counts(benchmark, attrs):
+    relation = dataset("flight", N_ROWS, attrs)
+    benchmark.pedantic(
+        lambda: discover_ods(relation), rounds=1, iterations=1)
+    _run(attrs)
+
+
+def main() -> None:
+    for attrs in ATTR_SWEEP:
+        _run(attrs)
+    _reporter.finish()
+
+
+if __name__ == "__main__":
+    main()

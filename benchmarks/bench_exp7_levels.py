@@ -1,0 +1,67 @@
+"""Exp-7 (Figure 7): work and yield per lattice level.
+
+The paper: per-level time first grows then shrinks (the set lattice is
+a diamond and pruning eats the top); most ODs surface in the first few
+levels — the ones with small contexts, which are also the most useful
+for query optimization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import Reporter, dataset, fmt_seconds, timed
+from repro import discover_ods
+
+N_ROWS = 500
+N_ATTRS = 14
+
+_reporter = Reporter(
+    experiment="exp7_levels",
+    title=(f"Exp-7 / Figure 7 (flight-like, {N_ROWS} rows x "
+           f"{N_ATTRS} attrs): per-level time and #ODs"),
+    columns=["level", "nodes", "pruned", "time",
+             "#ODs (FD+OCD)"])
+
+
+def _run() -> None:
+    relation = dataset("flight", N_ROWS, N_ATTRS)
+    result, _ = timed(lambda: discover_ods(relation))
+    for stats in result.level_stats:
+        _reporter.add(
+            level=stats.level,
+            nodes=stats.n_nodes,
+            pruned=stats.n_nodes_pruned,
+            time=fmt_seconds(stats.seconds),
+            **{
+                "#ODs (FD+OCD)": (f"{stats.n_ods_found} "
+                                  f"({stats.n_fds_found} + "
+                                  f"{stats.n_ocds_found})"),
+            })
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _publish():
+    yield
+    _reporter.finish()
+
+
+def test_exp7_levels(benchmark):
+    relation = dataset("flight", N_ROWS, N_ATTRS)
+    benchmark.pedantic(
+        lambda: discover_ods(relation), rounds=1, iterations=1)
+    _run()
+
+
+def main() -> None:
+    _run()
+    _reporter.finish()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Benches for the Section-7 extension implementations.
+
+Not paper figures — scaling checks for approximate, bidirectional and
+conditional discovery, so regressions in the extensions are as visible
+as regressions in the core.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sys as _sys
+from pathlib import Path as _Path
+
+_sys.path.insert(0, str(_Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import Reporter, dataset, fmt_seconds, timed
+from repro.extensions import (
+    discover_bidirectional_ocds,
+    discover_conditional_ods,
+)
+from repro.violations import approximate_discovery
+
+CASES = [
+    ("flight", 500, 6),
+    ("flight", 1000, 6),
+    ("ncvoter", 500, 6),
+    ("ncvoter", 1000, 6),
+]
+
+_reporter = Reporter(
+    experiment="extensions",
+    title="Extensions: approximate / bidirectional / conditional ODs",
+    columns=["dataset", "rows", "attrs", "approx (g3<=0.02)",
+             "#approx", "bidirectional", "#bi", "conditional", "#cond"])
+
+
+def _run_case(name: str, rows: int, attrs: int) -> None:
+    relation = dataset(name, rows, attrs)
+    approx, approx_s = timed(lambda: approximate_discovery(
+        relation, max_error=0.02, max_context=1))
+    bi, bi_s = timed(lambda: discover_bidirectional_ocds(
+        relation, max_context=1))
+    cond, cond_s = timed(lambda: discover_conditional_ods(
+        relation, min_support=0.1, max_level=2))
+    _reporter.add(
+        dataset=name, rows=rows, attrs=attrs,
+        **{
+            "approx (g3<=0.02)": fmt_seconds(approx_s),
+            "#approx": len(approx.ods),
+            "bidirectional": fmt_seconds(bi_s),
+            "#bi": len(bi.ocds),
+            "conditional": fmt_seconds(cond_s),
+            "#cond": len(cond.ods),
+        })
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _publish():
+    yield
+    _reporter.finish()
+
+
+@pytest.mark.parametrize("name,rows,attrs", CASES)
+def test_extensions(benchmark, name, rows, attrs):
+    relation = dataset(name, rows, attrs)
+    benchmark.pedantic(
+        lambda: approximate_discovery(relation, max_error=0.02,
+                                      max_context=1),
+        rounds=1, iterations=1)
+    _run_case(name, rows, attrs)
+
+
+def main() -> None:
+    for case in CASES:
+        _run_case(*case)
+    _reporter.finish()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Make ``benchmarks.harness`` importable when pytest runs this dir."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))

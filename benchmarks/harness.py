@@ -1,0 +1,100 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every ``bench_exp*.py`` regenerates one of the paper's tables/figures
+(Figures 4-7, Exp-1..Exp-7) as a text table: rows printed to the
+terminal and appended to ``benchmarks/results/<experiment>.txt`` so
+``EXPERIMENTS.md`` can quote them.
+
+Absolute numbers differ from the paper (pure Python on synthetic
+stand-in data versus Java on the original datasets); the *shapes* are
+what the benches reproduce — see DESIGN.md for the substitution notes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.results import DiscoveryResult
+from repro.datasets import make_dataset
+from repro.relation.table import Relation
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Budgets that let ORDER / no-pruning runs report DNF instead of
+#: stalling the whole session (the paper's "* 5h" marker).
+ORDER_MAX_NODES = 60_000
+ORDER_TIMEOUT = 30.0
+NOPRUNE_TIMEOUT = 60.0
+
+DNF = "DNF"
+
+
+@lru_cache(maxsize=64)
+def dataset(name: str, n_rows: int, n_attrs: int) -> Relation:
+    """Cached synthetic dataset instance (encoded lazily by callers)."""
+    relation = make_dataset(name, n_rows=n_rows, n_attrs=n_attrs, seed=42)
+    relation.encode()   # pre-encode so timings measure discovery only
+    return relation
+
+
+def timed(fn: Callable[[], DiscoveryResult]):
+    """Run a discovery function, returning (result, seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def fmt_seconds(seconds: Optional[float], dnf: bool = False) -> str:
+    if dnf:
+        return DNF
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1000:.0f}ms"
+
+
+def fmt_counts(result: Optional[DiscoveryResult],
+               dnf: bool = False) -> str:
+    if result is None:
+        return "-"
+    suffix = f" {DNF}" if dnf else ""
+    return result.paper_counts() + suffix
+
+
+@dataclass
+class Reporter:
+    """Collects table rows for one experiment and renders the table."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, str]] = field(default_factory=list)
+
+    def add(self, **cells) -> None:
+        self.rows.append({key: str(value) for key, value in cells.items()})
+
+    def render(self) -> str:
+        widths = {
+            column: max(len(column),
+                        *(len(row.get(column, "")) for row in self.rows))
+            if self.rows else len(column)
+            for column in self.columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        separator = "  ".join("-" * widths[c] for c in self.columns)
+        body = [
+            "  ".join(row.get(c, "").ljust(widths[c]) for c in self.columns)
+            for row in self.rows
+        ]
+        return "\n".join([self.title, header, separator, *body])
+
+    def finish(self) -> None:
+        """Print the table and persist it under benchmarks/results/."""
+        table = self.render()
+        print("\n" + table + "\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{self.experiment}.txt"
+        out.write_text(table + "\n", encoding="utf-8")

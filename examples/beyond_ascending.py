@@ -1,0 +1,76 @@
+"""Beyond ascending ODs: bidirectional order and approximate rules.
+
+Two of the paper's Section 7 extensions in action on voter-style data:
+
+* ``age`` and ``birth_year`` are perfectly order-*anti*-correlated —
+  invisible to ascending-only discovery, found by the bidirectional
+  sweep;
+* a rule that holds on 97% of tuples is recovered as an approximate OD
+  after noise injection.
+
+Run:  python examples/beyond_ascending.py
+"""
+
+import random
+
+from repro import discover_ods
+from repro.datasets import ncvoter_like
+from repro.extensions import (
+    BidirectionalOD,
+    bidirectional_od_holds,
+    directed,
+    discover_bidirectional_ocds,
+)
+from repro.relation.table import Relation
+from repro.violations import approximate_discovery, error_rate
+
+
+def main() -> None:
+    voters = ncvoter_like(400, 8)
+    print(f"voters: {voters.n_rows} rows, attributes {voters.names}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 1. Ascending-only discovery cannot relate age and birth_year.
+    # ------------------------------------------------------------------
+    ascending = discover_ods(voters)
+    age_pairs = [o for o in ascending.ocds
+                 if {"age", "birth_year"} == {o.left, o.right}]
+    print("ascending-only OCDs relating age and birth_year:",
+          [str(o) for o in age_pairs] or "none")
+
+    # ------------------------------------------------------------------
+    # 2. The bidirectional sweep finds the inverse relationship.
+    # ------------------------------------------------------------------
+    bidirectional = discover_bidirectional_ocds(voters, max_context=0)
+    print("bidirectional, opposite-direction pairs:")
+    for ocd in bidirectional.opposite_only:
+        print(f"  {ocd}   (one ascends while the other descends)")
+    od = BidirectionalOD(directed("age"), directed("birth_year desc"))
+    print(f"validator agrees that {od} holds:",
+          bidirectional_od_holds(voters, od))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Approximate ODs survive noise.
+    # ------------------------------------------------------------------
+    rng = random.Random(0)
+    rows = [list(row) for row in voters.rows()]
+    for _ in range(max(1, len(rows) // 40)):            # ~2.5% noise
+        rows[rng.randrange(len(rows))][5] = 99999       # corrupt zip
+    noisy = Relation.from_rows(voters.names, rows)
+
+    clean_error = error_rate(voters, "{zip}: [] -> county_id")
+    exact_error = error_rate(noisy, "{zip}: [] -> county_id")
+    print(f"'{{zip}}: [] -> county_id': g3 = {clean_error:.3f} clean, "
+          f"{exact_error:.3f} after noise (exact discovery drops it)")
+    approx = approximate_discovery(
+        noisy.project(["county_id", "county_name", "zip"]),
+        max_error=0.05)
+    print("approximate ODs (g3 <= 0.05) still recover the rule:")
+    for item in approx.ods:
+        print(f"  {item}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Data cleaning with ODs: detect, quantify, and repair violations.
+
+The paper's motivating business rule: *no employee pays a lower tax
+while earning a higher salary*.  We corrupt the employee table, watch
+the OD break, locate the offending tuple pairs, and repair the data.
+
+Run:  python examples/data_cleaning.py
+"""
+
+from repro.datasets import employees
+from repro.relation.table import Relation
+from repro.violations import (
+    approximate_discovery,
+    check_dependency,
+    error_rate,
+    greedy_repair,
+    verify_repair,
+)
+
+RULES = [
+    "[sal] -> [tax]",          # tax increases with salary
+    "{sal}: [] -> perc",       # salary determines the tax percentage
+]
+
+
+def corrupt(table: Relation) -> Relation:
+    """Introduce the classic data-entry error: a swapped tax amount."""
+    rows = [list(row) for row in table.rows()]
+    rows[1][6], rows[2][6] = rows[2][6], rows[1][6]   # swap two taxes
+    rows[4][5] = 99                                   # absurd percentage
+    return Relation.from_rows(table.names, rows)
+
+
+def main() -> None:
+    clean = employees()
+    print("On the clean table, both business rules hold:")
+    for rule in RULES:
+        report = check_dependency(clean, rule)
+        print(f"  {rule}: {'holds' if report.holds else 'VIOLATED'}")
+    print()
+
+    dirty = corrupt(clean)
+    print("After two injected data-entry errors:")
+    for rule in RULES:
+        report = check_dependency(dirty, rule, max_witnesses=3)
+        state = "holds" if report.holds else (
+            f"VIOLATED by {report.n_violating_pairs} tuple pair(s)")
+        print(f"  {rule}: {state}")
+        for witness in report.witnesses:
+            s, t = witness.row_s, witness.row_t
+            print(f"      witness: {witness}")
+            print(f"        row {s}: {dirty.row(s)}")
+            print(f"        row {t}: {dirty.row(t)}")
+    print()
+
+    print("How far from holding? (g3 error = min fraction of tuples "
+          "to delete)")
+    for rule in RULES:
+        print(f"  {rule}: g3 = {error_rate(dirty, rule):.3f}")
+    print()
+
+    repair = greedy_repair(dirty, RULES)
+    print(f"Greedy repair removed rows {repair.removed_rows} "
+          f"({repair.n_removed} of {dirty.n_rows}).")
+    print(f"All rules hold afterwards: {verify_repair(repair, RULES)}")
+    print()
+
+    print("Approximate ODs (g3 <= 0.2) on the dirty table — the rules "
+          "are still visible through the noise:")
+    approx = approximate_discovery(
+        dirty.project(["sal", "perc", "tax", "grp"]), max_error=0.2)
+    for item in approx.ods:
+        print(f"  {item}")
+
+
+if __name__ == "__main__":
+    main()

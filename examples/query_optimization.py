@@ -1,0 +1,88 @@
+"""Query optimization with ODs: the paper's Query 1 scenario.
+
+A TPC-DS-style warehouse: ``web_sales`` facts reference a ``date_dim``
+whose surrogate key was assigned in calendar order.  Discovered ODs let
+the optimizer (1) simplify ORDER BY and GROUP BY lists, (2) skip sorts
+already satisfied by an index, and (3) eliminate the dimension join for
+range predicates — the "two probes" trick of Section 1.1.
+
+Run:  python examples/query_optimization.py
+"""
+
+from repro.datasets import date_dim, web_sales
+from repro.optimizer import (
+    ODIndex,
+    RangePredicate,
+    StarQuery,
+    compare_plans,
+    simplify_group_by,
+    simplify_order_by,
+    sort_is_redundant,
+)
+
+
+def main() -> None:
+    dim = date_dim(730)               # calendar years 2010-2011
+    fact = web_sales(3000, 730)
+    print(f"date_dim: {dim.n_rows} rows; web_sales: {fact.n_rows} rows")
+
+    index = ODIndex.discover(dim)
+    print(f"discovered {len(index)} minimal canonical ODs on date_dim; "
+          "a few of them:")
+    for od in list(index.fds)[:3] + list(index.ocds)[:3]:
+        print(f"  {od}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 1. ORDER BY simplification (Query 1's order-by clause).
+    # ------------------------------------------------------------------
+    simplified = simplify_order_by(
+        index, ["d_year", "d_quarter", "d_month"])
+    print("ORDER BY simplification:")
+    print(f"  {simplified}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. GROUP BY simplification via FDs (month determines quarter).
+    # ------------------------------------------------------------------
+    grouped = simplify_group_by(index, ["d_year", "d_quarter", "d_month"])
+    print("GROUP BY simplification:")
+    print(f"  {grouped.original} => {grouped.simplified}")
+    for step in grouped.steps:
+        print(f"    {step}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Sort elimination: an index on the surrogate key already
+    #    delivers many interesting orders.
+    # ------------------------------------------------------------------
+    print("Sort elimination with an index on (d_date_sk):")
+    for requested in (["d_date"], ["d_year", "d_quarter"], ["d_dow"]):
+        redundant = sort_is_redundant(index, ["d_date_sk"], requested)
+        print(f"  ORDER BY {','.join(requested):20s} "
+              f"-> {'sort skipped' if redundant else 'sort required'}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Join elimination for the BETWEEN predicate on d_year.
+    # ------------------------------------------------------------------
+    query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                      RangePredicate("d_year", 2010, 2010))
+    print(f"Query: {query}")
+    comparison = compare_plans(fact, dim, query, index)
+    print(f"  {comparison.elimination}")
+    print(f"  plans agree on {len(comparison.join_rows)} fact rows: "
+          f"{comparison.equivalent}")
+    print(f"  {comparison.savings_summary()}")
+    print()
+
+    # An attribute NOT ordered by the key: the rewrite soundly refuses.
+    bad = StarQuery("ws_sold_date_sk", "d_date_sk",
+                    RangePredicate("d_dow", 6, 7))
+    outcome = compare_plans(fact, dim, bad, index)
+    print(f"Query: {bad}")
+    print(f"  {outcome.elimination}")
+
+
+if __name__ == "__main__":
+    main()

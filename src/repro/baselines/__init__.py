@@ -1,0 +1,29 @@
+"""Baselines the paper compares against, plus the brute-force oracle."""
+
+from repro.baselines.bruteforce import (
+    all_valid_canonical_ods,
+    all_valid_list_ods,
+    minimal_canonical_ods,
+    validate_result_is_sound,
+)
+from repro.baselines.order import (
+    Order,
+    OrderConfig,
+    OrderResult,
+    discover_ods_order,
+)
+from repro.baselines.tane import Tane, TaneConfig, discover_fds
+
+__all__ = [
+    "Order",
+    "OrderConfig",
+    "OrderResult",
+    "Tane",
+    "TaneConfig",
+    "all_valid_canonical_ods",
+    "all_valid_list_ods",
+    "discover_fds",
+    "discover_ods_order",
+    "minimal_canonical_ods",
+    "validate_result_is_sound",
+]

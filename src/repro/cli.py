@@ -1,0 +1,221 @@
+"""Command-line interface: ``repro-od``.
+
+Subcommands::
+
+    repro-od discover data.csv [--max-level N] [--no-minimal] [--json]
+    repro-od check data.csv "{month}: [] -> quarter"
+    repro-od violations data.csv "[salary] -> [tax]" [--witnesses N]
+    repro-od generate flight out.csv --rows 1000 --cols 10 --seed 42
+    repro-od datasets
+
+Run ``repro-od <subcommand> --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.fastod import FastOD, FastODConfig
+from repro.datasets.registry import dataset_names, make_dataset
+from repro.errors import ReproError
+from repro.relation.csvio import read_csv, write_csv
+from repro.violations.detect import ViolationDetector
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-od",
+        description="Order dependency discovery (FASTOD, VLDB 2017)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    discover = sub.add_parser(
+        "discover", help="discover the minimal canonical ODs of a CSV")
+    discover.add_argument("csv", help="input CSV file (header row expected)")
+    discover.add_argument("--max-level", type=int, default=None,
+                          help="cap the lattice level (context size + 1)")
+    discover.add_argument("--limit", type=int, default=None,
+                          help="read at most this many rows")
+    discover.add_argument("--timeout", type=float, default=None,
+                          help="soft wall-clock budget in seconds")
+    discover.add_argument("--no-minimal", action="store_true",
+                          help="disable pruning; enumerate every valid OD")
+    discover.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON")
+
+    check = sub.add_parser(
+        "check", help="check whether one dependency holds")
+    check.add_argument("csv")
+    check.add_argument("dependency",
+                       help='e.g. "{month}: [] -> quarter" or "[a] -> [b]"')
+    check.add_argument("--limit", type=int, default=None)
+
+    violations = sub.add_parser(
+        "violations", help="report violating tuple pairs for a dependency")
+    violations.add_argument("csv")
+    violations.add_argument("dependency")
+    violations.add_argument("--witnesses", type=int, default=5,
+                            help="max witness pairs to print")
+    violations.add_argument("--limit", type=int, default=None)
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic dataset to CSV")
+    generate.add_argument("family", choices=dataset_names())
+    generate.add_argument("out", help="output CSV path")
+    generate.add_argument("--rows", type=int, default=1000)
+    generate.add_argument("--cols", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=42)
+
+    profile = sub.add_parser(
+        "profile", help="full profile: keys, ODs, ranking")
+    profile.add_argument("csv")
+    profile.add_argument("--limit", type=int, default=None)
+    profile.add_argument("--max-level", type=int, default=None)
+    profile.add_argument("--approx", type=float, default=None,
+                         help="also find approximate ODs with this "
+                              "g3 threshold")
+    profile.add_argument("--markdown", action="store_true",
+                         help="render the report as markdown")
+    profile.add_argument("--top", type=int, default=10,
+                         help="entries per report section")
+
+    keys = sub.add_parser("keys", help="discover minimal keys")
+    keys.add_argument("csv")
+    keys.add_argument("--limit", type=int, default=None)
+    keys.add_argument("--max-size", type=int, default=None)
+
+    explain = sub.add_parser(
+        "explain",
+        help="derive a dependency from the discovered minimal set")
+    explain.add_argument("csv")
+    explain.add_argument("dependency",
+                         help='canonical form, e.g. "{a,b}: [] -> c"')
+    explain.add_argument("--limit", type=int, default=None)
+
+    sub.add_parser("datasets", help="list synthetic dataset families")
+    return parser
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv, limit=args.limit)
+    config = FastODConfig(
+        minimality_pruning=not args.no_minimal,
+        level_pruning=not args.no_minimal,
+        max_level=args.max_level,
+        timeout_seconds=args.timeout,
+    )
+    result = FastOD(relation, config).run()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.summary())
+    print()
+    for od in result.all_ods:
+        print(od)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv, limit=args.limit)
+    report = ViolationDetector(relation).check(
+        args.dependency, max_witnesses=0, count_pairs=False)
+    print(f"{report.dependency}: {'HOLDS' if report.holds else 'VIOLATED'}")
+    return 0 if report.holds else 1
+
+
+def _cmd_violations(args: argparse.Namespace) -> int:
+    relation = read_csv(args.csv, limit=args.limit)
+    report = ViolationDetector(relation).check(
+        args.dependency, max_witnesses=args.witnesses, count_pairs=True)
+    print(report)
+    return 0 if report.holds else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    relation = make_dataset(args.family, n_rows=args.rows,
+                            n_attrs=args.cols, seed=args.seed)
+    write_csv(relation, args.out)
+    print(f"wrote {relation.n_rows} rows x {relation.arity} attributes "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profile import profile_relation
+
+    relation = read_csv(args.csv, limit=args.limit)
+    profile = profile_relation(
+        relation, max_level=args.max_level,
+        approximate_error=args.approx)
+    if args.markdown:
+        print(profile.render_markdown(top=args.top))
+    else:
+        print(profile.render_text(top=args.top))
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    from repro.profile import discover_keys
+
+    relation = read_csv(args.csv, limit=args.limit)
+    result = discover_keys(relation, max_size=args.max_size)
+    print(f"{result.n_keys} minimal key(s):")
+    for key in result.rendered():
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.derivation import Explainer
+    from repro.core.fastod import discover_ods
+    from repro.core.od import CanonicalFD, CanonicalOCD
+    from repro.core.parser import parse
+
+    dependency = parse(args.dependency)
+    if not isinstance(dependency, (CanonicalFD, CanonicalOCD)):
+        print("error: explain takes canonical dependencies "
+              "('{X}: [] -> A' or '{X}: A ~ B')", file=sys.stderr)
+        return 2
+    relation = read_csv(args.csv, limit=args.limit)
+    result = discover_ods(relation)
+    derivation = Explainer(result.all_ods).explain(dependency)
+    if derivation is None:
+        print(f"{dependency}: does not follow from the data "
+              "(no derivation)")
+        return 1
+    print(derivation)
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    for name in dataset_names():
+        print(name)
+    return 0
+
+
+_COMMANDS = {
+    "discover": _cmd_discover,
+    "check": _cmd_check,
+    "violations": _cmd_violations,
+    "generate": _cmd_generate,
+    "profile": _cmd_profile,
+    "keys": _cmd_keys,
+    "explain": _cmd_explain,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Core: the paper's contribution — canonical ODs and FASTOD."""
+
+from repro.core.fastod import FastOD, FastODConfig, discover_ods
+from repro.core.derivation import Derivation, Explainer, explain
+from repro.core.hybrid import hybrid_discover
+from repro.core.mapping import (
+    CanonicalImage,
+    map_compatibility_part,
+    map_fd_part,
+    map_list_od,
+    map_order_compatibility,
+)
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+    OrderSpec,
+)
+from repro.core.parser import parse, parse_equivalence
+from repro.core.results import DiscoveryResult, LevelStats, diff_results
+from repro.core.validation import (
+    CanonicalValidator,
+    Split,
+    Swap,
+    list_od_holds,
+    list_od_holds_via_canonical,
+    order_compatible,
+    order_equivalent,
+)
+
+__all__ = [
+    "CanonicalFD",
+    "CanonicalImage",
+    "CanonicalOCD",
+    "CanonicalValidator",
+    "Derivation",
+    "DiscoveryResult",
+    "Explainer",
+    "FastOD",
+    "FastODConfig",
+    "LevelStats",
+    "ListOD",
+    "OrderCompatibility",
+    "OrderSpec",
+    "Split",
+    "Swap",
+    "diff_results",
+    "discover_ods",
+    "explain",
+    "hybrid_discover",
+    "list_od_holds",
+    "list_od_holds_via_canonical",
+    "map_compatibility_part",
+    "map_fd_part",
+    "map_list_od",
+    "map_order_compatibility",
+    "order_compatible",
+    "order_equivalent",
+    "parse",
+    "parse_equivalence",
+]

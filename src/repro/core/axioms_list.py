@@ -1,0 +1,148 @@
+"""The list-based axiomatization for ODs (Figure 1, from [22]).
+
+Executable constructors for the six axioms — Reflexivity, Prefix,
+Transitivity, Normalization, Suffix, Chain — plus the derived Union,
+Downward Closure and Replace rules the paper's proofs invoke.  The
+property-based tests check soundness on data: whenever all premises
+hold on an instance, the conclusion holds too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.core.od import ListOD, OrderCompatibility, OrderSpec, as_spec
+from repro.errors import DependencyError
+
+Spec = Union[OrderSpec, Sequence[str]]
+
+
+def reflexivity(lhs: Spec, extra: Spec = ()) -> ListOD:
+    """Axiom 1: ``XY ↦ X``."""
+    lhs = as_spec(lhs)
+    return ListOD(lhs.concat(as_spec(extra)), lhs)
+
+
+def prefix(front: Spec, od: ListOD) -> ListOD:
+    """Axiom 2: from ``X ↦ Y`` infer ``ZX ↦ ZY``."""
+    front = as_spec(front)
+    return ListOD(front.concat(od.lhs), front.concat(od.rhs))
+
+
+def transitivity(first: ListOD, second: ListOD) -> ListOD:
+    """Axiom 3: from ``X ↦ Y`` and ``Y ↦ Z`` infer ``X ↦ Z``."""
+    if first.rhs != second.lhs:
+        raise DependencyError(
+            f"Transitivity needs matching middle specs; got "
+            f"{first} and {second}")
+    return ListOD(first.lhs, second.rhs)
+
+
+def normalization(front: Spec, repeated: Spec, middle: Spec,
+                  tail: Spec) -> Tuple[ListOD, ListOD]:
+    """Axiom 4: ``WXYXV ↔ WXYV`` — returns both directions.
+
+    Arguments name the segments: ``front`` = W, ``repeated`` = X,
+    ``middle`` = Y, ``tail`` = V.
+    """
+    front, repeated = as_spec(front), as_spec(repeated)
+    middle, tail = as_spec(middle), as_spec(tail)
+    long = front.concat(repeated).concat(middle).concat(repeated).concat(tail)
+    short = front.concat(repeated).concat(middle).concat(tail)
+    return ListOD(long, short), ListOD(short, long)
+
+
+def suffix(od: ListOD) -> Tuple[ListOD, ListOD]:
+    """Axiom 5: from ``X ↦ Y`` infer ``X ↔ YX`` (both directions)."""
+    merged = od.rhs.concat(od.lhs)
+    return ListOD(od.lhs, merged), ListOD(merged, od.lhs)
+
+
+def chain(compat_chain: Sequence[OrderCompatibility],
+          bridges: Sequence[OrderCompatibility]) -> OrderCompatibility:
+    """Axiom 6 (Chain).
+
+    ``compat_chain`` is ``X ~ Y_1, Y_1 ~ Y_2, ..., Y_n ~ Z`` (each link
+    must share its right spec with the next link's left spec);
+    ``bridges`` are ``Y_iX ~ Y_iZ`` for every ``i``.  Concludes
+    ``X ~ Z``.
+    """
+    if not compat_chain:
+        raise DependencyError("Chain needs at least one compatibility link")
+    for left, right in zip(compat_chain, compat_chain[1:]):
+        if left.rhs != right.lhs:
+            raise DependencyError(
+                f"Chain links must share middles; got {left} then {right}")
+    x_spec = compat_chain[0].lhs
+    z_spec = compat_chain[-1].rhs
+    middles = [link.rhs for link in compat_chain[:-1]]
+    expected = [
+        (middle.concat(x_spec).attrs, middle.concat(z_spec).attrs)
+        for middle in middles
+    ]
+    actual = {(bridge.lhs.attrs, bridge.rhs.attrs) for bridge in bridges}
+    for pair in expected:
+        if pair not in actual:
+            raise DependencyError(
+                f"Chain is missing bridge premise "
+                f"{OrderSpec(pair[0])} ~ {OrderSpec(pair[1])}")
+    return OrderCompatibility(x_spec, z_spec)
+
+
+# ----------------------------------------------------------------------
+# derived rules used in the paper's proofs
+# ----------------------------------------------------------------------
+def union(first: ListOD, second: ListOD) -> ListOD:
+    """Union [22]: from ``X ↦ Y`` and ``X ↦ Z`` infer ``X ↦ YZ``."""
+    if first.lhs != second.lhs:
+        raise DependencyError(
+            f"Union needs equal left sides; got {first} and {second}")
+    return ListOD(first.lhs, first.rhs.concat(second.rhs))
+
+
+def downward_closure(compat: OrderCompatibility,
+                     keep_lhs: int, keep_rhs: int) -> OrderCompatibility:
+    """Downward Closure [22]: from ``XZ ~ YV`` infer ``X ~ Y`` for the
+    prefixes of the given lengths."""
+    return OrderCompatibility(compat.lhs.prefix(keep_lhs),
+                              compat.rhs.prefix(keep_rhs))
+
+
+def replace(front: Spec, equal_left: Spec, equal_right: Spec,
+            tail: Spec) -> Tuple[ListOD, ListOD]:
+    """Replace [22]: if ``M ↔ N`` then ``XMZ ↔ XNZ`` (shape-level;
+    the ``M ↔ N`` premise is validated on data by the caller/tests)."""
+    front, tail = as_spec(front), as_spec(tail)
+    left = front.concat(as_spec(equal_left)).concat(tail)
+    right = front.concat(as_spec(equal_right)).concat(tail)
+    return ListOD(left, right), ListOD(right, left)
+
+
+def theorem1_decomposition(od: ListOD) -> Tuple[ListOD, OrderCompatibility]:
+    """Theorem 1: ``X ↦ Y`` iff ``X ↦ XY`` and ``X ~ Y``.
+
+    Returns the two right-hand-side statements for the given OD.
+    """
+    return (ListOD(od.lhs, od.lhs.concat(od.rhs)),
+            OrderCompatibility(od.lhs, od.rhs))
+
+
+def theorem2_fd_form(lhs: Spec, rhs: Spec) -> ListOD:
+    """Theorem 2: the FD ``X → Y`` as the OD ``X ↦ XY`` (any
+    permutations of the sets work; we use the given orders)."""
+    lhs, rhs = as_spec(lhs), as_spec(rhs)
+    return ListOD(lhs, lhs.concat(rhs))
+
+
+def all_axiom_instances(names: Sequence[str],
+                        max_len: int = 2) -> List[ListOD]:
+    """Small generator of Reflexivity instances over a schema — handy
+    seeds for the soundness property tests."""
+    from itertools import permutations
+
+    out: List[ListOD] = []
+    for length in range(1, max_len + 1):
+        for perm in permutations(names, length):
+            for split in range(len(perm) + 1):
+                out.append(reflexivity(perm[:split], perm[split:]))
+    return out

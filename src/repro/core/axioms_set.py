@@ -1,0 +1,284 @@
+"""The set-based axiomatization for canonical ODs (Figure 2).
+
+Each axiom is an executable inference rule: it takes premise
+dependencies, checks they have the required shape, and returns the
+conclusion.  The property-based tests establish *soundness* on data —
+whenever the premises hold on a random instance, so does the returned
+conclusion — mirroring Theorem 6.
+
+The module also provides :class:`InferenceEngine`, a closure-style
+implication checker over a cover of canonical ODs.  Its FD fragment
+(Reflexivity + Strengthen + Augmentation-I) is the classical Armstrong
+closure, hence complete.  Its OCD fragment applies Augmentation-II,
+Propagate, and bounded Chain saturation; this is complete for covers
+produced by discovery on an instance (every valid OCD then has a
+minimal-context generator in the cover) though not for arbitrary
+abstract covers — general OD inference is co-NP-complete [25].
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.errors import DependencyError
+
+CanonicalOD = Union[CanonicalFD, CanonicalOCD]
+
+
+# ----------------------------------------------------------------------
+# the eight axioms of Figure 2
+# ----------------------------------------------------------------------
+def reflexivity(context: Iterable[str]) -> List[CanonicalFD]:
+    """Axiom 1: ``X: [] ↦ A`` for every ``A ∈ X`` (all trivial)."""
+    context = frozenset(context)
+    return [CanonicalFD(context, attribute) for attribute in sorted(context)]
+
+
+def identity(context: Iterable[str], attribute: str) -> CanonicalOCD:
+    """Axiom 2: ``X: A ~ A``."""
+    return CanonicalOCD(frozenset(context), attribute, attribute)
+
+
+def commutativity(ocd: CanonicalOCD) -> CanonicalOCD:
+    """Axiom 3: ``X: A ~ B`` gives ``X: B ~ A``.
+
+    Our representation stores the pair unordered, so this returns an
+    equal object — the axiom is baked into the data type.
+    """
+    return CanonicalOCD(ocd.context, ocd.right, ocd.left)
+
+
+def strengthen(first: CanonicalFD, second: CanonicalFD) -> CanonicalFD:
+    """Axiom 4: from ``X: [] ↦ A`` and ``XA: [] ↦ B`` infer
+    ``X: [] ↦ B``."""
+    expected = first.context | {first.attribute}
+    if second.context != expected:
+        raise DependencyError(
+            f"Strengthen needs contexts X and XA; got {first} and {second}")
+    return CanonicalFD(first.context, second.attribute)
+
+
+def propagate(fd: CanonicalFD, other_attribute: str) -> CanonicalOCD:
+    """Axiom 5: from ``X: [] ↦ A`` infer ``X: A ~ B`` for any ``B``."""
+    return CanonicalOCD(fd.context, fd.attribute, other_attribute)
+
+
+def augmentation_fd(fd: CanonicalFD,
+                    extra_context: Iterable[str]) -> CanonicalFD:
+    """Axiom 6 (Augmentation-I): from ``X: [] ↦ A`` infer
+    ``ZX: [] ↦ A``."""
+    return CanonicalFD(fd.context | frozenset(extra_context), fd.attribute)
+
+
+def augmentation_ocd(ocd: CanonicalOCD,
+                     extra_context: Iterable[str]) -> CanonicalOCD:
+    """Axiom 7 (Augmentation-II): from ``X: A ~ B`` infer
+    ``ZX: A ~ B``."""
+    return CanonicalOCD(ocd.context | frozenset(extra_context),
+                        ocd.left, ocd.right)
+
+
+def chain(first: CanonicalOCD, middle: Sequence[CanonicalOCD],
+          last: CanonicalOCD,
+          bridges: Sequence[CanonicalOCD]) -> CanonicalOCD:
+    """Axiom 8 (Chain).
+
+    Premises, for a chain ``A ~ B_1 ~ ... ~ B_n ~ C`` in context ``X``:
+
+    * ``first``  = ``X: A ~ B_1``
+    * ``middle`` = ``X: B_i ~ B_{i+1}`` for ``i`` in ``1..n-1``
+    * ``last``   = ``X: B_n ~ C``
+    * ``bridges``= ``XB_i: A ~ C`` for every ``i`` in ``1..n``
+
+    Conclusion: ``X: A ~ C``.
+    """
+    context = first.context
+    links = [first, *middle, last]
+    for ocd in links:
+        if ocd.context != context:
+            raise DependencyError(
+                f"Chain premises must share context {sorted(context)}; "
+                f"got {ocd}")
+    # Recover the chain orientation A ~ B1 ~ ... ~ Bn ~ C.
+    sequence = _orient_chain(links)
+    endpoint_a, endpoint_c = sequence[0], sequence[-1]
+    betweens = sequence[1:-1]
+    expected_bridges = {
+        (context | {b}, frozenset((endpoint_a, endpoint_c)))
+        for b in betweens
+    }
+    actual_bridges = {(ocd.context, ocd.pair) for ocd in bridges}
+    if expected_bridges - actual_bridges:
+        missing = expected_bridges - actual_bridges
+        raise DependencyError(
+            f"Chain is missing bridge premises: {sorted(map(str, missing))}")
+    return CanonicalOCD(context, endpoint_a, endpoint_c)
+
+
+def _orient_chain(links: Sequence[CanonicalOCD]) -> List[str]:
+    """Order the pairwise links into a path A, B1, ..., Bn, C."""
+    if len(links) == 1:
+        pair = sorted(links[0].pair)
+        if len(pair) == 1:  # A ~ A chain
+            return [pair[0], pair[0]]
+        return pair
+    path = list(links[0].pair)
+    if len(path) == 1:
+        path = path * 2
+    # Greedily thread subsequent links; each must share exactly the tail.
+    for ocd in links[1:]:
+        pair = set(ocd.pair)
+        if path[-1] in pair:
+            other = (pair - {path[-1]}).pop() if len(pair) == 2 else path[-1]
+            path.append(other)
+        elif path[0] in pair:
+            other = (pair - {path[0]}).pop() if len(pair) == 2 else path[0]
+            path.insert(0, other)
+        else:
+            raise DependencyError(
+                "Chain premises do not form a connected path")
+    return path
+
+
+# ----------------------------------------------------------------------
+# derived rules (Lemmas 2-4)
+# ----------------------------------------------------------------------
+def transitivity_fd(context: FrozenSet[str],
+                    via: FrozenSet[str],
+                    targets: Iterable[str]) -> List[CanonicalFD]:
+    """Lemma 2: from ``∀j, X: [] ↦ Y_j`` and ``∀k, Y: [] ↦ Z_k`` infer
+    ``∀k, X: [] ↦ Z_k``.  (Shape-level constructor; soundness is
+    exercised on data in the tests.)"""
+    return [CanonicalFD(frozenset(context), target)
+            for target in sorted(set(targets) - set(context))]
+
+
+def normalization(context: Iterable[str]) -> List[CanonicalOCD]:
+    """Lemma 4: ``X: A ~ B`` is trivial for every ``A ∈ X``."""
+    context = frozenset(context)
+    out = []
+    for attribute in sorted(context):
+        for other in sorted(context):
+            out.append(CanonicalOCD(context, attribute, other))
+    return out
+
+
+# ----------------------------------------------------------------------
+# implication over covers
+# ----------------------------------------------------------------------
+class InferenceEngine:
+    """Implication checking against a cover of canonical ODs.
+
+    >>> engine = InferenceEngine([CanonicalFD({"a"}, "b")])
+    >>> engine.implies(CanonicalFD({"a", "c"}, "b"))      # Augmentation-I
+    True
+    >>> engine.implies(CanonicalOCD({"a"}, "b", "z"))     # Propagate
+    True
+    """
+
+    def __init__(self, cover: Iterable[CanonicalOD]):
+        self._fds: List[CanonicalFD] = []
+        self._ocds: List[CanonicalOCD] = []
+        for od in cover:
+            if isinstance(od, CanonicalFD):
+                self._fds.append(od)
+            elif isinstance(od, CanonicalOCD):
+                self._ocds.append(od)
+            else:
+                raise DependencyError(f"not a canonical OD: {od!r}")
+
+    @property
+    def fds(self) -> Tuple[CanonicalFD, ...]:
+        return tuple(self._fds)
+
+    @property
+    def ocds(self) -> Tuple[CanonicalOCD, ...]:
+        return tuple(self._ocds)
+
+    # -- FD fragment: Armstrong closure --------------------------------
+    def attribute_closure(self, attributes: Iterable[str]) -> Set[str]:
+        """All ``A`` with ``X: [] ↦ A`` derivable (Reflexivity +
+        Strengthen + Augmentation-I = Armstrong's axioms via
+        Theorem 2)."""
+        closure = set(attributes)
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.attribute not in closure \
+                        and fd.context <= closure:
+                    closure.add(fd.attribute)
+                    changed = True
+        return closure
+
+    def implies_fd(self, fd: CanonicalFD) -> bool:
+        if fd.is_trivial:
+            return True
+        return fd.attribute in self.attribute_closure(fd.context)
+
+    # -- OCD fragment ---------------------------------------------------
+    def implies_ocd(self, ocd: CanonicalOCD, *,
+                    use_chain: bool = True) -> bool:
+        if ocd.is_trivial:
+            return True
+        closure = self.attribute_closure(ocd.context)
+        # Propagate (+ Strengthen underneath the closure)
+        if ocd.left in closure or ocd.right in closure:
+            return True
+        # Augmentation-II from any cover OCD with a smaller context,
+        # where context attributes may also be *derived* constants
+        # (Lemma 6 read backwards: constants can be dropped from /
+        # added to contexts freely).
+        for known in self._ocds:
+            if known.pair == ocd.pair and known.context <= closure:
+                return True
+        if use_chain:
+            return self._implies_via_chain(ocd, closure)
+        return False
+
+    def _implies_via_chain(self, ocd: CanonicalOCD,
+                           closure: Set[str]) -> bool:
+        """One round of Chain saturation: find B with X: A ~ B and
+        X: B ~ C known (directly or via Propagate) and the bridge
+        XB: A ~ C known."""
+        in_context = [known for known in self._ocds
+                      if known.context <= closure]
+        neighbours = {}
+        for known in in_context:
+            left, right = sorted(known.pair)
+            neighbours.setdefault(left, set()).add(right)
+            neighbours.setdefault(right, set()).add(left)
+        a, c = ocd.left, ocd.right
+        for b in neighbours.get(a, set()) & neighbours.get(c, set()):
+            bridge = CanonicalOCD(ocd.context | {b}, a, c)
+            if self.implies_ocd(bridge, use_chain=False):
+                return True
+        return False
+
+    def implies(self, od: CanonicalOD) -> bool:
+        """Does the cover imply ``od``?"""
+        if isinstance(od, CanonicalFD):
+            return self.implies_fd(od)
+        return self.implies_ocd(od)
+
+
+def is_minimal_in(od: CanonicalOD, valid_fds: Set[CanonicalFD],
+                  valid_ocds: Set[CanonicalOCD]) -> bool:
+    """Definition-level minimality of ``od`` against the full valid
+    sets (used by tests; FASTOD computes this incrementally)."""
+    if isinstance(od, CanonicalFD):
+        if od.is_trivial:
+            return False
+        return not any(
+            other.attribute == od.attribute and other.context < od.context
+            for other in valid_fds)
+    if od.is_trivial:
+        return False
+    if CanonicalFD(od.context, od.left) in valid_fds:
+        return False
+    if CanonicalFD(od.context, od.right) in valid_fds:
+        return False
+    return not any(
+        other.pair == od.pair and other.context < od.context
+        for other in valid_ocds)

@@ -1,0 +1,106 @@
+"""Lattice nodes and candidate sets ``C_c+`` / ``C_s+``.
+
+A :class:`LatticeNode` bundles, for one attribute set ``X``:
+
+* its stripped partition Π*_X,
+* the constancy candidate set ``C_c+(X)`` (Definition 7), stored as an
+  attribute bitmask, and
+* the order compatibility candidate set ``C_s+(X)`` (Definition 8),
+  stored as a set of index pairs ``(a, b)`` with ``a < b`` — only one
+  orientation is kept, justified by Commutativity.
+
+The candidate-set recurrences of Algorithm 3 (lines 2, 4 and 6) live
+here as free functions so both FASTOD and the tests can call them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from repro.partitions.partition import StrippedPartition
+from repro.relation.schema import bit_count, iter_bits
+
+Pair = Tuple[int, int]
+
+
+class LatticeNode:
+    """State FASTOD keeps per attribute set while sweeping one level."""
+
+    __slots__ = ("mask", "partition", "cc", "cs")
+
+    def __init__(self, mask: int, partition: StrippedPartition,
+                 cc: int = 0, cs: Set[Pair] = None):
+        self.mask = mask
+        self.partition = partition
+        self.cc = cc
+        self.cs: Set[Pair] = set() if cs is None else cs
+
+    @property
+    def level(self) -> int:
+        return bit_count(self.mask)
+
+    def __repr__(self) -> str:
+        return (f"LatticeNode(mask={self.mask:b}, cc={self.cc:b}, "
+                f"cs={sorted(self.cs)!r})")
+
+
+def ordered_pair(a: int, b: int) -> Pair:
+    """The canonical (sorted) orientation of an attribute index pair."""
+    return (a, b) if a < b else (b, a)
+
+
+def compute_cc(mask: int, previous: Dict[int, "LatticeNode"]) -> int:
+    """Algorithm 3 line 2: ``C_c+(X) = ⋂_{A∈X} C_c+(X \\ A)``."""
+    cc = -1  # all-ones; the intersection only narrows it
+    for attribute in iter_bits(mask):
+        cc &= previous[mask ^ (1 << attribute)].cc
+        if not cc:
+            break
+    return cc if cc != -1 else 0
+
+
+def initial_cs_level2(mask: int) -> Set[Pair]:
+    """Algorithm 3 line 4: at level 2, ``C_s+({A,B}) = {{A,B}}``."""
+    first, second = tuple(iter_bits(mask))
+    return {ordered_pair(first, second)}
+
+
+def compute_cs(mask: int, previous: Dict[int, "LatticeNode"]) -> Set[Pair]:
+    """Algorithm 3 line 6 for levels > 2.
+
+    ``{A,B}`` survives iff it belongs to ``C_s+(X \\ D)`` for *every*
+    ``D ∈ X \\ {A,B}``.  Each such pair appears in exactly
+    ``|X| - 2`` of the parents, so a membership count suffices.
+    """
+    level = bit_count(mask)
+    required = level - 2
+    counts: Dict[Pair, int] = {}
+    for attribute in iter_bits(mask):
+        parent = previous[mask ^ (1 << attribute)]
+        for pair in parent.cs:
+            counts[pair] = counts.get(pair, 0) + 1
+    return {pair for pair, count in counts.items() if count == required}
+
+
+def all_pairs(mask: int) -> Set[Pair]:
+    """Every unordered attribute pair inside ``mask`` — the candidate
+    set used when minimality pruning is disabled (the paper's
+    *FASTOD-No Pruning* ablation)."""
+    attributes = list(iter_bits(mask))
+    return {
+        (attributes[i], attributes[j])
+        for i in range(len(attributes))
+        for j in range(i + 1, len(attributes))
+    }
+
+
+def context_names(mask: int, names: Tuple[str, ...]) -> FrozenSet[str]:
+    """Decode a context bitmask to attribute names."""
+    return frozenset(names[i] for i in iter_bits(mask))
+
+
+def mask_from_attributes(attributes: Iterable[int]) -> int:
+    mask = 0
+    for attribute in attributes:
+        mask |= 1 << attribute
+    return mask

@@ -1,0 +1,201 @@
+"""Derivations: *why* an OD follows from a cover.
+
+Discovery explains what holds; users reviewing constraints also ask
+why a dependency they expected is "missing" from the minimal set.  The
+answer is a derivation from the cover via the Figure-2 axioms, which
+this module produces as a human-readable step list.
+
+Built on the same closure logic as
+:class:`repro.core.axioms_set.InferenceEngine`; every step names the
+axiom and the premises used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.axioms_set import InferenceEngine
+from repro.core.od import CanonicalFD, CanonicalOCD
+
+CanonicalOD = Union[CanonicalFD, CanonicalOCD]
+
+
+@dataclass
+class Derivation:
+    """A proof sketch: the axioms applied and the cover ODs used."""
+
+    conclusion: CanonicalOD
+    steps: List[str] = field(default_factory=list)
+    premises: List[CanonicalOD] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [f"derivation of {self.conclusion}:"]
+        lines.extend(f"  {i + 1}. {step}"
+                     for i, step in enumerate(self.steps))
+        return "\n".join(lines)
+
+
+class Explainer:
+    """Produces derivations against a fixed cover.
+
+    ``explain(od)`` returns a :class:`Derivation` when the OD follows
+    from the cover (by the engine's sound rules) and ``None``
+    otherwise.  Completeness matches the engine's: exact for
+    instance-derived covers.
+    """
+
+    def __init__(self, cover: Iterable[CanonicalOD]):
+        self._engine = InferenceEngine(cover)
+
+    @property
+    def engine(self) -> InferenceEngine:
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def explain(self, od: CanonicalOD) -> Optional[Derivation]:
+        if isinstance(od, CanonicalFD):
+            return self._explain_fd(od)
+        return self._explain_ocd(od)
+
+    # ------------------------------------------------------------------
+    def _closure_with_parents(self, attributes) -> Dict[str, CanonicalFD]:
+        """FD closure keeping, per derived attribute, the cover FD that
+        first produced it."""
+        closure = set(attributes)
+        parents: Dict[str, CanonicalFD] = {}
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._engine.fds:
+                if fd.attribute not in closure and fd.context <= closure:
+                    closure.add(fd.attribute)
+                    parents[fd.attribute] = fd
+                    changed = True
+        return parents
+
+    def _fd_chain(self, context, attribute,
+                  parents: Dict[str, CanonicalFD]) -> List[CanonicalFD]:
+        """The cover FDs needed to reach ``attribute`` from ``context``,
+        in firing order."""
+        needed: List[CanonicalFD] = []
+        seen = set()
+
+        def visit(target: str) -> None:
+            if target in context or target in seen:
+                return
+            seen.add(target)
+            fd = parents.get(target)
+            if fd is None:
+                return
+            for requirement in fd.context:
+                visit(requirement)
+            needed.append(fd)
+
+        visit(attribute)
+        return needed
+
+    def _explain_fd(self, fd: CanonicalFD) -> Optional[Derivation]:
+        if fd.is_trivial:
+            return Derivation(fd, [
+                f"{fd} is trivial by Reflexivity "
+                f"({fd.attribute} ∈ context)"])
+        parents = self._closure_with_parents(fd.context)
+        if fd.attribute not in parents \
+                and fd.attribute not in fd.context:
+            if not self._engine.implies_fd(fd):
+                return None
+        derivation = Derivation(fd)
+        chain = self._fd_chain(fd.context, fd.attribute, parents)
+        for step_fd in chain:
+            extra = fd.context - step_fd.context
+            if extra:
+                derivation.steps.append(
+                    f"Augmentation-I on cover OD {step_fd} "
+                    f"adds context {{{','.join(sorted(extra))}}}")
+            else:
+                derivation.steps.append(f"cover OD {step_fd}")
+            derivation.premises.append(step_fd)
+        if len(chain) > 1:
+            derivation.steps.append(
+                "Strengthen collapses the chain to "
+                f"{fd}")
+        return derivation
+
+    def _explain_ocd(self, ocd: CanonicalOCD) -> Optional[Derivation]:
+        if ocd.is_trivial:
+            reason = ("Identity" if ocd.left == ocd.right
+                      else "Normalization (an endpoint is in the context)")
+            return Derivation(ocd, [f"{ocd} is trivial by {reason}"])
+        parents = self._closure_with_parents(ocd.context)
+        closure = set(ocd.context) | set(parents)
+        # Propagate: one endpoint is (derivably) constant
+        for endpoint, other in ((ocd.left, ocd.right),
+                                (ocd.right, ocd.left)):
+            if endpoint in closure:
+                fd = CanonicalFD(ocd.context, endpoint)
+                sub = self._explain_fd(fd)
+                if sub is not None:
+                    sub_steps = sub.steps if sub.premises else []
+                    return Derivation(
+                        ocd,
+                        [*sub_steps,
+                         f"Propagate on {fd} yields {ocd}"],
+                        sub.premises)
+        # Augmentation-II from a cover OCD (context may use derived
+        # constants via Lemma 6 in reverse)
+        for known in self._engine.ocds:
+            if known.pair == ocd.pair and known.context <= closure:
+                steps = []
+                premises: List[CanonicalOD] = [known]
+                derived = known.context - set(ocd.context)
+                for attribute in sorted(derived):
+                    fd = CanonicalFD(ocd.context, attribute)
+                    steps.append(
+                        f"context attribute {attribute} is constant: "
+                        f"{fd} (FD closure)")
+                    premises.append(fd)
+                extra = set(ocd.context) - known.context
+                if extra:
+                    steps.append(
+                        f"Augmentation-II on cover OD {known} adds "
+                        f"context {{{','.join(sorted(extra))}}}")
+                else:
+                    steps.append(f"cover OD {known}")
+                steps.append(f"hence {ocd}")
+                return Derivation(ocd, steps, premises)
+        # Chain
+        derivation = self._explain_via_chain(ocd, closure)
+        if derivation is not None:
+            return derivation
+        return None
+
+    def _explain_via_chain(self, ocd: CanonicalOCD,
+                           closure) -> Optional[Derivation]:
+        in_context = [known for known in self._engine.ocds
+                      if known.context <= closure]
+        neighbours: Dict[str, set] = {}
+        for known in in_context:
+            left, right = sorted(known.pair)
+            neighbours.setdefault(left, set()).add(right)
+            neighbours.setdefault(right, set()).add(left)
+        a, c = ocd.left, ocd.right
+        for b in sorted(neighbours.get(a, set())
+                        & neighbours.get(c, set())):
+            bridge = CanonicalOCD(ocd.context | {b}, a, c)
+            if self._engine.implies_ocd(bridge, use_chain=False):
+                first = CanonicalOCD(ocd.context, a, b)
+                last = CanonicalOCD(ocd.context, b, c)
+                return Derivation(ocd, [
+                    f"link {first} (from the cover)",
+                    f"link {last} (from the cover)",
+                    f"bridge {bridge} (implied)",
+                    f"Chain yields {ocd}",
+                ], [first, last, bridge])
+        return None
+
+
+def explain(od: CanonicalOD,
+            cover: Iterable[CanonicalOD]) -> Optional[Derivation]:
+    """One-shot convenience wrapper around :class:`Explainer`."""
+    return Explainer(cover).explain(od)

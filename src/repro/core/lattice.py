@@ -1,0 +1,66 @@
+"""Level-wise traversal of the set-containment lattice.
+
+Implements Algorithm 2 (``calculateNextLevel``): candidate attribute
+sets of size ``l + 1`` are produced by joining pairs of size-``l`` sets
+that differ in exactly one attribute (the ``singleAttrDiffBlocks``
+subroutine), then filtered by the Apriori condition that *all* their
+size-``l`` subsets survived level ``l``.
+
+This is the structural difference to the ORDER baseline: FASTOD walks
+the ``2^|R|``-node set lattice; ORDER walks a factorial list lattice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.relation.schema import iter_bits
+
+
+def single_attr_diff_blocks(masks: Iterable[int]) -> Dict[int, List[int]]:
+    """Group same-size attribute sets into join blocks.
+
+    Two sets fall in the same block when they share all attributes
+    except their highest one, i.e. they differ in a single attribute
+    and agree on the rest — exactly the paper's "common subset of
+    length ``l - 1``, differ in only one attribute", keyed here by the
+    shared prefix so every join is generated exactly once.
+    """
+    blocks: Dict[int, List[int]] = {}
+    for mask in masks:
+        highest = 1 << (mask.bit_length() - 1)
+        blocks.setdefault(mask ^ highest, []).append(highest)
+    return blocks
+
+
+def next_level_masks(masks: Iterable[int]) -> List[int]:
+    """Algorithm 2: all size ``l+1`` sets whose size-``l`` subsets all
+    appear in ``masks``."""
+    present = set(masks)
+    result: List[int] = []
+    for prefix, highs in single_attr_diff_blocks(present).items():
+        highs.sort()
+        for i in range(len(highs)):
+            for j in range(i + 1, len(highs)):
+                candidate = prefix | highs[i] | highs[j]
+                if _all_subsets_present(candidate, present):
+                    result.append(candidate)
+    result.sort()
+    return result
+
+
+def _all_subsets_present(mask: int, present: set) -> bool:
+    for attribute in iter_bits(mask):
+        if (mask ^ (1 << attribute)) not in present:
+            return False
+    return True
+
+
+def parents_for_partition(mask: int) -> tuple:
+    """Pick the two level ``l-1`` subsets whose partition product yields
+    Π*_X (Section 4.6): drop the lowest attribute for one parent and
+    the second-lowest for the other."""
+    lowest = mask & -mask
+    rest = mask ^ lowest
+    second = rest & -rest
+    return mask ^ lowest, mask ^ second

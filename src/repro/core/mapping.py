@@ -1,0 +1,103 @@
+"""The polynomial mapping of Theorem 5: list ODs -> canonical ODs.
+
+``X ↦ Y`` holds iff
+
+* ``∀j,  X: [] ↦ Y_j``                                    (Theorem 3), and
+* ``∀i,j, {X_1..X_{i-1}, Y_1..Y_{j-1}}: X_i ~ Y_j``        (Theorem 4).
+
+The mapping has size ``|X| * |Y|`` — quadratic, hence "polynomial" in
+the paper's phrasing.  Example 5 of the paper is reproduced verbatim in
+the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+    OrderSpec,
+    as_spec,
+)
+
+
+@dataclass(frozen=True)
+class CanonicalImage:
+    """The set-based image of one list OD under Theorem 5."""
+
+    fds: Tuple[CanonicalFD, ...] = field(default_factory=tuple)
+    ocds: Tuple[CanonicalOCD, ...] = field(default_factory=tuple)
+
+    @property
+    def all_ods(self) -> Tuple:
+        return self.fds + self.ocds
+
+    def __len__(self) -> int:
+        return len(self.fds) + len(self.ocds)
+
+    def __str__(self) -> str:
+        return "; ".join(str(od) for od in self.all_ods)
+
+
+def map_fd_part(lhs: Union[OrderSpec, Sequence[str]],
+                rhs: Union[OrderSpec, Sequence[str]],
+                *, drop_trivial: bool = True) -> List[CanonicalFD]:
+    """Theorem 3: the constancy half — ``X ↦ XY`` iff ``∀j, X: [] ↦ Y_j``."""
+    lhs, rhs = as_spec(lhs), as_spec(rhs)
+    context = lhs.as_set
+    fds = [CanonicalFD(context, attr) for attr in rhs]
+    if drop_trivial:
+        fds = [fd for fd in fds if not fd.is_trivial]
+    return _dedupe(fds)
+
+
+def map_compatibility_part(lhs: Union[OrderSpec, Sequence[str]],
+                           rhs: Union[OrderSpec, Sequence[str]],
+                           *, drop_trivial: bool = True
+                           ) -> List[CanonicalOCD]:
+    """Theorem 4: ``X ~ Y`` iff
+    ``∀i,j, {X_1..X_{i-1}, Y_1..Y_{j-1}}: X_i ~ Y_j``."""
+    lhs, rhs = as_spec(lhs), as_spec(rhs)
+    ocds = []
+    for i, x_attr in enumerate(lhs):
+        for j, y_attr in enumerate(rhs):
+            context = frozenset(lhs.attrs[:i]) | frozenset(rhs.attrs[:j])
+            ocd = CanonicalOCD(context, x_attr, y_attr)
+            if drop_trivial and ocd.is_trivial:
+                continue
+            ocds.append(ocd)
+    return _dedupe(ocds)
+
+
+def map_list_od(od: ListOD, *, drop_trivial: bool = True) -> CanonicalImage:
+    """Theorem 5: the full canonical image of ``X ↦ Y``.
+
+    >>> image = map_list_od(ListOD(["A", "B"], ["C", "D"]))
+    >>> print(image)
+    {A,B}: [] -> C; {A,B}: [] -> D; {}: A ~ C; {A}: B ~ C; {C}: A ~ D; {A,C}: B ~ D
+    """
+    fds = map_fd_part(od.lhs, od.rhs, drop_trivial=drop_trivial)
+    ocds = map_compatibility_part(od.lhs, od.rhs, drop_trivial=drop_trivial)
+    return CanonicalImage(tuple(fds), tuple(ocds))
+
+
+def map_order_compatibility(compat: OrderCompatibility,
+                            *, drop_trivial: bool = True) -> CanonicalImage:
+    """The canonical image of a standalone ``X ~ Y`` statement."""
+    ocds = map_compatibility_part(compat.lhs, compat.rhs,
+                                  drop_trivial=drop_trivial)
+    return CanonicalImage((), tuple(ocds))
+
+
+def _dedupe(items: list) -> list:
+    seen = set()
+    kept = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            kept.append(item)
+    return kept

@@ -1,0 +1,270 @@
+"""Dependency types: order specifications, list ODs, canonical ODs.
+
+Two families of objects mirror the paper's two representations:
+
+* **List-based** (Section 2): an :class:`OrderSpec` is a list of
+  attributes defining a lexicographic order; a :class:`ListOD` is
+  ``X ↦ Y``; an :class:`OrderCompatibility` is ``X ~ Y``.
+* **Set-based canonical** (Section 3, Definition 6): a
+  :class:`CanonicalFD` is ``X: [] ↦ A`` (constancy within every
+  equivalence class of the context ``X``); a :class:`CanonicalOCD` is
+  ``X: A ~ B`` (no swaps within every equivalence class of ``X``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple, Union
+
+from repro.errors import DependencyError
+
+
+def _validate_names(names: Iterable[str], what: str) -> Tuple[str, ...]:
+    names = tuple(names)
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise DependencyError(
+                f"{what} must contain non-empty attribute names, "
+                f"got {name!r}")
+    return names
+
+
+def format_context(context: FrozenSet[str]) -> str:
+    """Render a context set as ``{A,B}`` with sorted attribute names."""
+    return "{" + ",".join(sorted(context)) + "}"
+
+
+class OrderSpec:
+    """A list of attributes defining a lexicographic order (paper: X).
+
+    Duplicates are allowed — the *Normalization* axiom makes them
+    redundant, and :meth:`normalized` removes them.
+
+    >>> str(OrderSpec(["year", "salary"]))
+    '[year,salary]'
+    """
+
+    __slots__ = ("attrs",)
+
+    def __init__(self, attrs: Iterable[str] = ()):
+        self.attrs: Tuple[str, ...] = _validate_names(attrs, "an order spec")
+
+    @property
+    def as_set(self) -> FrozenSet[str]:
+        """The set of attributes mentioned (paper: the cast to sets)."""
+        return frozenset(self.attrs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.attrs
+
+    def concat(self, other: "OrderSpec") -> "OrderSpec":
+        """``XY``, the concatenation of two specs."""
+        return OrderSpec(self.attrs + other.attrs)
+
+    def prefix(self, length: int) -> "OrderSpec":
+        """The first ``length`` attributes."""
+        return OrderSpec(self.attrs[:length])
+
+    def normalized(self) -> "OrderSpec":
+        """Drop attributes that already occurred earlier in the list.
+
+        Sound by the *Normalization* axiom: ``WXYXV ↔ WXYV``.
+        """
+        seen = set()
+        kept = []
+        for name in self.attrs:
+            if name not in seen:
+                seen.add(name)
+                kept.append(name)
+        return OrderSpec(kept)
+
+    def __iter__(self):
+        return iter(self.attrs)
+
+    def __len__(self) -> int:
+        return len(self.attrs)
+
+    def __getitem__(self, index):
+        return self.attrs[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderSpec):
+            return self.attrs == other.attrs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("OrderSpec", self.attrs))
+
+    def __repr__(self) -> str:
+        return f"OrderSpec({list(self.attrs)!r})"
+
+    def __str__(self) -> str:
+        return "[" + ",".join(self.attrs) + "]"
+
+
+def as_spec(spec: Union[OrderSpec, Sequence[str]]) -> OrderSpec:
+    """Coerce a list of names (or an OrderSpec) into an OrderSpec."""
+    if isinstance(spec, OrderSpec):
+        return spec
+    return OrderSpec(spec)
+
+
+class ListOD:
+    """A list-based order dependency ``X ↦ Y`` (Definition 2).
+
+    >>> str(ListOD(["salary"], ["tax", "perc"]))
+    '[salary] -> [tax,perc]'
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Union[OrderSpec, Sequence[str]],
+                 rhs: Union[OrderSpec, Sequence[str]]):
+        self.lhs = as_spec(lhs)
+        self.rhs = as_spec(rhs)
+
+    def reversed(self) -> "ListOD":
+        """``Y ↦ X`` — together with self, order equivalence ``X ↔ Y``."""
+        return ListOD(self.rhs, self.lhs)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ListOD):
+            return self.lhs == other.lhs and self.rhs == other.rhs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("ListOD", self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"ListOD({list(self.lhs.attrs)!r}, {list(self.rhs.attrs)!r})"
+
+    def __str__(self) -> str:
+        return f"{self.lhs} -> {self.rhs}"
+
+
+class OrderCompatibility:
+    """Order compatibility ``X ~ Y``, i.e. ``XY ↔ YX`` (Definition 3)."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Union[OrderSpec, Sequence[str]],
+                 rhs: Union[OrderSpec, Sequence[str]]):
+        self.lhs = as_spec(lhs)
+        self.rhs = as_spec(rhs)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderCompatibility):
+            return self.lhs == other.lhs and self.rhs == other.rhs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("OrderCompatibility", self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return (f"OrderCompatibility({list(self.lhs.attrs)!r}, "
+                f"{list(self.rhs.attrs)!r})")
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ~ {self.rhs}"
+
+
+class CanonicalFD:
+    """Canonical constancy OD ``X: [] ↦ A`` (Definition 6).
+
+    Within every equivalence class of the context ``X``, attribute ``A``
+    is constant.  By Theorem 2 this is exactly the FD ``X → A``.
+    """
+
+    __slots__ = ("context", "attribute")
+
+    def __init__(self, context: Iterable[str], attribute: str):
+        self.context: FrozenSet[str] = frozenset(
+            _validate_names(context, "a context"))
+        (self.attribute,) = _validate_names([attribute], "an attribute")
+
+    @property
+    def is_trivial(self) -> bool:
+        """Trivial by set-based Reflexivity when ``A ∈ X``."""
+        return self.attribute in self.context
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the context is empty: ``{}: [] ↦ A`` says the whole
+        column is a single value."""
+        return not self.context
+
+    def sort_key(self) -> Tuple:
+        return (len(self.context), sorted(self.context), self.attribute)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CanonicalFD):
+            return (self.context == other.context
+                    and self.attribute == other.attribute)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("CanonicalFD", self.context, self.attribute))
+
+    def __repr__(self) -> str:
+        return (f"CanonicalFD({sorted(self.context)!r}, "
+                f"{self.attribute!r})")
+
+    def __str__(self) -> str:
+        return f"{format_context(self.context)}: [] -> {self.attribute}"
+
+
+class CanonicalOCD:
+    """Canonical order compatibility ``X: A ~ B`` (Definition 6).
+
+    Within every equivalence class of the context ``X`` there is no swap
+    between ``A`` and ``B``.  The pair is unordered (Commutativity); it
+    is stored sorted so ``X: A ~ B`` and ``X: B ~ A`` compare equal.
+    """
+
+    __slots__ = ("context", "left", "right")
+
+    def __init__(self, context: Iterable[str], left: str, right: str):
+        self.context: FrozenSet[str] = frozenset(
+            _validate_names(context, "a context"))
+        left, right = _validate_names([left, right], "an attribute pair")
+        if left > right:
+            left, right = right, left
+        self.left = left
+        self.right = right
+
+    @property
+    def pair(self) -> FrozenSet[str]:
+        return frozenset((self.left, self.right))
+
+    @property
+    def is_trivial(self) -> bool:
+        """Trivial by Identity (A = B) or Normalization (A or B in X)."""
+        return (self.left == self.right
+                or self.left in self.context
+                or self.right in self.context)
+
+    def sort_key(self) -> Tuple:
+        return (len(self.context), sorted(self.context),
+                self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CanonicalOCD):
+            return (self.context == other.context
+                    and self.left == other.left
+                    and self.right == other.right)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("CanonicalOCD", self.context, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return (f"CanonicalOCD({sorted(self.context)!r}, "
+                f"{self.left!r}, {self.right!r})")
+
+    def __str__(self) -> str:
+        return (f"{format_context(self.context)}: "
+                f"{self.left} ~ {self.right}")
+
+
+#: Any canonical OD.
+CanonicalOD = Union[CanonicalFD, CanonicalOCD]

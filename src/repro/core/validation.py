@@ -1,0 +1,333 @@
+"""Dependency validation: splits, swaps, and holds-on-instance checks.
+
+Two independent layers:
+
+* **Canonical validators** operate on stripped partitions and rank
+  columns — the machinery FASTOD uses (Section 4.6).  They run in time
+  linear in the rows living inside non-singleton context classes.
+* **List-based validators** implement Definitions 1-3 directly on
+  lexicographic sort keys.  They are slower but follow the definitions
+  so literally that they serve as the oracle for everything else
+  (including for the Theorem 5 mapping itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.mapping import map_list_od
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+    OrderSpec,
+    as_spec,
+)
+from repro.partitions.cache import PartitionCache
+from repro.partitions.partition import StrippedPartition
+from repro.relation.encoding import EncodedRelation
+from repro.relation.table import Relation
+
+
+# ----------------------------------------------------------------------
+# violation witnesses (Definitions 4 and 5)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Split:
+    """A split w.r.t. ``X: [] ↦ A``: two tuples equal on the context but
+    different on ``A`` (Definition 4)."""
+
+    row_s: int
+    row_t: int
+    attribute: str
+
+    def __str__(self) -> str:
+        return (f"split on {self.attribute}: rows "
+                f"{self.row_s} and {self.row_t}")
+
+
+@dataclass(frozen=True)
+class Swap:
+    """A swap w.r.t. ``X: A ~ B``: two tuples equal on the context with
+    ``s ≺_A t`` but ``t ≺_B s`` (Definition 5)."""
+
+    row_s: int
+    row_t: int
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return (f"swap between {self.left} and {self.right}: rows "
+                f"{self.row_s} and {self.row_t}")
+
+
+# ----------------------------------------------------------------------
+# canonical validators (partition-based)
+# ----------------------------------------------------------------------
+def is_constant_in_classes(column: np.ndarray,
+                           context: StrippedPartition) -> bool:
+    """``X: [] ↦ A`` given Π*_X and A's rank column."""
+    for rows in context.classes:
+        values = column[rows]
+        if (values != values[0]).any():
+            return False
+    return True
+
+
+def find_split(column: np.ndarray, context: StrippedPartition,
+               attribute: str) -> Optional[Split]:
+    """Return a witness pair violating ``X: [] ↦ A``, or ``None``."""
+    for rows in context.classes:
+        values = column[rows]
+        first = values[0]
+        different = np.flatnonzero(values != first)
+        if different.size:
+            return Split(int(rows[0]), int(rows[int(different[0])]),
+                         attribute)
+    return None
+
+
+def is_compatible_in_classes(column_a: np.ndarray, column_b: np.ndarray,
+                             context: StrippedPartition) -> bool:
+    """``X: A ~ B`` given Π*_X and the two rank columns.
+
+    Within each class: sort by (A, B); while scanning groups of equal A
+    in ascending order, any B rank below the maximum B seen in *earlier*
+    groups is a swap.
+    """
+    for rows in context.classes:
+        pairs = sorted(zip(column_a[rows].tolist(),
+                           column_b[rows].tolist()))
+        if not _scan_is_swap_free(pairs):
+            return False
+    return True
+
+
+def _scan_is_swap_free(pairs: Sequence[Tuple[int, int]]) -> bool:
+    max_b_before = None        # max B over strictly smaller A groups
+    current_a = None
+    current_max_b = None
+    first = True
+    for value_a, value_b in pairs:
+        if first or value_a != current_a:
+            if current_max_b is not None and (
+                    max_b_before is None or current_max_b > max_b_before):
+                max_b_before = current_max_b
+            current_a = value_a
+            current_max_b = None
+            first = False
+        if max_b_before is not None and value_b < max_b_before:
+            return False
+        if current_max_b is None or value_b > current_max_b:
+            current_max_b = value_b
+    return True
+
+
+def find_swap(column_a: np.ndarray, column_b: np.ndarray,
+              context: StrippedPartition, left: str,
+              right: str) -> Optional[Swap]:
+    """Return a witness pair violating ``X: A ~ B``, or ``None``.
+
+    The witness is oriented so that ``row_s ≺_A row_t`` while
+    ``row_t ≺_B row_s``.
+    """
+    for rows in context.classes:
+        pairs = sorted(
+            zip(column_a[rows].tolist(), column_b[rows].tolist(), rows))
+        max_b_before = None
+        best_row = -1              # a row achieving max_b_before
+        current_a = None
+        current_max_b = None
+        current_row = -1
+        first = True
+        for value_a, value_b, row in pairs:
+            if first or value_a != current_a:
+                if current_max_b is not None and (
+                        max_b_before is None
+                        or current_max_b > max_b_before):
+                    max_b_before = current_max_b
+                    best_row = current_row
+                current_a = value_a
+                current_max_b = None
+                first = False
+            if max_b_before is not None and value_b < max_b_before:
+                return Swap(int(best_row), int(row), left, right)
+            if current_max_b is None or value_b > current_max_b:
+                current_max_b = value_b
+                current_row = row
+    return None
+
+
+class CanonicalValidator:
+    """Validates canonical ODs against one relation instance.
+
+    Builds stripped partitions on demand (memoized).  This is the
+    public "does this canonical OD hold?" entry point; FASTOD inlines
+    equivalent logic with level-wise partition reuse.
+    """
+
+    def __init__(self, relation: Union[Relation, EncodedRelation]):
+        if isinstance(relation, Relation):
+            relation = relation.encode()
+        self._relation = relation
+        self._cache = PartitionCache(relation)
+        self._name_to_index = {
+            name: i for i, name in enumerate(relation.names)}
+
+    @property
+    def relation(self) -> EncodedRelation:
+        return self._relation
+
+    @property
+    def cache(self) -> PartitionCache:
+        return self._cache
+
+    def _index(self, name: str) -> int:
+        try:
+            return self._name_to_index[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown attribute {name!r}; relation has "
+                f"{self._relation.names}") from None
+
+    def _context_partition(self, context) -> StrippedPartition:
+        mask = 0
+        for name in context:
+            mask |= 1 << self._index(name)
+        return self._cache.get(mask)
+
+    def holds(self, od: Union[CanonicalFD, CanonicalOCD]) -> bool:
+        """Validity of one canonical OD on the instance."""
+        if isinstance(od, CanonicalFD):
+            return self.fd_holds(od)
+        return self.ocd_holds(od)
+
+    def fd_holds(self, fd: CanonicalFD) -> bool:
+        if fd.is_trivial:
+            return True
+        column = self._relation.column(self._index(fd.attribute))
+        return is_constant_in_classes(
+            column, self._context_partition(fd.context))
+
+    def ocd_holds(self, ocd: CanonicalOCD) -> bool:
+        if ocd.is_trivial:
+            return True
+        column_a = self._relation.column(self._index(ocd.left))
+        column_b = self._relation.column(self._index(ocd.right))
+        return is_compatible_in_classes(
+            column_a, column_b, self._context_partition(ocd.context))
+
+    def witness(self, od: Union[CanonicalFD, CanonicalOCD]
+                ) -> Optional[Union[Split, Swap]]:
+        """A violating tuple pair, or ``None`` when the OD holds."""
+        if isinstance(od, CanonicalFD):
+            if od.is_trivial:
+                return None
+            column = self._relation.column(self._index(od.attribute))
+            return find_split(column, self._context_partition(od.context),
+                              od.attribute)
+        if od.is_trivial:
+            return None
+        column_a = self._relation.column(self._index(od.left))
+        column_b = self._relation.column(self._index(od.right))
+        return find_swap(column_a, column_b,
+                         self._context_partition(od.context),
+                         od.left, od.right)
+
+
+# ----------------------------------------------------------------------
+# list-based validators (definition-level oracle)
+# ----------------------------------------------------------------------
+def _sort_keys(relation: EncodedRelation,
+               spec: OrderSpec) -> list:
+    indices = [relation.names.index(name) for name in spec]
+    columns = [relation.column(i) for i in indices]
+    return [tuple(int(col[row]) for col in columns)
+            for row in range(relation.n_rows)]
+
+
+def _coerce(relation: Union[Relation, EncodedRelation]) -> EncodedRelation:
+    if isinstance(relation, Relation):
+        return relation.encode()
+    return relation
+
+
+def list_od_holds(relation: Union[Relation, EncodedRelation],
+                  od: ListOD) -> bool:
+    """``r ⊨ X ↦ Y`` straight from Definition 2.
+
+    ``X ↦ Y`` holds iff, grouping tuples by their X-key: every group is
+    constant on the Y-key, and ascending X-keys give non-descending
+    Y-keys.
+    """
+    encoded = _coerce(relation)
+    keys_x = _sort_keys(encoded, od.lhs)
+    keys_y = _sort_keys(encoded, od.rhs)
+    order = sorted(range(encoded.n_rows), key=lambda row: keys_x[row])
+    previous_x = None
+    group_y = None
+    max_y_so_far = None
+    for row in order:
+        key_x, key_y = keys_x[row], keys_y[row]
+        if key_x != previous_x:
+            previous_x = key_x
+            group_y = key_y
+            if max_y_so_far is not None and key_y < max_y_so_far:
+                return False
+        else:
+            if key_y != group_y:
+                return False
+        if max_y_so_far is None or key_y > max_y_so_far:
+            max_y_so_far = key_y
+    return True
+
+
+def order_compatible(relation: Union[Relation, EncodedRelation],
+                     compat: OrderCompatibility) -> bool:
+    """``X ~ Y`` i.e. ``XY ↔ YX`` (Definition 3), checked as the absence
+    of any swap pair (Definition 5)."""
+    encoded = _coerce(relation)
+    keys_x = _sort_keys(encoded, compat.lhs)
+    keys_y = _sort_keys(encoded, compat.rhs)
+    order = sorted(range(encoded.n_rows), key=lambda row: keys_x[row])
+    previous_x = None
+    max_y_before = None        # max Y over strictly smaller X groups
+    current_max_y = None
+    for row in order:
+        key_x, key_y = keys_x[row], keys_y[row]
+        if key_x != previous_x:
+            if current_max_y is not None and (
+                    max_y_before is None or current_max_y > max_y_before):
+                max_y_before = current_max_y
+            previous_x = key_x
+            current_max_y = None
+        if max_y_before is not None and key_y < max_y_before:
+            return False
+        if current_max_y is None or key_y > current_max_y:
+            current_max_y = key_y
+    return True
+
+
+def order_equivalent(relation: Union[Relation, EncodedRelation],
+                     lhs, rhs) -> bool:
+    """``X ↔ Y``: both ODs hold."""
+    lhs, rhs = as_spec(lhs), as_spec(rhs)
+    forward = ListOD(lhs, rhs)
+    return (list_od_holds(relation, forward)
+            and list_od_holds(relation, forward.reversed()))
+
+
+def list_od_holds_via_canonical(relation: Union[Relation, EncodedRelation],
+                                od: ListOD) -> bool:
+    """Validity via Theorem 5: map to canonical form and check each part.
+
+    Must always agree with :func:`list_od_holds`; the property tests
+    enforce exactly that equivalence.
+    """
+    validator = CanonicalValidator(_coerce(relation))
+    image = map_list_od(od)
+    return all(validator.holds(part) for part in image.all_ods)

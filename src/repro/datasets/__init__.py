@@ -1,0 +1,31 @@
+"""Datasets: the paper's running example plus synthetic generators."""
+
+from repro.datasets.employees import EMPLOYEE_COLUMNS, employees
+from repro.datasets.registry import dataset_names, make_dataset
+from repro.datasets.synthetic import (
+    dbtesma_like,
+    dbtesma_planted,
+    flight_like,
+    flight_planted,
+    hepatitis_like,
+    ncvoter_like,
+    ncvoter_planted,
+)
+from repro.datasets.tpcds import date_dim, date_dim_planted, web_sales
+
+__all__ = [
+    "EMPLOYEE_COLUMNS",
+    "dataset_names",
+    "date_dim",
+    "date_dim_planted",
+    "dbtesma_like",
+    "dbtesma_planted",
+    "employees",
+    "flight_like",
+    "flight_planted",
+    "hepatitis_like",
+    "make_dataset",
+    "ncvoter_like",
+    "ncvoter_planted",
+    "web_sales",
+]

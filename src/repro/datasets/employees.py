@@ -1,0 +1,41 @@
+"""Table 1 of the paper: employee salaries and tax information.
+
+The running example.  Known facts used throughout the paper (and in
+our tests):
+
+* ODs that hold: ``[sal] ↦ [tax]``, ``[sal] ↦ [perc]``,
+  ``[sal] ↦ [grp,subg]``, ``[yr,sal] ↦ [yr,bin]`` (Example 1).
+* Canonical ODs that hold: ``{posit}: [] ↦ bin``, ``{yr}: bin ~ sal``
+  (Example 4).
+* Canonical ODs that do not: ``{yr}: bin ~ subg``,
+  ``{posit}: [] ↦ sal`` (Example 4).
+* ``[posit] ↦ [posit,sal]`` has three splits; ``[sal] ~ [subg]`` has a
+  swap over t1/t2 (Example 3).
+* ``Π*_sal = {{t2, t6}}`` (Example 12).
+
+Note on value ordering: ``subg`` uses roman numerals whose *string*
+order ``I < II < III`` is what the paper's examples rely on.
+"""
+
+from __future__ import annotations
+
+from repro.relation.table import Relation
+
+#: Column order follows Table 1.
+EMPLOYEE_COLUMNS = (
+    "ID", "yr", "posit", "bin", "sal", "perc", "tax", "grp", "subg")
+
+_ROWS = [
+    # ID  yr  posit     bin  sal    perc  tax   grp  subg
+    (10, 16, "secr",    1,   5000,  20,   1000, "A", "III"),   # t1
+    (11, 16, "mngr",    2,   8000,  25,   2000, "C", "II"),    # t2
+    (12, 16, "direct",  3,  10000,  30,   3000, "D", "I"),     # t3
+    (10, 15, "secr",    1,   4500,  20,    900, "A", "III"),   # t4
+    (11, 15, "mngr",    2,   6000,  25,   1500, "C", "I"),     # t5
+    (12, 15, "direct",  3,   8000,  25,   2000, "C", "II"),    # t6
+]
+
+
+def employees() -> Relation:
+    """The exact six-tuple relation of Table 1."""
+    return Relation.from_rows(EMPLOYEE_COLUMNS, _ROWS)

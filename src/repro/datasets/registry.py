@@ -1,0 +1,46 @@
+"""A named registry of dataset generators for the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.employees import employees
+from repro.datasets.synthetic import (
+    dbtesma_like,
+    flight_like,
+    hepatitis_like,
+    ncvoter_like,
+)
+from repro.datasets.tpcds import date_dim
+from repro.errors import ReproError
+from repro.relation.table import Relation
+
+_FAMILIES: Dict[str, Callable[..., Relation]] = {
+    "employees": lambda n_rows=6, n_attrs=9, seed=0: employees(),
+    "flight": flight_like,
+    "ncvoter": ncvoter_like,
+    "hepatitis": hepatitis_like,
+    "dbtesma": dbtesma_like,
+    "date_dim": lambda n_rows=730, n_attrs=8, seed=0: date_dim(n_rows),
+}
+
+
+def dataset_names() -> List[str]:
+    """All registered generator names."""
+    return sorted(_FAMILIES)
+
+
+def make_dataset(name: str, n_rows: int = 1000, n_attrs: int = 10,
+                 seed: int = 42) -> Relation:
+    """Instantiate a registered dataset family.
+
+    Row/attribute counts are best-effort: fixed-shape families
+    (``employees``, ``date_dim``) ignore what does not apply.
+    """
+    try:
+        factory = _FAMILIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        ) from None
+    return factory(n_rows=n_rows, n_attrs=n_attrs, seed=seed)

@@ -1,0 +1,77 @@
+"""TPC-DS-shaped dimension and fact tables for the motivating examples.
+
+Query 1 of the paper joins ``web_sales`` with ``date_dim`` and
+benefits from the ODs ``d_date_sk ↦ d_date``, ``d_date_sk ↦ d_year``
+and ``d_month ↦ d_quarter``.  These generators produce miniature
+versions of both tables with exactly those semantics: the surrogate key
+is assigned in increasing date order, as in a real warehouse load.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional
+
+import numpy as np
+
+from repro.relation.table import Relation
+
+_FIRST_DAY = datetime.date(2010, 1, 1)
+
+
+def date_dim(n_days: int = 730, first_sk: int = 2_450_000) -> Relation:
+    """A ``date_dim`` slice: one row per day, surrogate keys ascending
+    with the calendar."""
+    rows = []
+    for offset in range(n_days):
+        day = _FIRST_DAY + datetime.timedelta(days=offset)
+        month_of_year = day.month
+        rows.append((
+            first_sk + offset,                    # d_date_sk
+            int(day.strftime("%Y%m%d")),          # d_date (sortable int)
+            day.year,                             # d_year
+            (month_of_year - 1) // 3 + 1,         # d_quarter (of year)
+            month_of_year,                        # d_month (of year)
+            day.isocalendar()[1],                 # d_week (of year)
+            day.isoweekday(),                     # d_dow
+            day.day,                              # d_dom
+        ))
+    return Relation.from_rows(
+        ["d_date_sk", "d_date", "d_year", "d_quarter", "d_month",
+         "d_week", "d_dow", "d_dom"],
+        rows)
+
+
+def web_sales(n_rows: int = 2000, n_days: int = 730,
+              first_sk: int = 2_450_000,
+              seed: Optional[int] = 5) -> Relation:
+    """A ``web_sales`` fact slice referencing :func:`date_dim` keys."""
+    rng = np.random.default_rng(seed)
+    sold_sk = first_sk + rng.integers(0, n_days, n_rows)
+    rows = [
+        (int(order), int(sk), int(item), float(price) * int(qty), int(qty))
+        for order, sk, item, price, qty in zip(
+            np.arange(n_rows),
+            sold_sk,
+            rng.integers(0, 500, n_rows),
+            rng.integers(5, 200, n_rows),
+            rng.integers(1, 10, n_rows))
+    ]
+    return Relation.from_rows(
+        ["ws_order_number", "ws_sold_date_sk", "ws_item_sk",
+         "ws_sales_price", "ws_quantity"],
+        rows)
+
+
+def date_dim_planted() -> list:
+    """Dependencies guaranteed on :func:`date_dim` (validated in tests;
+    these are the exact ODs Section 4.1 lists for TPC-DS)."""
+    return [
+        "{d_date_sk}: [] -> d_date",
+        "{}: d_date ~ d_date_sk",
+        "{d_date_sk}: [] -> d_year",
+        "{}: d_date_sk ~ d_year",
+        "{d_month}: [] -> d_quarter",
+        "{}: d_month ~ d_quarter",
+        "{d_date}: [] -> d_date_sk",
+    ]

@@ -1,0 +1,50 @@
+"""Extensions beyond the paper's core (its Section 7 future work):
+bidirectional ODs and conditional ODs."""
+
+from repro.extensions.bidirectional import (
+    BidirectionalDiscoveryResult,
+    BidirectionalOCD,
+    BidirectionalOD,
+    DirectedAttr,
+    Direction,
+    bidirectional_ocd_holds,
+    bidirectional_od_holds,
+    directed,
+    discover_bidirectional_ocds,
+)
+from repro.extensions.pointwise import (
+    PointwiseDiscoveryResult,
+    PointwiseOD,
+    discover_pointwise_ods,
+    find_dominance_violation,
+    pointwise_od_holds,
+)
+from repro.extensions.conditional import (
+    ConditionalDiscoveryResult,
+    ConditionalOD,
+    condition_text,
+    discover_conditional_ods,
+    verify_conditional,
+)
+
+__all__ = [
+    "BidirectionalDiscoveryResult",
+    "BidirectionalOCD",
+    "BidirectionalOD",
+    "ConditionalDiscoveryResult",
+    "ConditionalOD",
+    "DirectedAttr",
+    "PointwiseDiscoveryResult",
+    "PointwiseOD",
+    "Direction",
+    "bidirectional_ocd_holds",
+    "bidirectional_od_holds",
+    "condition_text",
+    "directed",
+    "discover_bidirectional_ocds",
+    "discover_conditional_ods",
+    "discover_pointwise_ods",
+    "find_dominance_violation",
+    "pointwise_od_holds",
+    "verify_conditional",
+]

@@ -1,0 +1,45 @@
+"""Query-optimization applications of discovered ODs."""
+
+from repro.optimizer.odindex import ODIndex
+from repro.optimizer.orders import (
+    SimplifiedGroupBy,
+    SimplifiedOrder,
+    interesting_orders,
+    simplify_group_by,
+    simplify_order_by,
+    sort_is_redundant,
+)
+from repro.optimizer.query import (
+    PlanMetrics,
+    RangePredicate,
+    StarQuery,
+    dimension_key_bounds,
+    execute_with_join,
+    execute_with_key_range,
+)
+from repro.optimizer.rewrite import (
+    JoinElimination,
+    PlanComparison,
+    compare_plans,
+    eliminate_join,
+)
+
+__all__ = [
+    "JoinElimination",
+    "ODIndex",
+    "PlanComparison",
+    "PlanMetrics",
+    "RangePredicate",
+    "SimplifiedGroupBy",
+    "SimplifiedOrder",
+    "StarQuery",
+    "compare_plans",
+    "dimension_key_bounds",
+    "eliminate_join",
+    "execute_with_join",
+    "execute_with_key_range",
+    "interesting_orders",
+    "simplify_group_by",
+    "simplify_order_by",
+    "sort_is_redundant",
+]

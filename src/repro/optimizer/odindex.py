@@ -1,0 +1,121 @@
+"""An OD index: discovered dependencies packaged for an optimizer.
+
+Query optimizers consume dependencies through a handful of questions —
+"is this attribute constant given these?", "does this index order
+satisfy that ORDER BY?".  :class:`ODIndex` answers them on top of the
+:class:`~repro.core.axioms_set.InferenceEngine`, using Theorem 5 to
+bridge from SQL-flavoured list specifications down to the canonical
+cover that FASTOD produced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Union
+
+from repro.core.axioms_set import InferenceEngine
+from repro.core.fastod import discover_ods
+from repro.core.mapping import map_list_od
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+    OrderSpec,
+    as_spec,
+)
+from repro.core.results import DiscoveryResult
+from repro.relation.table import Relation
+
+
+class ODIndex:
+    """Dependency knowledge base with optimizer-facing queries.
+
+    Completeness note: inference is complete when the cover is a
+    discovery result for the instance being optimized (every valid OD
+    then has a minimal generator in the cover); for hand-assembled
+    covers it is sound but may miss consequences of the Chain axiom —
+    general OD implication is co-NP-complete.
+    """
+
+    def __init__(self, fds: Iterable[CanonicalFD] = (),
+                 ocds: Iterable[CanonicalOCD] = ()):
+        self._fds: List[CanonicalFD] = list(fds)
+        self._ocds: List[CanonicalOCD] = list(ocds)
+        self._engine = InferenceEngine([*self._fds, *self._ocds])
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result: DiscoveryResult) -> "ODIndex":
+        return cls(result.fds, result.ocds)
+
+    @classmethod
+    def discover(cls, relation: Relation, **kwargs) -> "ODIndex":
+        """Run FASTOD on the relation and index the result."""
+        return cls.from_result(discover_ods(relation, **kwargs))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def fds(self) -> List[CanonicalFD]:
+        return list(self._fds)
+
+    @property
+    def ocds(self) -> List[CanonicalOCD]:
+        return list(self._ocds)
+
+    @property
+    def engine(self) -> InferenceEngine:
+        return self._engine
+
+    def __len__(self) -> int:
+        return len(self._fds) + len(self._ocds)
+
+    # ------------------------------------------------------------------
+    # optimizer-facing questions
+    # ------------------------------------------------------------------
+    def attribute_closure(self, attributes: Iterable[str]) -> Set[str]:
+        """FD closure of an attribute set under the indexed cover."""
+        return self._engine.attribute_closure(attributes)
+
+    def is_constant(self, context: Iterable[str], attribute: str) -> bool:
+        """Does ``{context}: [] ↦ attribute`` follow from the cover?"""
+        return self._engine.implies_fd(
+            CanonicalFD(frozenset(context), attribute))
+
+    def is_order_compatible(self, context: Iterable[str], left: str,
+                            right: str) -> bool:
+        """Does ``{context}: left ~ right`` follow from the cover?"""
+        return self._engine.implies_ocd(
+            CanonicalOCD(frozenset(context), left, right))
+
+    def implies(self, od: Union[CanonicalFD, CanonicalOCD]) -> bool:
+        return self._engine.implies(od)
+
+    def implies_list_od(self,
+                        od: Union[ListOD, Sequence[str]],
+                        rhs: Union[OrderSpec, Sequence[str], None] = None
+                        ) -> bool:
+        """Does ``X ↦ Y`` follow from the cover?
+
+        Accepts either a :class:`ListOD` or two specs.  Decomposed via
+        Theorem 5: all mapped canonical ODs must be implied.
+        """
+        if rhs is not None:
+            od = ListOD(as_spec(od), as_spec(rhs))
+        image = map_list_od(od)
+        return all(self._engine.implies(part) for part in image.all_ods)
+
+    def implies_order_compatibility(self, compat: OrderCompatibility
+                                    ) -> bool:
+        """Does ``X ~ Y`` follow from the cover (Theorem 4)?"""
+        image = map_list_od(ListOD(compat.lhs, compat.rhs))
+        return all(self._engine.implies(part) for part in image.ocds)
+
+    def implies_order_equivalence(self, lhs, rhs) -> bool:
+        """Does ``X ↔ Y`` follow from the cover?"""
+        forward = ListOD(as_spec(lhs), as_spec(rhs))
+        return (self.implies_list_od(forward)
+                and self.implies_list_od(forward.reversed()))

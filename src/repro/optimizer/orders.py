@@ -1,0 +1,127 @@
+"""Order-by / group-by simplification and sort elimination.
+
+The paper's Section 1.1 optimizations: ODs let an optimizer
+
+* drop attributes from ORDER BY lists (``d_quarter`` is redundant after
+  ``d_month`` because ``{d_month}: [] ↦ d_quarter``),
+* shrink GROUP BY lists via FDs, and
+* skip a sort entirely when an available index order already implies
+  the requested order (``X_index ↦ X_query``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+from repro.core.od import ListOD, OrderSpec, as_spec
+from repro.optimizer.odindex import ODIndex
+
+
+@dataclass
+class SimplifiedOrder:
+    """Outcome of an ORDER BY simplification with an audit trail."""
+
+    original: OrderSpec
+    simplified: OrderSpec
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.original.attrs != self.simplified.attrs
+
+    def __str__(self) -> str:
+        arrow = f"{self.original} => {self.simplified}"
+        if not self.steps:
+            return arrow
+        return arrow + "\n  " + "\n  ".join(self.steps)
+
+
+def simplify_order_by(index: ODIndex,
+                      spec: Union[OrderSpec, Sequence[str]]
+                      ) -> SimplifiedOrder:
+    """Remove attributes that cannot influence the lexicographic order.
+
+    Scanning left to right with the kept prefix as context: attribute
+    ``A`` is dropped when it repeats an earlier attribute
+    (Normalization) or when ``{prefix}: [] ↦ A`` follows from the
+    index — within every tie of the prefix, ``A`` is constant, so
+    sorting by it is a no-op.
+    """
+    spec = as_spec(spec)
+    kept: List[str] = []
+    steps: List[str] = []
+    for attribute in spec:
+        if attribute in kept:
+            steps.append(f"dropped {attribute}: repeated (Normalization)")
+            continue
+        if index.is_constant(kept, attribute):
+            context = "{" + ",".join(kept) + "}"
+            steps.append(
+                f"dropped {attribute}: constant in context {context}")
+            continue
+        kept.append(attribute)
+    return SimplifiedOrder(spec, OrderSpec(kept), steps)
+
+
+@dataclass
+class SimplifiedGroupBy:
+    """Outcome of a GROUP BY simplification."""
+
+    original: tuple
+    simplified: tuple
+    steps: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.original != self.simplified
+
+
+def simplify_group_by(index: ODIndex,
+                      attributes: Sequence[str]) -> SimplifiedGroupBy:
+    """Drop attributes functionally determined by the remaining ones.
+
+    Grouping keys form a set, so any ``A`` with
+    ``A ∈ closure(rest)`` partitions nothing further.  Attributes are
+    examined right-to-left so the leading (usually most selective)
+    keys survive ties.
+    """
+    original = tuple(dict.fromkeys(attributes))  # dedupe, keep order
+    kept = list(original)
+    steps: List[str] = []
+    for attribute in reversed(original):
+        others = [a for a in kept if a != attribute]
+        if attribute in index.attribute_closure(others):
+            kept = others
+            steps.append(
+                f"dropped {attribute}: determined by {{{','.join(others)}}}")
+    return SimplifiedGroupBy(original, tuple(kept), steps)
+
+
+def sort_is_redundant(index: ODIndex,
+                      available_order: Union[OrderSpec, Sequence[str]],
+                      requested_order: Union[OrderSpec, Sequence[str]]
+                      ) -> bool:
+    """True when a stream already sorted by ``available_order`` needs
+    no extra sort to satisfy ``requested_order`` — i.e. the OD
+    ``available ↦ requested`` follows from the index."""
+    return index.implies_list_od(
+        ListOD(as_spec(available_order), as_spec(requested_order)))
+
+
+def interesting_orders(index: ODIndex,
+                       specs: Sequence[Sequence[str]]
+                       ) -> List[tuple]:
+    """Group the given order specifications into equivalence classes
+    (System R style "interesting orders"): two specs land together when
+    the index proves ``X ↔ Y``."""
+    classes: List[List[OrderSpec]] = []
+    for raw in specs:
+        spec = as_spec(raw)
+        for bucket in classes:
+            if index.implies_order_equivalence(bucket[0], spec):
+                bucket.append(spec)
+                break
+        else:
+            classes.append([spec])
+    return [tuple(bucket) for bucket in classes]

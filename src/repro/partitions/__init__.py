@@ -1,0 +1,19 @@
+"""Partition machinery: stripped partitions, products, sorted partitions."""
+
+from repro.partitions.cache import PartitionCache
+from repro.partitions.partition import (
+    StrippedPartition,
+    partition_from_columns,
+)
+from repro.partitions.sorted_partition import (
+    SortedPartition,
+    swap_free_buckets,
+)
+
+__all__ = [
+    "PartitionCache",
+    "SortedPartition",
+    "StrippedPartition",
+    "partition_from_columns",
+    "swap_free_buckets",
+]

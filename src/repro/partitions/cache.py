@@ -1,0 +1,63 @@
+"""A memoizing partition store keyed by attribute-set bitmask.
+
+FASTOD manages partitions level-by-level itself; this cache serves the
+other consumers — validators, the brute-force oracle, the optimizer and
+the violation detector — that need Π*_X for ad-hoc attribute sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.partitions.partition import StrippedPartition
+from repro.relation.encoding import EncodedRelation
+from repro.relation.schema import mask_of_indices
+
+
+class PartitionCache:
+    """Lazily computes and memoizes stripped partitions per bitmask.
+
+    Partitions for composite sets are derived by refining the partition
+    of the set minus its lowest attribute with that attribute's
+    single-column partition, so each mask costs one linear product.
+    """
+
+    def __init__(self, relation: EncodedRelation):
+        self._relation = relation
+        self._store: Dict[int, StrippedPartition] = {
+            0: StrippedPartition.single_class(relation.n_rows)
+        }
+
+    @property
+    def relation(self) -> EncodedRelation:
+        return self._relation
+
+    @property
+    def n_rows(self) -> int:
+        return self._relation.n_rows
+
+    def get(self, mask: int) -> StrippedPartition:
+        """Return Π*_X for the attribute-set bitmask ``mask``."""
+        found = self._store.get(mask)
+        if found is not None:
+            return found
+        low = mask & -mask
+        if mask == low:
+            partition = StrippedPartition.for_attribute(
+                self._relation, low.bit_length() - 1)
+        else:
+            partition = self.get(mask ^ low).product(self.get(low))
+        self._store[mask] = partition
+        return partition
+
+    def get_attrs(self, attributes: Iterable[int]) -> StrippedPartition:
+        """Convenience overload taking attribute indices."""
+        return self.get(mask_of_indices(attributes))
+
+    def preload_singletons(self) -> None:
+        """Eagerly compute all single-attribute partitions."""
+        for attribute in range(self._relation.arity):
+            self.get(1 << attribute)
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,175 @@
+"""Stripped partitions (Π*) over attribute sets.
+
+A partition Π_X groups tuples into equivalence classes by their values
+on the attribute set X.  A *stripped* partition (paper Section 4.6,
+Example 12) drops singleton classes — they can never falsify a
+canonical OD (Lemma 14) — which keeps both memory and validation time
+proportional to the number of "interesting" tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.relation.encoding import EncodedRelation
+
+
+class StrippedPartition:
+    """Equivalence classes of size >= 2 over some attribute set.
+
+    ``classes`` is a list of row-index lists.  ``n_rows`` is the size of
+    the underlying relation (needed because stripped classes alone do
+    not reveal it).
+    """
+
+    __slots__ = ("classes", "n_rows", "_row_to_class")
+
+    def __init__(self, classes: Sequence[Sequence[int]], n_rows: int):
+        self.classes: List[List[int]] = [list(c) for c in classes]
+        self.n_rows = n_rows
+        self._row_to_class: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ranks(cls, ranks: np.ndarray) -> "StrippedPartition":
+        """Partition by a single rank-encoded column in O(n log n)."""
+        n = len(ranks)
+        order = np.argsort(ranks, kind="stable")
+        sorted_ranks = ranks[order]
+        classes: List[List[int]] = []
+        start = 0
+        for stop in range(1, n + 1):
+            if stop == n or sorted_ranks[stop] != sorted_ranks[start]:
+                if stop - start >= 2:
+                    classes.append([int(r) for r in order[start:stop]])
+                start = stop
+        return cls(classes, n)
+
+    @classmethod
+    def single_class(cls, n_rows: int) -> "StrippedPartition":
+        """Π over the empty attribute set: every tuple is equivalent."""
+        if n_rows < 2:
+            return cls([], n_rows)
+        return cls([list(range(n_rows))], n_rows)
+
+    @classmethod
+    def for_attribute(cls, relation: EncodedRelation,
+                      attribute: int) -> "StrippedPartition":
+        """Partition of a relation by one attribute index."""
+        return cls.from_ranks(relation.column(attribute))
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        """Number of non-singleton classes, ``|Π*_X|``."""
+        return len(self.classes)
+
+    @property
+    def n_grouped_rows(self) -> int:
+        """``||Π*_X||`` — total rows living in non-singleton classes."""
+        return sum(len(c) for c in self.classes)
+
+    @property
+    def error(self) -> int:
+        """TANE's e(X) numerator: rows that would have to be removed so
+        that X becomes a superkey (``||Π*|| - |Π*||``)."""
+        return self.n_grouped_rows - self.n_classes
+
+    def is_superkey(self) -> bool:
+        """True when no two tuples agree on the attribute set (Π* empty).
+
+        Triggers the key-pruning optimizations of Lemmas 12-13.
+        """
+        return not self.classes
+
+    # ------------------------------------------------------------------
+    # refinement
+    # ------------------------------------------------------------------
+    def row_to_class(self) -> np.ndarray:
+        """Map row -> class id (or -1 for rows in singleton classes).
+
+        Cached; used as the probe side of :meth:`product`.
+        """
+        if self._row_to_class is None:
+            table = np.full(self.n_rows, -1, dtype=np.int64)
+            for class_id, rows in enumerate(self.classes):
+                table[rows] = class_id
+            self._row_to_class = table
+        return self._row_to_class
+
+    def product(self, other: "StrippedPartition") -> "StrippedPartition":
+        """Π_X · Π_Y = Π_{X∪Y}, in time linear in ``||Π*_Y||``.
+
+        This is the TANE-style refinement the paper relies on to compute
+        level ``l`` partitions from two level ``l-1`` parents
+        (Section 4.6).
+        """
+        if self.n_rows != other.n_rows:
+            raise ValueError("partitions cover different relations")
+        probe = self.row_to_class()
+        classes: List[List[int]] = []
+        for rows in other.classes:
+            groups: dict = {}
+            for row in rows:
+                left_class = probe[row]
+                if left_class >= 0:
+                    groups.setdefault(int(left_class), []).append(row)
+            for grouped in groups.values():
+                if len(grouped) >= 2:
+                    classes.append(grouped)
+        return StrippedPartition(classes, self.n_rows)
+
+    # ------------------------------------------------------------------
+    # expansion / comparison helpers (mostly for tests and display)
+    # ------------------------------------------------------------------
+    def with_singletons(self) -> List[List[int]]:
+        """The full (non-stripped) partition, singletons included,
+        ordered with stripped classes first then singleton rows."""
+        seen = np.zeros(self.n_rows, dtype=bool)
+        full = [list(c) for c in self.classes]
+        for rows in self.classes:
+            seen[rows] = True
+        full.extend([int(i)] for i in np.flatnonzero(~seen))
+        return full
+
+    def canonical_form(self) -> frozenset:
+        """A hashable, order-insensitive rendering for equality tests."""
+        return frozenset(frozenset(c) for c in self.classes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, StrippedPartition):
+            return (self.n_rows == other.n_rows
+                    and self.canonical_form() == other.canonical_form())
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely hashed
+        return hash((self.n_rows, self.canonical_form()))
+
+    def __repr__(self) -> str:
+        return (f"StrippedPartition(classes={self.classes!r}, "
+                f"n_rows={self.n_rows})")
+
+
+def partition_from_columns(relation: EncodedRelation,
+                           attributes: Iterable[int]) -> StrippedPartition:
+    """Compute Π*_X from scratch by hashing whole projections.
+
+    Used as the slow-but-obviously-correct reference implementation in
+    property tests against :meth:`StrippedPartition.product`.
+    """
+    attributes = list(attributes)
+    if not attributes:
+        return StrippedPartition.single_class(relation.n_rows)
+    groups: dict = {}
+    columns = [relation.column(a) for a in attributes]
+    for row in range(relation.n_rows):
+        key = tuple(int(col[row]) for col in columns)
+        groups.setdefault(key, []).append(row)
+    classes = [rows for rows in groups.values() if len(rows) >= 2]
+    return StrippedPartition(classes, relation.n_rows)

@@ -1,0 +1,15 @@
+"""Profiling layer: keys, ranking, and the one-call profiler."""
+
+from repro.profile.keys import KeyDiscoveryResult, discover_keys
+from repro.profile.profiler import DataProfile, profile_relation
+from repro.profile.ranking import RankedOD, rank_ods, top_ods
+
+__all__ = [
+    "DataProfile",
+    "KeyDiscoveryResult",
+    "RankedOD",
+    "discover_keys",
+    "profile_relation",
+    "rank_ods",
+    "top_ods",
+]

@@ -1,0 +1,89 @@
+"""Minimal unique column combination (key) discovery.
+
+Keys drive FASTOD's key-pruning rules (Lemmas 12-13): a superkey
+context validates every constancy OD for free and renders contextual
+OCDs non-minimal.  This module surfaces the same machinery as a
+first-class profiling result: the minimal sets ``X`` with no two tuples
+agreeing on ``X`` (``Π*_X`` empty).
+
+Level-wise Apriori search over the same set-containment lattice and
+partition products as FASTOD.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.lattice import next_level_masks, parents_for_partition
+from repro.partitions.partition import StrippedPartition
+from repro.relation.schema import iter_bits
+from repro.relation.table import Relation
+
+
+@dataclass
+class KeyDiscoveryResult:
+    """Minimal keys of one relation instance."""
+
+    attribute_names: tuple
+    n_rows: int
+    keys: List[FrozenSet[str]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.keys)
+
+    def rendered(self) -> List[str]:
+        return ["(" + ",".join(sorted(key)) + ")" for key in sorted(
+            self.keys, key=lambda k: (len(k), sorted(k)))]
+
+    def is_superkey(self, attributes) -> bool:
+        """Does the attribute set contain some discovered key?"""
+        probe = frozenset(attributes)
+        return any(key <= probe for key in self.keys)
+
+
+def discover_keys(relation: Relation,
+                  max_size: Optional[int] = None) -> KeyDiscoveryResult:
+    """All minimal keys with at most ``max_size`` attributes.
+
+    A set is expanded only while it is not yet a key (supersets of keys
+    are never minimal), which is exactly TANE-style key pruning in
+    isolation.
+
+    An empty or single-tuple relation makes the empty set the (only)
+    key; it is reported as an empty frozenset.
+    """
+    started = time.perf_counter()
+    encoded = relation.encode()
+    names = encoded.names
+    result = KeyDiscoveryResult(names, encoded.n_rows)
+    if StrippedPartition.single_class(encoded.n_rows).is_superkey():
+        result.keys.append(frozenset())
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+    limit = encoded.arity if max_size is None else min(
+        max_size, encoded.arity)
+    current: Dict[int, StrippedPartition] = {
+        1 << a: StrippedPartition.for_attribute(encoded, a)
+        for a in range(encoded.arity)
+    }
+    level = 1
+    while current and level <= limit:
+        survivors: Dict[int, StrippedPartition] = {}
+        for mask, partition in current.items():
+            if partition.is_superkey():
+                result.keys.append(frozenset(
+                    names[i] for i in iter_bits(mask)))
+            else:
+                survivors[mask] = partition
+        next_nodes: Dict[int, StrippedPartition] = {}
+        for mask in next_level_masks(survivors.keys()):
+            left, right = parents_for_partition(mask)
+            next_nodes[mask] = survivors[left].product(survivors[right])
+        current = next_nodes
+        level += 1
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,133 @@
+"""A one-call data profiler combining the library's analyses.
+
+``profile_relation(rel)`` runs key discovery, FASTOD, optional
+approximate discovery, and ranking, and renders a human-readable
+report — the "hand the analyst a summary" entry point that downstream
+users of a dependency profiler actually want.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.fastod import FastOD, FastODConfig
+from repro.core.results import DiscoveryResult
+from repro.profile.keys import KeyDiscoveryResult, discover_keys
+from repro.profile.ranking import RankedOD, rank_ods
+from repro.relation.table import Relation
+from repro.violations.approximate import (
+    ApproximateDiscoveryResult,
+    approximate_discovery,
+)
+
+
+@dataclass
+class DataProfile:
+    """Everything the profiler learned about one relation."""
+
+    relation_names: tuple
+    n_rows: int
+    keys: KeyDiscoveryResult
+    ods: DiscoveryResult
+    ranked: List[RankedOD] = field(default_factory=list)
+    approximate: Optional[ApproximateDiscoveryResult] = None
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # convenience views
+    # ------------------------------------------------------------------
+    @property
+    def constants(self) -> List[str]:
+        return [fd.attribute for fd in self.ods.constants]
+
+    @property
+    def n_dependencies(self) -> int:
+        return self.ods.n_ods
+
+    def render_text(self, top: int = 10) -> str:
+        """A compact plain-text report."""
+        lines = [
+            f"Profile of {len(self.relation_names)} attributes x "
+            f"{self.n_rows} rows "
+            f"({self.elapsed_seconds * 1000:.0f} ms total)",
+            "",
+            f"Keys ({self.keys.n_keys}):",
+        ]
+        lines.extend(f"  {key}" for key in self.keys.rendered()[:top])
+        lines.append("")
+        lines.append(f"Constant attributes: "
+                     f"{', '.join(self.constants) or '(none)'}")
+        lines.append("")
+        lines.append(
+            f"Order dependencies: {self.ods.paper_counts()} minimal "
+            f"(FDs + order compatibilities); top by coverage:")
+        lines.extend(f"  {ranked}" for ranked in self.ranked[:top])
+        if self.approximate is not None:
+            lines.append("")
+            lines.append(
+                f"Approximate ODs (g3 <= {self.approximate.max_error}): "
+                f"{len(self.approximate.ods)}")
+            exact = {str(od) for od in self.ods.all_ods}
+            nearly = [a for a in self.approximate.ods
+                      if str(a.od) not in exact]
+            lines.extend(f"  {a}" for a in nearly[:top])
+        return "\n".join(lines)
+
+    def render_markdown(self, top: int = 10) -> str:
+        """The same report with markdown headers and tables."""
+        lines = [
+            f"# Data profile ({len(self.relation_names)} attributes, "
+            f"{self.n_rows} rows)",
+            "",
+            "## Keys",
+            "",
+        ]
+        lines.extend(f"- `{key}`" for key in self.keys.rendered()[:top])
+        lines += ["", "## Constants", ""]
+        lines.extend(f"- `{name}`" for name in self.constants)
+        lines += [
+            "",
+            f"## Order dependencies — {self.ods.paper_counts()} minimal",
+            "",
+            "| dependency | coverage | context |",
+            "|---|---|---|",
+        ]
+        lines.extend(
+            f"| `{r.od}` | {r.coverage:.2f} | {r.context_size} |"
+            for r in self.ranked[:top])
+        return "\n".join(lines)
+
+
+def profile_relation(relation: Relation, *,
+                     max_level: Optional[int] = None,
+                     approximate_error: Optional[float] = None,
+                     approximate_max_context: int = 1,
+                     timeout_seconds: Optional[float] = None
+                     ) -> DataProfile:
+    """Run the full profiling pipeline on one relation.
+
+    ``approximate_error`` enables the (more expensive) approximate
+    sweep; leave ``None`` to skip it.
+    """
+    started = time.perf_counter()
+    keys = discover_keys(relation)
+    ods = FastOD(relation, FastODConfig(
+        max_level=max_level, timeout_seconds=timeout_seconds)).run()
+    ranked = rank_ods(ods, relation)
+    approximate = None
+    if approximate_error is not None:
+        approximate = approximate_discovery(
+            relation, max_error=approximate_error,
+            max_context=approximate_max_context)
+    profile = DataProfile(
+        relation_names=relation.names,
+        n_rows=relation.n_rows,
+        keys=keys,
+        ods=ods,
+        ranked=ranked,
+        approximate=approximate,
+    )
+    profile.elapsed_seconds = time.perf_counter() - started
+    return profile

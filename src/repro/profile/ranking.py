@@ -1,0 +1,76 @@
+"""Ranking discovered ODs by how much of the data they constrain.
+
+A complete minimal set can still hold hundreds of dependencies; humans
+validating them (the workflow the paper's introduction argues for) want
+the load-bearing ones first.  Two principled signals:
+
+* **context size** — small contexts are more general (an empty-context
+  OD constrains every tuple pair) and, per the paper's Exp-7
+  discussion, more useful for query optimization;
+* **coverage** — the fraction of tuples that live in non-singleton
+  context classes, i.e. the tuples about which the OD says anything at
+  all.  An OD whose context is nearly a key is vacuously minimal but
+  constrains almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.results import DiscoveryResult
+from repro.partitions.cache import PartitionCache
+from repro.relation.table import Relation
+
+CanonicalOD = Union[CanonicalFD, CanonicalOCD]
+
+
+@dataclass(frozen=True)
+class RankedOD:
+    """One OD with its ranking signals."""
+
+    od: CanonicalOD
+    coverage: float       # fraction of tuples the context groups
+    context_size: int
+
+    @property
+    def score(self) -> float:
+        """Higher is better: coverage discounted by context size."""
+        return self.coverage / (1 + self.context_size)
+
+    def __str__(self) -> str:
+        return (f"{self.od}  [coverage={self.coverage:.2f}, "
+                f"|context|={self.context_size}]")
+
+
+def rank_ods(result: DiscoveryResult,
+             relation: Relation) -> List[RankedOD]:
+    """Rank a discovery result's ODs, best first.
+
+    Ties break deterministically on the canonical sort key so output
+    is stable across runs.
+    """
+    encoded = relation.encode()
+    cache = PartitionCache(encoded)
+    index = {name: i for i, name in enumerate(encoded.names)}
+    n_rows = max(encoded.n_rows, 1)
+
+    def coverage(od: CanonicalOD) -> float:
+        mask = 0
+        for name in od.context:
+            mask |= 1 << index[name]
+        return cache.get(mask).n_grouped_rows / n_rows
+
+    ranked = [
+        RankedOD(od, coverage(od), len(od.context))
+        for od in result.all_ods
+    ]
+    ranked.sort(key=lambda r: (-r.score, r.od.sort_key()))
+    return ranked
+
+
+def top_ods(result: DiscoveryResult, relation: Relation,
+            limit: int = 10) -> List[RankedOD]:
+    """The ``limit`` highest-ranked ODs."""
+    return rank_ods(result, relation)[:limit]

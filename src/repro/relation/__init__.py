@@ -1,0 +1,24 @@
+"""Relational substrate: schemas, tables, CSV I/O, rank encoding."""
+
+from repro.relation.csvio import read_csv, read_csv_text, write_csv
+from repro.relation.encoding import EncodedRelation, rank_encode_column
+from repro.relation.schema import (
+    Schema,
+    bit_count,
+    iter_bits,
+    mask_of_indices,
+)
+from repro.relation.table import Relation
+
+__all__ = [
+    "EncodedRelation",
+    "Relation",
+    "Schema",
+    "bit_count",
+    "iter_bits",
+    "mask_of_indices",
+    "rank_encode_column",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+]

@@ -1,0 +1,106 @@
+"""CSV input/output for relations, with light type inference.
+
+The paper's datasets are CSV files from the UCI/HPI repositories; this
+module is the loading path a downstream user would take for their own
+data.  Values are inferred as ``int``, ``float``, or ``str``; empty
+cells become ``None`` (missing).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Union
+
+from repro.errors import DataError
+from repro.relation.table import Relation
+
+PathLike = Union[str, Path]
+
+
+def infer_value(text: str) -> Any:
+    """Parse one CSV cell: '' -> None, else int, else float, else str."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def read_csv(path: PathLike, *, has_header: bool = True,
+             delimiter: str = ",", limit: Optional[int] = None,
+             infer_types: bool = True) -> Relation:
+    """Load a CSV file into a :class:`Relation`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    has_header:
+        When false, attributes are named ``col0, col1, ...``.
+    limit:
+        Optional cap on the number of data rows read.
+    infer_types:
+        When false, all cells stay strings ('' still becomes ``None``).
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        return _read(handle, has_header=has_header, delimiter=delimiter,
+                     limit=limit, infer_types=infer_types, origin=str(path))
+
+
+def read_csv_text(text: str, *, has_header: bool = True,
+                  delimiter: str = ",", limit: Optional[int] = None,
+                  infer_types: bool = True) -> Relation:
+    """Like :func:`read_csv` but parses an in-memory string."""
+    return _read(io.StringIO(text), has_header=has_header,
+                 delimiter=delimiter, limit=limit, infer_types=infer_types,
+                 origin="<string>")
+
+
+def _read(handle, *, has_header: bool, delimiter: str,
+          limit: Optional[int], infer_types: bool, origin: str) -> Relation:
+    reader = csv.reader(handle, delimiter=delimiter)
+    rows: List[Sequence[str]] = []
+    header: Optional[List[str]] = None
+    for record in reader:
+        if not record:
+            continue
+        if has_header and header is None:
+            header = [name.strip() for name in record]
+            continue
+        rows.append(record)
+        if limit is not None and len(rows) >= limit:
+            break
+    if header is None:
+        if not rows:
+            raise DataError(f"{origin}: empty CSV")
+        header = [f"col{i}" for i in range(len(rows[0]))]
+    width = len(header)
+    parsed_rows: List[List[Any]] = []
+    for row_number, record in enumerate(rows):
+        if len(record) != width:
+            raise DataError(
+                f"{origin}: row {row_number} has {len(record)} cells, "
+                f"expected {width}")
+        if infer_types:
+            parsed_rows.append([infer_value(cell.strip()) for cell in record])
+        else:
+            parsed_rows.append(
+                [None if cell == "" else cell for cell in record])
+    return Relation.from_rows(header, parsed_rows)
+
+
+def write_csv(relation: Relation, path: PathLike, *,
+              delimiter: str = ",") -> None:
+    """Write a relation to CSV; ``None`` becomes an empty cell."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.names)
+        for row in relation.rows():
+            writer.writerow(["" if v is None else v for v in row])

@@ -1,0 +1,106 @@
+"""Rank encoding of relation columns into dense integers.
+
+Section 4.6 of the paper: *"The values of the columns are replaced with
+integers: 1, 2, ..., n, in a way that the equivalence classes do not
+change and the ordering is preserved."*  After encoding, equality and
+order comparisons over attribute values become cheap integer
+comparisons, and the rank of a tuple's value doubles as the identifier
+of its equivalence class in the single-attribute partition.
+
+Missing values (``None``) sort before everything else (SQL ``NULLS
+FIRST`` under ascending order).  Columns may mix types; a deterministic
+total order is imposed by grouping values by *kind* (missing, boolean,
+number, string, other) and ordering within each kind.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+#: Kind tags used to build a total order across mixed-type columns.
+_KIND_MISSING = 0
+_KIND_BOOL = 1
+_KIND_NUMBER = 2
+_KIND_STRING = 3
+_KIND_OTHER = 4
+
+
+def sort_key(value: Any) -> Tuple[int, Any]:
+    """A total-order sort key for arbitrary cell values.
+
+    ``None`` first, then booleans, then numbers (including numpy
+    scalars — ``numbers.Number`` covers them), then strings, then other
+    comparable values grouped by type, with ``repr`` as the last
+    resort.  Within numbers, ints and floats compare numerically (so
+    ``1 == 1.0`` share a rank).
+    """
+    if value is None:
+        return (_KIND_MISSING, 0)
+    if isinstance(value, (bool, np.bool_)):
+        return (_KIND_BOOL, bool(value))
+    if isinstance(value, numbers.Number):
+        # Normalise numpy scalars so 1, np.int64(1) and 1.0 share a key.
+        as_float = float(value)
+        as_int = int(as_float)
+        return (_KIND_NUMBER, as_int if as_int == as_float else as_float)
+    if isinstance(value, str):
+        return (_KIND_STRING, value)
+    # Same-type values (dates, tuples, ...) compare among themselves;
+    # the type name separates incompatible groups deterministically.
+    return (_KIND_OTHER, type(value).__name__, value)
+
+
+def rank_encode_column(values: Sequence[Any]) -> np.ndarray:
+    """Dense-rank a column: equal values share a rank, order preserved.
+
+    Returns an ``int64`` array of ranks in ``[0, #distinct)``.
+
+    >>> list(rank_encode_column([30, 10, 10, 20]))
+    [2, 0, 0, 1]
+    """
+    keyed = [sort_key(v) for v in values]
+    try:
+        order = sorted(set(keyed))
+    except TypeError:
+        # Values of some exotic type that is not self-comparable:
+        # fall back to a deterministic repr ordering for that group.
+        order = sorted(set(keyed), key=repr)
+    rank_of = {key: rank for rank, key in enumerate(order)}
+    return np.fromiter(
+        (rank_of[key] for key in keyed), dtype=np.int64, count=len(keyed))
+
+
+class EncodedRelation:
+    """A relation instance reduced to dense integer rank columns.
+
+    This is the representation all discovery algorithms consume: a list
+    of numpy ``int64`` arrays, one per attribute, where ``ranks[a][t]``
+    is the dense rank of tuple ``t``'s value on attribute ``a``.
+    """
+
+    __slots__ = ("names", "ranks", "n_rows")
+
+    def __init__(self, names: Sequence[str], ranks: List[np.ndarray]):
+        if len(names) != len(ranks):
+            raise ValueError("one rank column required per attribute")
+        self.names: Tuple[str, ...] = tuple(names)
+        self.ranks: List[np.ndarray] = ranks
+        self.n_rows: int = int(len(ranks[0])) if ranks else 0
+        for column in ranks:
+            if len(column) != self.n_rows:
+                raise ValueError("rank columns have inconsistent lengths")
+
+    @property
+    def arity(self) -> int:
+        return len(self.names)
+
+    def column(self, index: int) -> np.ndarray:
+        """The rank column of the attribute at ``index``."""
+        return self.ranks[index]
+
+    def tuple_ranks(self, row: int, indices: Sequence[int]) -> Tuple[int, ...]:
+        """Project one tuple onto ``indices``, returning its ranks."""
+        return tuple(int(self.ranks[i][row]) for i in indices)

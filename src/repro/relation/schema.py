@@ -1,0 +1,142 @@
+"""Relation schemas: ordered, uniquely named attributes.
+
+A :class:`Schema` is the static description of a relation ``R`` from the
+paper: an ordered sequence of attribute names.  Order matters only for
+presentation and for stable attribute indexing; the discovery algorithms
+work over *sets* (bitmasks) of the indices defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+class Schema:
+    """An immutable, ordered collection of attribute names.
+
+    >>> s = Schema(["year", "salary", "bin"])
+    >>> s.index("salary")
+    1
+    >>> s.names
+    ('year', 'salary', 'bin')
+    """
+
+    __slots__ = ("_names", "_index")
+
+    def __init__(self, names: Iterable[str]):
+        names = tuple(names)
+        if not names:
+            raise SchemaError("a schema needs at least one attribute")
+        seen = {}
+        for position, name in enumerate(names):
+            if not isinstance(name, str) or not name:
+                raise SchemaError(
+                    f"attribute names must be non-empty strings, got {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate attribute name {name!r}")
+            seen[name] = position
+        self._names: Tuple[str, ...] = names
+        self._index = seen
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The attribute names, in schema order."""
+        return self._names
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes, ``|R|`` in the paper."""
+        return len(self._names)
+
+    def index(self, name: str) -> int:
+        """Return the 0-based index of ``name``.
+
+        Raises :class:`SchemaError` for unknown attributes.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self._names}"
+            ) from None
+
+    def indices(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Map several attribute names to their indices, preserving order."""
+        return tuple(self.index(name) for name in names)
+
+    def name_of(self, index: int) -> str:
+        """Return the attribute name at ``index``."""
+        if not 0 <= index < len(self._names):
+            raise SchemaError(
+                f"attribute index {index} out of range for arity {self.arity}")
+        return self._names[index]
+
+    def names_of(self, indices: Iterable[int]) -> Tuple[str, ...]:
+        """Map several indices to their attribute names, preserving order."""
+        return tuple(self.name_of(i) for i in indices)
+
+    def mask_of(self, names: Iterable[str]) -> int:
+        """Return a bitmask with one bit set per named attribute."""
+        mask = 0
+        for name in names:
+            mask |= 1 << self.index(name)
+        return mask
+
+    def names_of_mask(self, mask: int) -> Tuple[str, ...]:
+        """Decode a bitmask into attribute names, in schema order."""
+        return tuple(self._names[i] for i in iter_bits(mask))
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema restricted to ``names`` (in the given order)."""
+        for name in names:
+            self.index(name)  # validate
+        return Schema(names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._names == other._names
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._names)!r})"
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order.
+
+    This is the canonical way the library walks attribute sets.
+
+    >>> list(iter_bits(0b1011))
+    [0, 1, 3]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bit_count(mask: int) -> int:
+    """Number of attributes in the bitmask (popcount)."""
+    return bin(mask).count("1")
+
+
+def mask_of_indices(indices: Iterable[int]) -> int:
+    """Build a bitmask from attribute indices."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask

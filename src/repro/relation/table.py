@@ -1,0 +1,227 @@
+"""In-memory relation instances (tables).
+
+A :class:`Relation` is a small, immutable columnar table: the ``r`` of
+the paper.  It is deliberately simple — the heavy lifting happens on the
+rank-encoded form (:class:`repro.relation.encoding.EncodedRelation`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import DataError, SchemaError
+from repro.relation.encoding import EncodedRelation, rank_encode_column
+from repro.relation.schema import Schema
+
+
+class Relation:
+    """A named, typed, in-memory table.
+
+    Construct via :meth:`from_rows`, :meth:`from_columns`, or
+    :func:`repro.relation.csvio.read_csv`.
+
+    >>> r = Relation.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+    >>> r.n_rows, r.arity
+    (2, 2)
+    >>> r.column("b")
+    ['x', 'y']
+    """
+
+    __slots__ = ("_schema", "_columns", "_n_rows", "_encoded")
+
+    def __init__(self, schema: Schema, columns: Sequence[Sequence[Any]]):
+        if len(columns) != schema.arity:
+            raise DataError(
+                f"schema has {schema.arity} attributes but "
+                f"{len(columns)} columns were given")
+        columns = [list(col) for col in columns]
+        n_rows = len(columns[0]) if columns else 0
+        for name, col in zip(schema.names, columns):
+            if len(col) != n_rows:
+                raise DataError(
+                    f"column {name!r} has {len(col)} values, expected {n_rows}")
+        self._schema = schema
+        self._columns: List[List[Any]] = columns
+        self._n_rows = n_rows
+        self._encoded: Optional[EncodedRelation] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, names: Iterable[str],
+                  rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Build a relation from an iterable of equally sized rows."""
+        schema = Schema(names)
+        columns: List[List[Any]] = [[] for _ in range(schema.arity)]
+        for row_number, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != schema.arity:
+                raise DataError(
+                    f"row {row_number} has {len(row)} values, "
+                    f"expected {schema.arity}")
+            for column, value in zip(columns, row):
+                column.append(value)
+        return cls(schema, columns)
+
+    @classmethod
+    def from_columns(cls, columns: Dict[str, Sequence[Any]]) -> "Relation":
+        """Build a relation from a mapping of name -> column values."""
+        schema = Schema(columns.keys())
+        return cls(schema, [columns[name] for name in schema.names])
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._schema.names
+
+    @property
+    def arity(self) -> int:
+        return self._schema.arity
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> List[Any]:
+        """A copy-free view (the internal list) of one column's values."""
+        return self._columns[self._schema.index(name)]
+
+    def column_at(self, index: int) -> List[Any]:
+        """The column at a schema index."""
+        if not 0 <= index < self.arity:
+            raise SchemaError(f"column index {index} out of range")
+        return self._columns[index]
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """One tuple of the relation, in schema attribute order."""
+        if not 0 <= index < self._n_rows:
+            raise DataError(f"row index {index} out of range")
+        return tuple(col[index] for col in self._columns)
+
+    def rows(self) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over all tuples."""
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Relation":
+        """A new relation containing only ``names`` (in the given order)."""
+        schema = self._schema.project(names)
+        columns = [self._columns[self._schema.index(n)] for n in names]
+        return Relation(schema, [list(c) for c in columns])
+
+    def take(self, n: int) -> "Relation":
+        """The first ``n`` rows (a prefix sample, like the paper's
+        tuple-count scaling experiments)."""
+        n = max(0, min(n, self._n_rows))
+        return Relation(self._schema, [col[:n] for col in self._columns])
+
+    def sample(self, n: int, seed: int = 0) -> "Relation":
+        """A uniform random sample of ``n`` rows without replacement."""
+        if n >= self._n_rows:
+            return self
+        rng = random.Random(seed)
+        picked = sorted(rng.sample(range(self._n_rows), n))
+        return self.select_rows(picked)
+
+    def select_rows(self, indices: Sequence[int]) -> "Relation":
+        """A new relation keeping only the given row indices, in order."""
+        columns = [[col[i] for i in indices] for col in self._columns]
+        return Relation(self._schema, columns)
+
+    def drop_rows(self, indices: Iterable[int]) -> "Relation":
+        """A new relation with the given row indices removed."""
+        banned = set(indices)
+        keep = [i for i in range(self._n_rows) if i not in banned]
+        return self.select_rows(keep)
+
+    def rename(self, mapping: Dict[str, str]) -> "Relation":
+        """A new relation with attributes renamed via ``mapping``."""
+        names = [mapping.get(n, n) for n in self._schema.names]
+        return Relation(Schema(names), [list(c) for c in self._columns])
+
+    def sort_by(self, names: Sequence[str]) -> "Relation":
+        """Rows reordered lexicographically by the given attributes —
+        the semantics of SQL ``ORDER BY`` / the paper's order
+        specifications.  Stable, so prior order breaks remaining ties.
+        Missing values sort first, mixed types per
+        :func:`repro.relation.encoding.sort_key`."""
+        from repro.relation.encoding import sort_key
+
+        columns = [self.column(name) for name in names]
+        order = sorted(
+            range(self._n_rows),
+            key=lambda row: tuple(sort_key(col[row]) for col in columns))
+        return self.select_rows(order)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Rows of ``self`` followed by rows of ``other`` (schemas must
+        match exactly)."""
+        if self._schema != other._schema:
+            raise SchemaError(
+                f"cannot concat: schemas differ "
+                f"({self.names} vs {other.names})")
+        columns = [
+            list(mine) + list(theirs)
+            for mine, theirs in zip(self._columns, other._columns)
+        ]
+        return Relation(self._schema, columns)
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self) -> EncodedRelation:
+        """Rank-encode all columns (cached; see paper Section 4.6)."""
+        if self._encoded is None:
+            ranks = [rank_encode_column(col) for col in self._columns]
+            self._encoded = EncodedRelation(self._schema.names, ranks)
+        return self._encoded
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return (self._schema == other._schema
+                    and self._columns == other._columns)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"Relation({list(self.names)!r}, "
+                f"n_rows={self._n_rows})")
+
+    def pretty(self, limit: int = 10) -> str:
+        """A small fixed-width rendering for logs and examples."""
+        header = list(self.names)
+        shown = [
+            [str(v) for v in self.row(i)]
+            for i in range(min(limit, self._n_rows))
+        ]
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in shown)) if shown
+            else len(header[c])
+            for c in range(self.arity)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines.extend(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in shown)
+        if self._n_rows > limit:
+            lines.append(f"... ({self._n_rows - limit} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Data-cleaning applications: violations, repairs, approximate ODs."""
+
+from repro.violations.approximate import (
+    ApproximateDiscoveryResult,
+    ApproximateOD,
+    approximate_discovery,
+    error_rate,
+    fd_removal_count,
+    max_compatible_subset,
+    ocd_removal_count,
+)
+from repro.violations.detect import (
+    ViolationDetector,
+    ViolationReport,
+    check_dependency,
+    count_split_pairs,
+    count_swap_pairs,
+)
+from repro.violations.fenwick import FenwickMax, FenwickSum
+from repro.violations.monitor import ODMonitor, RejectedInsert
+from repro.violations.summary import (
+    RuleVerdict,
+    ViolationSummary,
+    summarize_violations,
+)
+from repro.violations.repair import (
+    RepairResult,
+    exact_fd_repair,
+    greedy_repair,
+    verify_repair,
+)
+
+__all__ = [
+    "ApproximateDiscoveryResult",
+    "ApproximateOD",
+    "FenwickMax",
+    "FenwickSum",
+    "ODMonitor",
+    "RejectedInsert",
+    "RepairResult",
+    "RuleVerdict",
+    "ViolationDetector",
+    "ViolationReport",
+    "ViolationSummary",
+    "approximate_discovery",
+    "check_dependency",
+    "count_split_pairs",
+    "count_swap_pairs",
+    "error_rate",
+    "exact_fd_repair",
+    "fd_removal_count",
+    "greedy_repair",
+    "max_compatible_subset",
+    "ocd_removal_count",
+    "summarize_violations",
+    "verify_repair",
+]

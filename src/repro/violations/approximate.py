@@ -1,0 +1,271 @@
+"""Approximate ODs — dependencies that *almost* hold.
+
+The paper's Section 7 names approximate ODs as future work; this module
+implements them with the standard ``g3`` error measure: the minimum
+fraction of tuples whose removal makes the dependency hold.
+
+* For ``X: [] ↦ A``: within each context class keep the most frequent
+  A value; everything else must go.
+* For ``X: A ~ B``: within each context class keep a maximum swap-free
+  subset — a maximum set of (A, B) points with no strictly discordant
+  pair, computed by a longest-compatible-subsequence DP over A-groups
+  with a Fenwick max-tree over B ranks.
+
+``approximate_discovery`` runs a level-wise sweep emitting minimal
+approximate ODs under a threshold; errors are monotone non-increasing
+in the context, so subset-pruning is sound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.mapping import map_compatibility_part, map_list_od
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+)
+from repro.partitions.cache import PartitionCache
+from repro.partitions.partition import StrippedPartition
+from repro.relation.schema import bit_count, iter_bits
+from repro.relation.table import Relation
+from repro.violations.fenwick import FenwickMax
+
+
+# ----------------------------------------------------------------------
+# removal counts (the g3 numerator)
+# ----------------------------------------------------------------------
+def fd_removal_count(column: np.ndarray,
+                     context: StrippedPartition) -> int:
+    """Minimum removals making ``X: [] ↦ A`` hold."""
+    removals = 0
+    for rows in context.classes:
+        _, counts = np.unique(column[rows], return_counts=True)
+        removals += len(rows) - int(counts.max())
+    return removals
+
+
+def max_compatible_subset(pairs: Sequence[Tuple[int, int]]) -> int:
+    """Size of a maximum swap-free subset of (A, B) points.
+
+    Points with equal A never conflict; across strictly increasing A,
+    every kept B must not decrease — so a kept selection is, per
+    A-group, a window of B values, with the previous groups' maximum
+    kept B at most the next group's minimum.
+
+    DP over groups in ascending A order with a Fenwick max-tree ``G``
+    indexed by B rank: ``G(v)`` is the best selection size among
+    processed groups whose maximum kept B is at most ``v``.  Within a
+    group with sorted distinct B values ``v_1 < ... < v_k`` (counts
+    ``c_i``), taking the window ``v_i..v_j`` keeps ``c_i + .. + c_j``
+    points on top of ``G(v_i)``; a single prefix scan finds the best
+    window ending at each ``v_j``.
+    """
+    if not pairs:
+        return 0
+    ordered = sorted(pairs)
+    b_values = sorted({b for _, b in ordered})
+    b_rank = {value: i for i, value in enumerate(b_values)}
+    tree = FenwickMax(len(b_values))
+    best_overall = 0
+    current_a = None
+    group: dict = {}  # b_rank -> count within the current A group
+
+    def flush(group_counts: dict) -> int:
+        best_here = 0
+        prefix = 0
+        best_window_start = None
+        updates = []
+        for rank in sorted(group_counts):
+            reachable = tree.prefix_max(rank)   # selections with max B <= v
+            candidate = reachable - prefix
+            if best_window_start is None or candidate > best_window_start:
+                best_window_start = candidate
+            prefix += group_counts[rank]
+            updates.append((rank, best_window_start + prefix))
+        for rank, score in updates:
+            tree.update(rank, score)
+            if score > best_here:
+                best_here = score
+        return best_here
+
+    for value_a, value_b in ordered:
+        if value_a != current_a:
+            if group:
+                best_overall = max(best_overall, flush(group))
+            group = {}
+            current_a = value_a
+        rank = b_rank[value_b]
+        group[rank] = group.get(rank, 0) + 1
+    if group:
+        best_overall = max(best_overall, flush(group))
+    return best_overall
+
+
+def ocd_removal_count(column_a: np.ndarray, column_b: np.ndarray,
+                      context: StrippedPartition) -> int:
+    """Minimum removals making ``X: A ~ B`` hold."""
+    removals = 0
+    for rows in context.classes:
+        pairs = list(zip(column_a[rows].tolist(), column_b[rows].tolist()))
+        removals += len(rows) - max_compatible_subset(pairs)
+    return removals
+
+
+# ----------------------------------------------------------------------
+# error rates
+# ----------------------------------------------------------------------
+def error_rate(relation: Relation,
+               dependency: Union[CanonicalFD, CanonicalOCD, ListOD,
+                                 "OrderCompatibility", str]
+               ) -> float:
+    """The g3 error of a dependency in ``[0, 1]``; 0 iff it holds.
+
+    Strings are parsed first.  For a list OD or order compatibility the
+    returned value is the *maximum* over its canonical image — a lower
+    bound on the true joint-removal error (satisfying all parts at once
+    can cost more than the worst part).
+    """
+    if isinstance(dependency, str):
+        from repro.core.parser import parse
+
+        dependency = parse(dependency)
+    if isinstance(dependency, OrderCompatibility):
+        dependency = ListOD(dependency.lhs, dependency.rhs)
+        image = map_compatibility_part(dependency.lhs, dependency.rhs)
+        return max(
+            (error_rate(relation, part) for part in image), default=0.0)
+    encoded = relation.encode()
+    if encoded.n_rows == 0:
+        return 0.0
+    cache = PartitionCache(encoded)
+    index = {name: i for i, name in enumerate(encoded.names)}
+
+    def context_partition(context) -> StrippedPartition:
+        mask = 0
+        for name in context:
+            mask |= 1 << index[name]
+        return cache.get(mask)
+
+    def one(dep) -> float:
+        if isinstance(dep, CanonicalFD):
+            if dep.is_trivial:
+                return 0.0
+            return fd_removal_count(
+                encoded.column(index[dep.attribute]),
+                context_partition(dep.context)) / encoded.n_rows
+        if dep.is_trivial:
+            return 0.0
+        return ocd_removal_count(
+            encoded.column(index[dep.left]),
+            encoded.column(index[dep.right]),
+            context_partition(dep.context)) / encoded.n_rows
+
+    if isinstance(dependency, ListOD):
+        image = map_list_od(dependency)
+        return max((one(part) for part in image.all_ods), default=0.0)
+    return one(dependency)
+
+
+# ----------------------------------------------------------------------
+# approximate discovery
+# ----------------------------------------------------------------------
+@dataclass
+class ApproximateOD:
+    """A canonical OD together with its measured g3 error."""
+
+    od: Union[CanonicalFD, CanonicalOCD]
+    error: float
+
+    def __str__(self) -> str:
+        return f"{self.od}  [g3={self.error:.4f}]"
+
+
+@dataclass
+class ApproximateDiscoveryResult:
+    """Output of :func:`approximate_discovery`."""
+
+    max_error: float
+    ods: List[ApproximateOD] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def fds(self) -> List[ApproximateOD]:
+        return [a for a in self.ods if isinstance(a.od, CanonicalFD)]
+
+    @property
+    def ocds(self) -> List[ApproximateOD]:
+        return [a for a in self.ods if isinstance(a.od, CanonicalOCD)]
+
+
+def approximate_discovery(relation: Relation, max_error: float = 0.05,
+                          max_context: Optional[int] = None
+                          ) -> ApproximateDiscoveryResult:
+    """Minimal approximate canonical ODs with g3 error <= ``max_error``.
+
+    Level-wise over context size.  Because errors only shrink as the
+    context grows, an OD emitted for context ``Y`` prunes every
+    superset context for the same attribute (or pair) — the emitted set
+    is minimal in the same sense as exact discovery.
+
+    Exponential in attributes like all lattice sweeps; intended for
+    modest schema widths (the same regime FASTOD itself targets).
+    """
+    started = time.perf_counter()
+    encoded = relation.encode()
+    n_rows = max(encoded.n_rows, 1)
+    cache = PartitionCache(encoded)
+    arity = encoded.arity
+    names = encoded.names
+    limit = arity if max_context is None else min(max_context, arity)
+    result = ApproximateDiscoveryResult(max_error=max_error)
+    done_fd = {}   # attribute -> list of context masks already emitted
+    done_ocd = {}  # (a, b) -> list of context masks already emitted
+
+    def already_covered(done_masks, context_mask) -> bool:
+        return any(prior & context_mask == prior
+                   for prior in done_masks)
+
+    context_masks = sorted(range(1 << arity), key=bit_count)
+    for context_mask in context_masks:
+        size = bit_count(context_mask)
+        if size > limit:
+            break
+        partition = cache.get(context_mask)
+        context = frozenset(names[i] for i in iter_bits(context_mask))
+        outside = [a for a in range(arity)
+                   if not context_mask & (1 << a)]
+        for attribute in outside:
+            masks = done_fd.setdefault(attribute, [])
+            if already_covered(masks, context_mask):
+                continue
+            error = fd_removal_count(
+                encoded.column(attribute), partition) / n_rows
+            if error <= max_error:
+                result.ods.append(ApproximateOD(
+                    CanonicalFD(context, names[attribute]), error))
+                masks.append(context_mask)
+        for a, b in combinations(outside, 2):
+            masks = done_ocd.setdefault((a, b), [])
+            if already_covered(masks, context_mask):
+                continue
+            if already_covered(done_fd.get(a, []), context_mask) \
+                    or already_covered(done_fd.get(b, []), context_mask):
+                # Propagate: a near-constant side makes the OCD
+                # redundant at the same threshold.
+                continue
+            error = ocd_removal_count(
+                encoded.column(a), encoded.column(b), partition) / n_rows
+            if error <= max_error:
+                result.ods.append(ApproximateOD(
+                    CanonicalOCD(context, names[a], names[b]), error))
+                masks.append(context_mask)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

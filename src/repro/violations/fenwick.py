@@ -1,0 +1,62 @@
+"""Fenwick (binary indexed) trees used by violation counting and
+approximate-OD machinery.
+
+``FenwickSum`` supports prefix sums (pair counting); ``FenwickMax``
+supports prefix maxima (longest compatible subsequence DP).  Both are
+1-indexed internally and sized for dense ranks in ``[0, size)``.
+"""
+
+from __future__ import annotations
+
+
+class FenwickSum:
+    """Point update / prefix-sum query in O(log n)."""
+
+    def __init__(self, size: int):
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, amount: int = 1) -> None:
+        """Add ``amount`` at position ``index`` (0-based)."""
+        index += 1
+        while index <= self._size:
+            self._tree[index] += amount
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of positions ``0..index`` inclusive (0-based); -1 -> 0."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def total(self) -> int:
+        return self.prefix_sum(self._size - 1)
+
+
+class FenwickMax:
+    """Point update / prefix-max query in O(log n); empty prefix is 0."""
+
+    def __init__(self, size: int):
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    def update(self, index: int, value: int) -> None:
+        """Raise position ``index`` (0-based) to at least ``value``."""
+        index += 1
+        while index <= self._size:
+            if self._tree[index] < value:
+                self._tree[index] = value
+            index += index & (-index)
+
+    def prefix_max(self, index: int) -> int:
+        """Max over positions ``0..index`` inclusive (0-based); -1 -> 0."""
+        index += 1
+        best = 0
+        while index > 0:
+            if self._tree[index] > best:
+                best = self._tree[index]
+            index -= index & (-index)
+        return best

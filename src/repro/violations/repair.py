@@ -1,0 +1,123 @@
+"""Tuple-removal repairs for violated ODs (data cleaning).
+
+Two strategies:
+
+* :func:`exact_fd_repair` — for a single constancy OD, the optimal
+  repair is closed-form: keep the most frequent consequent value per
+  context class.
+* :func:`greedy_repair` — for arbitrary dependency sets, repeatedly
+  remove the tuple participating in the most violation witnesses.
+  Terminates (each round removes a tuple) and, since every reported
+  witness is a genuinely violating pair, the result always satisfies
+  all dependencies when it returns ``clean=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Union
+
+import numpy as np
+
+from repro.core.od import CanonicalFD, CanonicalOCD, ListOD
+from repro.relation.table import Relation
+from repro.violations.detect import Dependency, ViolationDetector
+
+
+@dataclass
+class RepairResult:
+    """A cleaned relation plus provenance of what was removed."""
+
+    relation: Relation
+    removed_rows: List[int] = field(default_factory=list)
+    rounds: int = 0
+    clean: bool = True
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed_rows)
+
+
+def exact_fd_repair(relation: Relation, fd: CanonicalFD) -> RepairResult:
+    """Minimum-removal repair of one constancy OD ``X: [] ↦ A``.
+
+    Keeps, per context class, the rows carrying the majority A value;
+    this is optimal because classes are independent and within a class
+    exactly one value can survive.
+    """
+    encoded = relation.encode()
+    index = {name: i for i, name in enumerate(encoded.names)}
+    mask = 0
+    for name in fd.context:
+        mask |= 1 << index[name]
+    from repro.partitions.cache import PartitionCache
+
+    partition = PartitionCache(encoded).get(mask)
+    column = encoded.column(index[fd.attribute])
+    removals: List[int] = []
+    for rows in partition.classes:
+        values = column[rows]
+        kept_value = _majority(values)
+        removals.extend(int(row) for row, value in zip(rows, values)
+                        if value != kept_value)
+    removals.sort()
+    return RepairResult(relation.drop_rows(removals), removals, rounds=1)
+
+
+def _majority(values: np.ndarray) -> int:
+    distinct, counts = np.unique(values, return_counts=True)
+    return int(distinct[int(np.argmax(counts))])
+
+
+def greedy_repair(relation: Relation,
+                  dependencies: Sequence[Dependency],
+                  *, max_rounds: int = 10_000,
+                  witnesses_per_dependency: int = 20) -> RepairResult:
+    """Iteratively remove the most-offending tuple until all
+    dependencies hold (or the round budget runs out).
+
+    Row indices in ``removed_rows`` refer to the *original* relation.
+    """
+    current = relation
+    # original row id of each current row
+    origin = list(range(relation.n_rows))
+    removed: List[int] = []
+    for round_number in range(1, max_rounds + 1):
+        detector = ViolationDetector(current)
+        participation: Dict[int, int] = {}
+        any_violation = False
+        for dependency in dependencies:
+            report = detector.check(
+                dependency, max_witnesses=witnesses_per_dependency,
+                count_pairs=False)
+            if report.holds:
+                continue
+            any_violation = True
+            for witness in _iter_witnesses(report):
+                participation[witness.row_s] = \
+                    participation.get(witness.row_s, 0) + 1
+                participation[witness.row_t] = \
+                    participation.get(witness.row_t, 0) + 1
+        if not any_violation:
+            return RepairResult(current, removed, rounds=round_number - 1)
+        victim = max(sorted(participation), key=participation.get)
+        removed.append(origin[victim])
+        origin.pop(victim)
+        current = current.drop_rows([victim])
+    return RepairResult(current, removed, rounds=max_rounds, clean=False)
+
+
+def _iter_witnesses(report) -> List:
+    found = list(report.witnesses)
+    for part in report.parts:
+        found.extend(_iter_witnesses(part))
+    return found
+
+
+def verify_repair(result: RepairResult,
+                  dependencies: Sequence[Dependency]) -> bool:
+    """Re-check that every dependency holds on the repaired relation."""
+    detector = ViolationDetector(result.relation)
+    return all(
+        detector.check(dep, max_witnesses=1, count_pairs=False).holds
+        for dep in dependencies)

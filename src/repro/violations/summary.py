@@ -1,0 +1,107 @@
+"""Dataset-level violation summaries across a rule set.
+
+One report for "how dirty is this table against these constraints":
+per-dependency verdicts and violating-pair counts, the tuples that
+participate in the most violations (repair candidates), and a rendered
+table for logs or tickets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.relation.table import Relation
+from repro.violations.detect import (
+    Dependency,
+    ViolationDetector,
+    ViolationReport,
+)
+
+
+@dataclass
+class RuleVerdict:
+    """One dependency's outcome in the summary."""
+
+    dependency: str
+    holds: bool
+    n_violating_pairs: int
+
+    def __str__(self) -> str:
+        state = ("holds" if self.holds
+                 else f"{self.n_violating_pairs} violating pair(s)")
+        return f"{self.dependency}: {state}"
+
+
+@dataclass
+class ViolationSummary:
+    """Aggregate cleanliness report for one relation and rule set."""
+
+    n_rows: int
+    verdicts: List[RuleVerdict] = field(default_factory=list)
+    hot_rows: List[Tuple[int, int]] = field(default_factory=list)
+    reports: List[ViolationReport] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(verdict.holds for verdict in self.verdicts)
+
+    @property
+    def n_violated_rules(self) -> int:
+        return sum(1 for verdict in self.verdicts if not verdict.holds)
+
+    @property
+    def total_violating_pairs(self) -> int:
+        return sum(v.n_violating_pairs for v in self.verdicts)
+
+    def render(self, top_rows: int = 5) -> str:
+        lines = [
+            f"{len(self.verdicts)} rule(s) on {self.n_rows} rows: "
+            + ("CLEAN" if self.clean else
+               f"{self.n_violated_rules} violated, "
+               f"{self.total_violating_pairs} violating pair(s)"),
+        ]
+        lines.extend(f"  {verdict}" for verdict in self.verdicts)
+        if self.hot_rows:
+            lines.append("most implicated rows "
+                         "(row index: witness appearances):")
+            lines.extend(
+                f"  row {row}: {count}"
+                for row, count in self.hot_rows[:top_rows])
+        return "\n".join(lines)
+
+
+def summarize_violations(relation: Relation,
+                         dependencies: Sequence[Dependency],
+                         *, max_witnesses: int = 25
+                         ) -> ViolationSummary:
+    """Check every dependency and aggregate the findings.
+
+    ``hot_rows`` ranks tuples by how many violation witnesses they
+    appear in (across all rules) — a practical shortlist for manual
+    inspection or repair.
+    """
+    detector = ViolationDetector(relation)
+    summary = ViolationSummary(n_rows=relation.n_rows)
+    participation: Dict[int, int] = {}
+    for dependency in dependencies:
+        report = detector.check(dependency, max_witnesses=max_witnesses,
+                                count_pairs=True)
+        summary.reports.append(report)
+        summary.verdicts.append(RuleVerdict(
+            report.dependency, report.holds, report.n_violating_pairs))
+        for witness in _all_witnesses(report):
+            participation[witness.row_s] = \
+                participation.get(witness.row_s, 0) + 1
+            participation[witness.row_t] = \
+                participation.get(witness.row_t, 0) + 1
+    summary.hot_rows = sorted(
+        participation.items(), key=lambda item: (-item[1], item[0]))
+    return summary
+
+
+def _all_witnesses(report: ViolationReport) -> list:
+    found = list(report.witnesses)
+    for part in report.parts:
+        found.extend(_all_witnesses(part))
+    return found

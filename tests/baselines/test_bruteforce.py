@@ -1,0 +1,84 @@
+"""Sanity checks for the brute-force oracle itself (hand-verified
+miniature cases, so the oracle is anchored independently)."""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    all_valid_canonical_ods,
+    all_valid_list_ods,
+    minimal_canonical_ods,
+)
+from repro.core.od import CanonicalFD, CanonicalOCD, ListOD
+from tests.conftest import make_relation
+
+
+class TestAllValid:
+    def test_two_identical_columns(self):
+        relation = make_relation(2, [(1, 1), (2, 2)])
+        fds, ocds = all_valid_canonical_ods(relation)
+        assert CanonicalFD({"c0"}, "c1") in fds
+        assert CanonicalFD({"c1"}, "c0") in fds
+        assert CanonicalOCD(set(), "c0", "c1") in ocds
+
+    def test_constant_column(self):
+        relation = make_relation(1, [(5,), (5,)])
+        fds, ocds = all_valid_canonical_ods(relation)
+        assert fds == {CanonicalFD(set(), "c0")}
+        assert ocds == set()
+
+    def test_swap_kills_empty_context_only(self):
+        # c2 distinguishes the swap rows: {}: c0 ~ c1 fails but
+        # {c2}: c0 ~ c1 holds
+        relation = make_relation(3, [(1, 2, 0), (2, 1, 1)])
+        fds, ocds = all_valid_canonical_ods(relation)
+        assert CanonicalOCD(set(), "c0", "c1") not in ocds
+        assert CanonicalOCD({"c2"}, "c0", "c1") in ocds
+
+    def test_max_context_bound(self):
+        relation = make_relation(3, [(1, 2, 3), (1, 2, 4)])
+        fds, _ = all_valid_canonical_ods(relation, max_context=1)
+        assert all(len(fd.context) <= 1 for fd in fds)
+
+
+class TestMinimal:
+    def test_augmentation_removed(self):
+        # c0 determines c1; the padded context {c0,c2} must not appear
+        relation = make_relation(
+            3, [(1, 5, 0), (2, 5, 0), (3, 6, 1), (3, 6, 1)])
+        result = minimal_canonical_ods(relation)
+        rendered = {str(fd) for fd in result.fds}
+        assert "{c0}: [] -> c1" in rendered
+        assert "{c0,c2}: [] -> c1" not in rendered
+
+    def test_propagate_removed(self):
+        # constant column c0: no OCD mentioning c0 can be minimal
+        relation = make_relation(2, [(5, 1), (5, 2)])
+        result = minimal_canonical_ods(relation)
+        assert result.ocds == []
+
+    def test_empty_context_ocd_minimal(self):
+        relation = make_relation(2, [(1, 10), (2, 20)])
+        result = minimal_canonical_ods(relation)
+        # both columns are keys; the only minimal OD beyond key FDs is
+        # the empty-context compatibility
+        assert "{}: c0 ~ c1" in {str(o) for o in result.ocds}
+
+
+class TestListOds:
+    def test_tiny_enumeration(self):
+        relation = make_relation(2, [(1, 10), (2, 20)])
+        found = {str(od) for od in all_valid_list_ods(relation, 1, 1)}
+        assert "[c0] -> [c1]" in found
+        assert "[c1] -> [c0]" in found
+
+    def test_respects_bounds(self):
+        relation = make_relation(3, [(1, 2, 3)])
+        for od in all_valid_list_ods(relation, max_lhs=1, max_rhs=2):
+            assert len(od.lhs) <= 1 and len(od.rhs) <= 2
+
+    def test_all_reported_hold(self):
+        from repro import list_od_holds
+
+        relation = make_relation(2, [(1, 3), (2, 1), (2, 2)])
+        for od in all_valid_list_ods(relation, 2, 2):
+            assert list_od_holds(relation, od)

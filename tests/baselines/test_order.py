@@ -1,0 +1,119 @@
+"""The ORDER baseline: soundness, the documented incompletenesses
+(Section 4.5), pruning behaviour, and budgets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import discover_ods, list_od_holds
+from repro.baselines import discover_ods_order
+from repro.baselines.order import Order, OrderConfig
+from repro.core.od import ListOD
+from tests.conftest import make_relation, random_relation, small_relations
+
+
+class TestSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=3))
+    def test_every_reported_od_holds(self, relation):
+        result = discover_ods_order(relation)
+        for od in result.list_ods:
+            assert list_od_holds(relation, od), str(od)
+
+    def test_lhs_rhs_disjoint_and_duplicate_free(self):
+        relation = random_relation(2, n_cols=5, n_rows=20, domain=2)
+        result = discover_ods_order(relation)
+        for od in result.list_ods:
+            lhs, rhs = set(od.lhs.attrs), set(od.rhs.attrs)
+            assert len(od.lhs.attrs) == len(lhs)
+            assert len(od.rhs.attrs) == len(rhs)
+            assert not (lhs & rhs)
+
+
+class TestDocumentedIncompleteness:
+    """Exactly the gaps Section 4.5 attributes to ORDER."""
+
+    def test_misses_constants(self):
+        # c0 constant: FASTOD reports {}: [] -> c0, ORDER cannot
+        relation = make_relation(2, [(7, 1), (7, 2), (7, 3)])
+        order = discover_ods_order(relation)
+        fastod = discover_ods(relation)
+        assert any(fd.is_constant for fd in fastod.fds)
+        assert not any(fd.is_constant for fd in order.fds)
+
+    def test_misses_repeated_attribute_ods(self):
+        # c0 -> c0,c1 holds (an FD) but c0 ~ c1 has a swap, so the
+        # plain OD c0 -> c1 fails and ORDER reports nothing while
+        # FASTOD finds the FD {c0}: [] -> c1.
+        relation = make_relation(2, [(1, 9), (2, 3), (3, 5)])
+        assert list_od_holds(relation, ListOD(["c0"], ["c0", "c1"]))
+        assert not list_od_holds(relation, ListOD(["c0"], ["c1"]))
+        order = discover_ods_order(relation)
+        fastod = discover_ods(relation)
+        assert "{c0}: [] -> c1" in {str(fd) for fd in fastod.fds}
+        assert "{c0}: [] -> c1" not in {str(fd) for fd in order.fds}
+
+    def test_misses_pure_order_compatibility(self):
+        # c0 ~ c1 holds but neither OD direction does (splits both
+        # ways), so split pruning stops ORDER from ever certifying the
+        # OCD — the paper's d_month ~ d_week example.
+        relation = make_relation(2, [(1, 1), (1, 2), (2, 2), (2, 3)])
+        order = discover_ods_order(relation)
+        fastod = discover_ods(relation)
+        assert "{}: c0 ~ c1" in {str(o) for o in fastod.ocds}
+        assert "{}: c0 ~ c1" not in {str(o) for o in order.ocds}
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_never_finds_more_than_fastod_implies(self, relation):
+        """Everything ORDER finds is implied by FASTOD's minimal set
+        (ORDER ⊆ complete); the reverse often fails."""
+        from repro.core.axioms_set import InferenceEngine
+
+        order = discover_ods_order(relation)
+        fastod = discover_ods(relation)
+        engine = InferenceEngine([*fastod.fds, *fastod.ocds])
+        for od in order.fds + order.ocds:
+            assert engine.implies(od), str(od)
+
+
+class TestRedundancy:
+    def test_order_output_less_concise(self):
+        # A constant column plus two correlated ones: ORDER re-derives
+        # the "same" OD through many permutations (the paper's flight
+        # year example); FASTOD reports the compact canonical form.
+        rows = [(2012, i, i // 2, (i * 13) % 7) for i in range(30)]
+        relation = make_relation(4, rows)
+        order = discover_ods_order(relation)
+        fastod = discover_ods(relation)
+        assert len(order.list_ods) > fastod.n_ods / 2  # sanity
+        assert order.n_ods >= fastod.n_ods
+
+
+class TestBudgets:
+    def test_node_budget_flags_dnf(self):
+        relation = random_relation(4, n_cols=6, n_rows=30, domain=2)
+        result = Order(relation, OrderConfig(max_nodes=5)).run()
+        assert result.timed_out
+        assert result.n_nodes_visited >= 5
+
+    def test_timeout_flags_dnf(self):
+        relation = random_relation(4, n_cols=6, n_rows=30, domain=2)
+        result = Order(relation, OrderConfig(timeout_seconds=0.0)).run()
+        assert result.timed_out
+
+    def test_nodes_counted(self):
+        relation = make_relation(2, [(1, 2), (2, 3)])
+        result = discover_ods_order(relation)
+        assert result.n_nodes_visited >= 2  # the two level-2 candidates
+
+
+class TestCanonicalMapping:
+    def test_counts_deduplicated(self):
+        # [a] -> [b] and [b] -> [a] share the canonical OCD {}: a ~ b
+        relation = make_relation(2, [(1, 10), (2, 20), (3, 30)])
+        result = discover_ods_order(relation)
+        rendered = [str(o) for o in result.ocds]
+        assert len(rendered) == len(set(rendered))
+        assert "{}: c0 ~ c1" in rendered

@@ -1,0 +1,64 @@
+"""TANE correctness: exactly the minimal FDs, matching FASTOD's FD
+fragment (the paper notes both find identical FDs)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import discover_ods
+from repro.baselines import discover_fds, minimal_canonical_ods
+from repro.baselines.tane import Tane, TaneConfig
+from tests.conftest import make_relation, random_relation, small_relations
+
+
+class TestAgainstOracle:
+    @settings(max_examples=80, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=3))
+    def test_matches_bruteforce_fds(self, relation):
+        tane = discover_fds(relation)
+        truth = minimal_canonical_ods(relation)
+        assert set(tane.fds) == set(truth.fds)
+        assert tane.ocds == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=2))
+    def test_matches_fastod_fd_fragment(self, relation):
+        tane = discover_fds(relation)
+        fastod = discover_ods(relation)
+        assert set(tane.fds) == set(fastod.fds)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_larger_sweep(self, seed):
+        relation = random_relation(seed + 50, n_cols=6, n_rows=40, domain=2)
+        tane = discover_fds(relation)
+        fastod = discover_ods(relation)
+        assert set(tane.fds) == set(fastod.fds)
+
+
+class TestBehaviour:
+    def test_constants_found_at_level_one(self):
+        relation = make_relation(2, [(7, 1), (7, 2), (7, 3)])
+        result = discover_fds(relation)
+        assert "{}: [] -> c0" in {str(fd) for fd in result.fds}
+
+    def test_key_gives_minimal_fd(self):
+        relation = make_relation(2, [(1, 5), (2, 5), (3, 6)])
+        result = discover_fds(relation)
+        assert "{c0}: [] -> c1" in {str(fd) for fd in result.fds}
+
+    def test_max_level(self):
+        relation = random_relation(9, n_cols=5, n_rows=20, domain=2)
+        capped = Tane(relation, TaneConfig(max_level=2)).run()
+        full = discover_fds(relation)
+        assert set(capped.fds) <= set(full.fds)
+        assert all(len(fd.context) <= 1 for fd in capped.fds)
+
+    def test_timeout(self):
+        relation = random_relation(9, n_cols=8, n_rows=100, domain=2)
+        result = Tane(relation, TaneConfig(timeout_seconds=0.0)).run()
+        assert result.timed_out
+
+    def test_algorithm_name(self):
+        result = discover_fds(make_relation(1, [(1,)]))
+        assert result.algorithm == "TANE"

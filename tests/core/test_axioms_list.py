@@ -1,0 +1,192 @@
+"""Soundness of the list-based axiomatization (Figure 1) on data."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.axioms_list import (
+    chain,
+    downward_closure,
+    normalization,
+    prefix,
+    reflexivity,
+    replace,
+    suffix,
+    theorem1_decomposition,
+    theorem2_fd_form,
+    transitivity,
+    union,
+)
+from repro.core.od import ListOD, OrderCompatibility, OrderSpec
+from repro.core.validation import (
+    list_od_holds,
+    order_compatible,
+)
+from repro.errors import DependencyError
+from tests.conftest import small_relations
+
+relations = small_relations(max_cols=4, max_rows=8, max_domain=2)
+
+
+def _spec(names, data, max_len=2, min_len=0):
+    length = data.draw(st.integers(min_len, min(max_len, len(names))))
+    return list(data.draw(st.permutations(list(names)))[:length])
+
+
+class TestConstructors:
+    def test_reflexivity(self):
+        od = reflexivity(["a"], ["b"])
+        assert od == ListOD(["a", "b"], ["a"])
+
+    def test_prefix(self):
+        od = prefix(["z"], ListOD(["a"], ["b"]))
+        assert od == ListOD(["z", "a"], ["z", "b"])
+
+    def test_transitivity_checks_middle(self):
+        with pytest.raises(DependencyError):
+            transitivity(ListOD(["a"], ["b"]), ListOD(["c"], ["d"]))
+        od = transitivity(ListOD(["a"], ["b"]), ListOD(["b"], ["c"]))
+        assert od == ListOD(["a"], ["c"])
+
+    def test_normalization_shape(self):
+        forward, backward = normalization(["w"], ["x"], ["y"], ["v"])
+        assert forward.lhs.attrs == ("w", "x", "y", "x", "v")
+        assert forward.rhs.attrs == ("w", "x", "y", "v")
+        assert backward == forward.reversed()
+
+    def test_suffix_shape(self):
+        forward, backward = suffix(ListOD(["a"], ["b"]))
+        assert forward == ListOD(["a"], ["b", "a"])
+        assert backward == ListOD(["b", "a"], ["a"])
+
+    def test_union_checks_lhs(self):
+        with pytest.raises(DependencyError):
+            union(ListOD(["a"], ["b"]), ListOD(["c"], ["d"]))
+        od = union(ListOD(["a"], ["b"]), ListOD(["a"], ["c"]))
+        assert od == ListOD(["a"], ["b", "c"])
+
+    def test_chain_shape(self):
+        links = [OrderCompatibility(["a"], ["b"]),
+                 OrderCompatibility(["b"], ["c"])]
+        bridges = [OrderCompatibility(["b", "a"], ["b", "c"])]
+        conclusion = chain(links, bridges)
+        assert conclusion == OrderCompatibility(["a"], ["c"])
+
+    def test_chain_missing_bridge(self):
+        links = [OrderCompatibility(["a"], ["b"]),
+                 OrderCompatibility(["b"], ["c"])]
+        with pytest.raises(DependencyError):
+            chain(links, [])
+
+    def test_chain_broken_links(self):
+        with pytest.raises(DependencyError):
+            chain([OrderCompatibility(["a"], ["b"]),
+                   OrderCompatibility(["x"], ["c"])], [])
+
+    def test_chain_empty(self):
+        with pytest.raises(DependencyError):
+            chain([], [])
+
+    def test_downward_closure(self):
+        compat = OrderCompatibility(["a", "b"], ["c", "d"])
+        assert downward_closure(compat, 1, 1) == \
+            OrderCompatibility(["a"], ["c"])
+
+    def test_replace(self):
+        forward, backward = replace(["x"], ["m"], ["n"], ["z"])
+        assert forward == ListOD(["x", "m", "z"], ["x", "n", "z"])
+        assert backward == forward.reversed()
+
+
+class TestSoundnessOnData:
+    @settings(max_examples=50, deadline=None)
+    @given(relations, st.data())
+    def test_reflexivity(self, relation, data):
+        names = list(relation.names)
+        lhs = _spec(names, data)
+        extra = _spec(names, data)
+        assert list_od_holds(relation, reflexivity(lhs, extra))
+
+    @settings(max_examples=50, deadline=None)
+    @given(relations, st.data())
+    def test_prefix(self, relation, data):
+        names = list(relation.names)
+        od = ListOD(_spec(names, data), _spec(names, data, min_len=1))
+        if list_od_holds(relation, od):
+            front = _spec(names, data)
+            assert list_od_holds(relation, prefix(front, od))
+
+    @settings(max_examples=50, deadline=None)
+    @given(relations, st.data())
+    def test_transitivity(self, relation, data):
+        names = list(relation.names)
+        x = _spec(names, data)
+        y = _spec(names, data, min_len=1)
+        z = _spec(names, data, min_len=1)
+        first, second = ListOD(x, y), ListOD(y, z)
+        if list_od_holds(relation, first) and \
+                list_od_holds(relation, second):
+            assert list_od_holds(relation, transitivity(first, second))
+
+    @settings(max_examples=40, deadline=None)
+    @given(relations, st.data())
+    def test_normalization(self, relation, data):
+        names = list(relation.names)
+        forward, backward = normalization(
+            _spec(names, data, 1), _spec(names, data, 1),
+            _spec(names, data, 1), _spec(names, data, 1))
+        assert list_od_holds(relation, forward)
+        assert list_od_holds(relation, backward)
+
+    @settings(max_examples=50, deadline=None)
+    @given(relations, st.data())
+    def test_suffix(self, relation, data):
+        names = list(relation.names)
+        od = ListOD(_spec(names, data), _spec(names, data, min_len=1))
+        if list_od_holds(relation, od):
+            forward, backward = suffix(od)
+            assert list_od_holds(relation, forward)
+            assert list_od_holds(relation, backward)
+
+    @settings(max_examples=50, deadline=None)
+    @given(relations, st.data())
+    def test_union(self, relation, data):
+        names = list(relation.names)
+        x = _spec(names, data)
+        first = ListOD(x, _spec(names, data, min_len=1))
+        second = ListOD(x, _spec(names, data, min_len=1))
+        if list_od_holds(relation, first) and \
+                list_od_holds(relation, second):
+            assert list_od_holds(relation, union(first, second))
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_chain(self, relation, data):
+        names = list(relation.names)
+        if len(names) < 3:
+            return
+        a, b, c = data.draw(st.permutations(names))[:3]
+        links = [OrderCompatibility([a], [b]),
+                 OrderCompatibility([b], [c])]
+        bridges = [OrderCompatibility([b, a], [b, c])]
+        premises_hold = all(
+            order_compatible(relation, link) for link in links
+        ) and all(order_compatible(relation, bridge) for bridge in bridges)
+        if premises_hold:
+            assert order_compatible(relation, chain(links, bridges))
+
+    @settings(max_examples=50, deadline=None)
+    @given(relations, st.data())
+    def test_theorem1_decomposition(self, relation, data):
+        names = list(relation.names)
+        od = ListOD(_spec(names, data), _spec(names, data, min_len=1))
+        fd_part, compat_part = theorem1_decomposition(od)
+        assert list_od_holds(relation, od) == (
+            list_od_holds(relation, fd_part)
+            and order_compatible(relation, compat_part))
+
+    def test_theorem2_fd_form_shape(self):
+        od = theorem2_fd_form(["a"], ["b", "c"])
+        assert od == ListOD(["a"], ["a", "b", "c"])

@@ -1,0 +1,253 @@
+"""Soundness of the set-based axiomatization (Figure 2) on data, plus
+the inference engine.
+
+Soundness property: for random instances, whenever all premises of an
+axiom hold on the instance, the conclusion holds too (Theorem 6 is the
+syntactic counterpart)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.axioms_set import (
+    InferenceEngine,
+    augmentation_fd,
+    augmentation_ocd,
+    chain,
+    commutativity,
+    identity,
+    is_minimal_in,
+    normalization,
+    propagate,
+    reflexivity,
+    strengthen,
+)
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.validation import CanonicalValidator
+from repro.errors import DependencyError
+from tests.conftest import small_relations
+
+relations = small_relations(max_cols=4, max_rows=8, max_domain=2)
+
+
+def _contexts(names, data, max_size=2):
+    size = data.draw(st.integers(0, min(max_size, len(names))))
+    return frozenset(data.draw(st.permutations(list(names)))[:size])
+
+
+class TestAxiomConstructors:
+    def test_reflexivity_all_trivial(self):
+        for fd in reflexivity({"a", "b"}):
+            assert fd.is_trivial
+
+    def test_identity_trivial(self):
+        assert identity({"x"}, "a").is_trivial
+
+    def test_commutativity_identity_of_representation(self):
+        ocd = CanonicalOCD({"x"}, "a", "b")
+        assert commutativity(ocd) == ocd
+
+    def test_strengthen_shape(self):
+        conclusion = strengthen(CanonicalFD({"x"}, "a"),
+                                CanonicalFD({"x", "a"}, "b"))
+        assert conclusion == CanonicalFD({"x"}, "b")
+
+    def test_strengthen_rejects_mismatch(self):
+        with pytest.raises(DependencyError):
+            strengthen(CanonicalFD({"x"}, "a"),
+                       CanonicalFD({"y"}, "b"))
+
+    def test_propagate_shape(self):
+        assert propagate(CanonicalFD({"x"}, "a"), "b") == \
+            CanonicalOCD({"x"}, "a", "b")
+
+    def test_augmentations(self):
+        assert augmentation_fd(CanonicalFD({"x"}, "a"), {"z"}) == \
+            CanonicalFD({"x", "z"}, "a")
+        assert augmentation_ocd(CanonicalOCD({"x"}, "a", "b"), {"z"}) == \
+            CanonicalOCD({"x", "z"}, "a", "b")
+
+    def test_normalization_all_trivial(self):
+        for ocd in normalization({"a", "b"}):
+            assert ocd.is_trivial
+
+    def test_chain_simple(self):
+        context = frozenset({"x"})
+        conclusion = chain(
+            CanonicalOCD(context, "a", "b"), [],
+            CanonicalOCD(context, "b", "c"),
+            [CanonicalOCD(context | {"b"}, "a", "c")])
+        assert conclusion == CanonicalOCD(context, "a", "c")
+
+    def test_chain_missing_bridge(self):
+        context = frozenset({"x"})
+        with pytest.raises(DependencyError):
+            chain(CanonicalOCD(context, "a", "b"), [],
+                  CanonicalOCD(context, "b", "c"), [])
+
+    def test_chain_context_mismatch(self):
+        with pytest.raises(DependencyError):
+            chain(CanonicalOCD({"x"}, "a", "b"), [],
+                  CanonicalOCD({"y"}, "b", "c"), [])
+
+    def test_chain_disconnected(self):
+        context = frozenset()
+        with pytest.raises(DependencyError):
+            chain(CanonicalOCD(context, "a", "b"), [],
+                  CanonicalOCD(context, "c", "d"),
+                  [CanonicalOCD({"q"}, "a", "d")])
+
+
+class TestAxiomSoundnessOnData:
+    """Premises hold on the instance => conclusion holds (Theorem 6)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_strengthen(self, relation, data):
+        names = relation.names
+        if len(names) < 2:
+            return
+        validator = CanonicalValidator(relation)
+        context = _contexts(names, data)
+        a = data.draw(st.sampled_from(list(names)))
+        b = data.draw(st.sampled_from(list(names)))
+        first = CanonicalFD(context, a)
+        second = CanonicalFD(context | {a}, b)
+        if validator.holds(first) and validator.holds(second):
+            assert validator.holds(strengthen(first, second))
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_propagate(self, relation, data):
+        names = relation.names
+        validator = CanonicalValidator(relation)
+        context = _contexts(names, data)
+        a = data.draw(st.sampled_from(list(names)))
+        b = data.draw(st.sampled_from(list(names)))
+        fd = CanonicalFD(context, a)
+        if validator.holds(fd):
+            assert validator.holds(propagate(fd, b))
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_augmentation_fd(self, relation, data):
+        names = relation.names
+        validator = CanonicalValidator(relation)
+        context = _contexts(names, data, max_size=1)
+        extra = _contexts(names, data, max_size=2)
+        a = data.draw(st.sampled_from(list(names)))
+        fd = CanonicalFD(context, a)
+        if validator.holds(fd):
+            assert validator.holds(augmentation_fd(fd, extra))
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_augmentation_ocd(self, relation, data):
+        names = relation.names
+        if len(names) < 2:
+            return
+        validator = CanonicalValidator(relation)
+        context = _contexts(names, data, max_size=1)
+        extra = _contexts(names, data, max_size=2)
+        a, b = list(names)[0], list(names)[1]
+        ocd = CanonicalOCD(context, a, b)
+        if validator.holds(ocd):
+            assert validator.holds(augmentation_ocd(ocd, extra))
+
+    @settings(max_examples=80, deadline=None)
+    @given(relations, st.data())
+    def test_chain(self, relation, data):
+        names = list(relation.names)
+        if len(names) < 3:
+            return
+        validator = CanonicalValidator(relation)
+        a, b, c = data.draw(st.permutations(names))[:3]
+        context = frozenset()
+        premises = [
+            CanonicalOCD(context, a, b),
+            CanonicalOCD(context, b, c),
+            CanonicalOCD(context | {b}, a, c),
+        ]
+        if all(validator.holds(p) for p in premises):
+            conclusion = chain(premises[0], [], premises[1],
+                               [premises[2]])
+            assert validator.holds(conclusion)
+
+
+class TestInferenceEngine:
+    def test_fd_closure(self):
+        engine = InferenceEngine([
+            CanonicalFD({"a"}, "b"), CanonicalFD({"b"}, "c")])
+        assert engine.attribute_closure({"a"}) == {"a", "b", "c"}
+        assert engine.implies_fd(CanonicalFD({"a"}, "c"))
+        assert not engine.implies_fd(CanonicalFD({"c"}, "a"))
+
+    def test_constant_propagates_everywhere(self):
+        engine = InferenceEngine([CanonicalFD(set(), "k")])
+        assert engine.implies_fd(CanonicalFD({"z"}, "k"))
+        assert engine.implies_ocd(CanonicalOCD({"z"}, "k", "m"))
+
+    def test_ocd_augmentation(self):
+        engine = InferenceEngine([CanonicalOCD({"x"}, "a", "b")])
+        assert engine.implies_ocd(CanonicalOCD({"x", "y"}, "a", "b"))
+        assert not engine.implies_ocd(CanonicalOCD(set(), "a", "b"))
+
+    def test_ocd_via_derived_constant_context(self):
+        # context attribute derivable via FD closure
+        engine = InferenceEngine([
+            CanonicalFD({"x"}, "y"),
+            CanonicalOCD({"x", "y"}, "a", "b"),
+        ])
+        assert engine.implies_ocd(CanonicalOCD({"x"}, "a", "b"))
+
+    def test_trivia_always_implied(self):
+        engine = InferenceEngine([])
+        assert engine.implies(CanonicalFD({"a"}, "a"))
+        assert engine.implies(CanonicalOCD({"a"}, "a", "b"))
+
+    def test_chain_inference(self):
+        context = frozenset()
+        engine = InferenceEngine([
+            CanonicalOCD(context, "a", "b"),
+            CanonicalOCD(context, "b", "c"),
+            CanonicalOCD(frozenset({"b"}), "a", "c"),
+        ])
+        assert engine.implies_ocd(CanonicalOCD(context, "a", "c"))
+
+    def test_rejects_non_od(self):
+        with pytest.raises(DependencyError):
+            InferenceEngine(["not an od"])
+
+    @settings(max_examples=50, deadline=None)
+    @given(relations)
+    def test_complete_for_instance_covers(self, relation):
+        """Every valid canonical OD follows from the discovered minimal
+        cover — the completeness half of Theorem 8 seen through the
+        inference engine."""
+        from repro import discover_ods
+        from repro.baselines import all_valid_canonical_ods
+
+        result = discover_ods(relation)
+        engine = InferenceEngine([*result.fds, *result.ocds])
+        valid_fds, valid_ocds = all_valid_canonical_ods(relation)
+        for fd in valid_fds:
+            assert engine.implies_fd(fd), str(fd)
+        for ocd in valid_ocds:
+            assert engine.implies_ocd(ocd), str(ocd)
+
+
+class TestMinimalityHelper:
+    def test_fd_minimality(self):
+        valid = {CanonicalFD({"a"}, "c"), CanonicalFD({"a", "b"}, "c")}
+        assert is_minimal_in(CanonicalFD({"a"}, "c"), valid, set())
+        assert not is_minimal_in(CanonicalFD({"a", "b"}, "c"), valid, set())
+
+    def test_ocd_blocked_by_constant(self):
+        fds = {CanonicalFD({"x"}, "a")}
+        ocd = CanonicalOCD({"x"}, "a", "b")
+        assert not is_minimal_in(ocd, fds, {ocd})
+
+    def test_trivial_never_minimal(self):
+        assert not is_minimal_in(CanonicalFD({"a"}, "a"), set(), set())

@@ -1,0 +1,95 @@
+"""Unit tests for candidate-set computations (Algorithm 3 lines 1-8)."""
+
+from __future__ import annotations
+
+from repro.core.candidates import (
+    LatticeNode,
+    all_pairs,
+    compute_cc,
+    compute_cs,
+    context_names,
+    initial_cs_level2,
+    mask_from_attributes,
+    ordered_pair,
+)
+from repro.partitions.partition import StrippedPartition
+
+
+def _node(mask, cc=0, cs=None):
+    return LatticeNode(mask, StrippedPartition([], 0), cc=cc, cs=cs or set())
+
+
+class TestComputeCc:
+    def test_intersection(self):
+        previous = {
+            0b01: _node(0b01, cc=0b111),
+            0b10: _node(0b10, cc=0b011),
+        }
+        assert compute_cc(0b11, previous) == 0b011
+
+    def test_empty_short_circuit(self):
+        previous = {
+            0b01: _node(0b01, cc=0b100),
+            0b10: _node(0b10, cc=0b011),
+        }
+        assert compute_cc(0b11, previous) == 0
+
+
+class TestComputeCs:
+    def test_level2_initial(self):
+        assert initial_cs_level2(0b101) == {(0, 2)}
+
+    def test_level3_requires_all_parents(self):
+        pair = (0, 1)
+        previous = {
+            0b011: _node(0b011, cs={pair}),   # X \ {c2}
+            0b101: _node(0b101, cs=set()),
+            0b110: _node(0b110, cs=set()),
+        }
+        # {A,B} must be in C_s+(X\D) for every D outside the pair;
+        # here D = c2 only, and the pair is present there.
+        assert compute_cs(0b111, previous) == {pair}
+
+    def test_level3_missing_parent(self):
+        previous = {
+            0b011: _node(0b011, cs=set()),    # pair (0,1) dropped here
+            0b101: _node(0b101, cs={(0, 2)}),
+            0b110: _node(0b110, cs={(1, 2)}),
+        }
+        survivors = compute_cs(0b111, previous)
+        # (0,1) is gone (its only qualifying parent dropped it); the
+        # other two pairs each appear in their single qualifying parent
+        assert (0, 1) not in survivors
+        assert survivors == {(0, 2), (1, 2)}
+
+    def test_level4_counting(self):
+        pair = (0, 1)
+        # X = {0,1,2,3}; parents X\{2} and X\{3} must both carry pair
+        previous = {
+            0b0111: _node(0b0111, cs={pair}),
+            0b1011: _node(0b1011, cs={pair}),
+            0b1101: _node(0b1101, cs=set()),
+            0b1110: _node(0b1110, cs=set()),
+        }
+        assert compute_cs(0b1111, previous) == {pair}
+        previous[0b1011].cs = set()
+        assert compute_cs(0b1111, previous) == set()
+
+
+class TestHelpers:
+    def test_ordered_pair(self):
+        assert ordered_pair(3, 1) == (1, 3)
+        assert ordered_pair(1, 3) == (1, 3)
+
+    def test_all_pairs(self):
+        assert all_pairs(0b1011) == {(0, 1), (0, 3), (1, 3)}
+
+    def test_context_names(self):
+        assert context_names(0b101, ("a", "b", "c")) == frozenset(
+            {"a", "c"})
+
+    def test_mask_from_attributes(self):
+        assert mask_from_attributes([0, 2]) == 0b101
+
+    def test_node_level(self):
+        assert _node(0b1011).level == 3

@@ -1,0 +1,114 @@
+"""Derivations: every implied OD gets a sound explanation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro import discover_ods
+from repro.core.axioms_set import InferenceEngine
+from repro.core.derivation import Explainer, explain
+from repro.core.od import CanonicalFD, CanonicalOCD
+from tests.conftest import make_relation, small_relations
+
+
+class TestFdDerivations:
+    def test_trivial(self):
+        derivation = explain(CanonicalFD({"a"}, "a"), [])
+        assert derivation is not None
+        assert "Reflexivity" in derivation.steps[0]
+
+    def test_direct_cover_hit(self):
+        fd = CanonicalFD({"a"}, "b")
+        derivation = explain(fd, [fd])
+        assert derivation is not None
+        assert derivation.premises == [fd]
+
+    def test_augmentation(self):
+        cover = [CanonicalFD({"a"}, "b")]
+        derivation = explain(CanonicalFD({"a", "z"}, "b"), cover)
+        assert derivation is not None
+        assert any("Augmentation-I" in step for step in derivation.steps)
+
+    def test_transitive_chain(self):
+        cover = [CanonicalFD({"a"}, "b"), CanonicalFD({"b"}, "c")]
+        derivation = explain(CanonicalFD({"a"}, "c"), cover)
+        assert derivation is not None
+        assert set(derivation.premises) == set(cover)
+        assert any("Strengthen" in step for step in derivation.steps)
+
+    def test_unimplied_returns_none(self):
+        assert explain(CanonicalFD({"a"}, "b"), []) is None
+
+
+class TestOcdDerivations:
+    def test_trivial_identity(self):
+        derivation = explain(CanonicalOCD(set(), "a", "a"), [])
+        assert "Identity" in derivation.steps[0]
+
+    def test_trivial_normalization(self):
+        derivation = explain(CanonicalOCD({"a"}, "a", "b"), [])
+        assert "Normalization" in derivation.steps[0]
+
+    def test_propagate(self):
+        cover = [CanonicalFD({"x"}, "a")]
+        derivation = explain(CanonicalOCD({"x"}, "a", "b"), cover)
+        assert derivation is not None
+        assert any("Propagate" in step for step in derivation.steps)
+
+    def test_augmentation_ii(self):
+        cover = [CanonicalOCD({"x"}, "a", "b")]
+        derivation = explain(CanonicalOCD({"x", "y"}, "a", "b"), cover)
+        assert derivation is not None
+        assert any("Augmentation-II" in step
+                   for step in derivation.steps)
+        assert cover[0] in derivation.premises
+
+    def test_derived_context_constant(self):
+        cover = [CanonicalFD({"x"}, "y"),
+                 CanonicalOCD({"x", "y"}, "a", "b")]
+        derivation = explain(CanonicalOCD({"x"}, "a", "b"), cover)
+        assert derivation is not None
+        assert any("constant" in step for step in derivation.steps)
+
+    def test_chain(self):
+        cover = [
+            CanonicalOCD(set(), "a", "b"),
+            CanonicalOCD(set(), "b", "c"),
+            CanonicalOCD(frozenset({"b"}), "a", "c"),
+        ]
+        derivation = explain(CanonicalOCD(set(), "a", "c"), cover)
+        assert derivation is not None
+        assert any("Chain" in step for step in derivation.steps)
+
+    def test_unimplied_returns_none(self):
+        assert explain(CanonicalOCD(set(), "a", "b"), []) is None
+
+    def test_str_rendering(self):
+        cover = [CanonicalOCD({"x"}, "a", "b")]
+        derivation = explain(CanonicalOCD({"x", "y"}, "a", "b"), cover)
+        text = str(derivation)
+        assert text.startswith("derivation of")
+        assert "1." in text
+
+
+class TestAgreementWithEngine:
+    """explain(od) is not None  <=>  engine.implies(od), and every
+    cited premise is either in the cover, trivial, or itself implied."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_explains_exactly_the_implied(self, relation):
+        from repro.baselines import all_valid_canonical_ods
+
+        result = discover_ods(relation)
+        cover = [*result.fds, *result.ocds]
+        explainer = Explainer(cover)
+        engine = InferenceEngine(cover)
+        valid_fds, valid_ocds = all_valid_canonical_ods(relation)
+        for od in list(valid_fds) + list(valid_ocds):
+            derivation = explainer.explain(od)
+            assert (derivation is not None) == engine.implies(od), str(od)
+            if derivation is not None:
+                for premise in derivation.premises:
+                    assert premise in cover or premise.is_trivial \
+                        or engine.implies(premise), str(premise)

@@ -1,0 +1,77 @@
+"""Unit tests for level generation (Algorithm 2)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import (
+    next_level_masks,
+    parents_for_partition,
+    single_attr_diff_blocks,
+)
+from repro.relation.schema import bit_count
+
+
+class TestBlocks:
+    def test_grouped_by_shared_prefix(self):
+        masks = [0b011, 0b101, 0b110]
+        blocks = single_attr_diff_blocks(masks)
+        # 0b011 -> prefix 0b001; 0b101 -> 0b001; 0b110 -> 0b010
+        assert blocks == {0b001: [0b010, 0b100], 0b010: [0b100]}
+
+
+class TestNextLevel:
+    def test_full_level(self):
+        level1 = [0b001, 0b010, 0b100]
+        assert next_level_masks(level1) == [0b011, 0b101, 0b110]
+
+    def test_apriori_filter(self):
+        # {a,b}, {a,c} present but {b,c} missing: {a,b,c} not generated
+        assert next_level_masks([0b011, 0b101]) == []
+
+    def test_complete_level2_to_3(self):
+        level2 = [0b011, 0b101, 0b110]
+        assert next_level_masks(level2) == [0b111]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 4))
+    def test_matches_specification(self, arity, level):
+        """next_level == all (l+1)-sets whose l-subsets are all present,
+        for a random sub-collection of the full level."""
+        import random
+
+        full_level = [sum(1 << i for i in combo)
+                      for combo in combinations(range(arity), level)]
+        rng = random.Random(arity * 10 + level)
+        kept = [m for m in full_level if rng.random() < 0.7]
+        expected = []
+        for combo in combinations(range(arity), level + 1):
+            mask = sum(1 << i for i in combo)
+            subsets = [mask ^ (1 << i) for i in combo]
+            if all(s in kept for s in subsets):
+                expected.append(mask)
+        assert next_level_masks(kept) == sorted(expected)
+
+    def test_each_candidate_generated_once(self):
+        level = [0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100]
+        result = next_level_masks(level)
+        assert len(result) == len(set(result))
+        assert all(bit_count(m) == 3 for m in result)
+
+
+class TestParentsForPartition:
+    def test_drops_two_lowest(self):
+        left, right = parents_for_partition(0b1011)
+        assert left == 0b1010   # minus lowest (bit 0)
+        assert right == 0b1001  # minus second-lowest (bit 1)
+        assert left | right == 0b1011
+
+    def test_covers_mask(self):
+        for mask in [0b11, 0b110, 0b10101, 0b111111]:
+            left, right = parents_for_partition(mask)
+            assert left | right == mask
+            assert bit_count(left) == bit_count(mask) - 1
+            assert bit_count(right) == bit_count(mask) - 1

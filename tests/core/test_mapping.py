@@ -1,0 +1,93 @@
+"""Tests for the Theorem 5 mapping, including the central equivalence
+property: a list OD holds iff all of its canonical images hold."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import (
+    map_compatibility_part,
+    map_fd_part,
+    map_list_od,
+)
+from repro.core.od import CanonicalFD, CanonicalOCD, ListOD
+from repro.core.validation import (
+    list_od_holds,
+    list_od_holds_via_canonical,
+)
+from tests.conftest import small_relations
+
+
+class TestMappingShape:
+    def test_fd_part(self):
+        fds = map_fd_part(["a", "b"], ["c", "d"])
+        assert set(fds) == {
+            CanonicalFD({"a", "b"}, "c"), CanonicalFD({"a", "b"}, "d")}
+
+    def test_fd_part_drops_trivial(self):
+        assert map_fd_part(["a"], ["a"]) == []
+        assert map_fd_part(["a"], ["a"], drop_trivial=False) == [
+            CanonicalFD({"a"}, "a")]
+
+    def test_compat_part_contexts(self):
+        ocds = map_compatibility_part(["a", "b"], ["c", "d"])
+        assert set(ocds) == {
+            CanonicalOCD(set(), "a", "c"),
+            CanonicalOCD({"a"}, "b", "c"),
+            CanonicalOCD({"c"}, "a", "d"),
+            CanonicalOCD({"a", "c"}, "b", "d"),
+        }
+
+    def test_size_is_quadratic(self):
+        # |X| * |Y| OCDs before trivia removal
+        ocds = map_compatibility_part(
+            ["a", "b", "c"], ["d", "e"], drop_trivial=False)
+        assert len(ocds) == 6
+
+    def test_empty_sides(self):
+        image = map_list_od(ListOD([], ["a"]))
+        assert [str(od) for od in image.fds] == ["{}: [] -> a"]
+        assert image.ocds == ()
+
+    def test_repeated_attribute_fd_form(self):
+        # X -> XY: the pure-FD shape; the OCD part is all trivial
+        image = map_list_od(ListOD(["a"], ["a", "b"]))
+        assert [str(od) for od in image.fds] == ["{a}: [] -> b"]
+        assert all(o.is_trivial for o in map_compatibility_part(
+            ["a"], ["a", "b"], drop_trivial=False))
+
+    def test_image_len_and_str(self):
+        image = map_list_od(ListOD(["a"], ["b"]))
+        assert len(image) == 2
+        assert "{a}: [] -> b" in str(image)
+
+
+class TestTheorem5Equivalence:
+    """The paper's central claim, checked on data by two *independent*
+    validators: list-definition vs canonical-partition."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2),
+           st.data())
+    def test_holds_iff_canonical_holds(self, relation, data):
+        names = list(relation.names)
+        lhs_len = data.draw(st.integers(0, min(2, len(names))))
+        rhs_len = data.draw(st.integers(1, min(2, len(names))))
+        lhs = data.draw(st.permutations(names)) [:lhs_len]
+        rhs = data.draw(st.permutations(names))[:rhs_len]
+        od = ListOD(list(lhs), list(rhs))
+        assert list_od_holds(relation, od) == \
+            list_od_holds_via_canonical(relation, od)
+
+    def test_exhaustive_on_employee_projection(self, employee_table):
+        rel = employee_table.project(["yr", "bin", "sal", "subg"])
+        names = rel.names
+        specs = [list(p) for n in (1, 2) for p in permutations(names, n)]
+        for lhs in specs:
+            for rhs in specs:
+                od = ListOD(lhs, rhs)
+                assert list_od_holds(rel, od) == \
+                    list_od_holds_via_canonical(rel, od), str(od)

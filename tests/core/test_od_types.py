@@ -1,0 +1,128 @@
+"""Tests for dependency data types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+    OrderSpec,
+    as_spec,
+    format_context,
+)
+from repro.errors import DependencyError
+
+
+class TestOrderSpec:
+    def test_str(self):
+        assert str(OrderSpec(["a", "b"])) == "[a,b]"
+        assert str(OrderSpec()) == "[]"
+
+    def test_concat_and_prefix(self):
+        spec = OrderSpec(["a"]).concat(OrderSpec(["b", "c"]))
+        assert spec.attrs == ("a", "b", "c")
+        assert spec.prefix(2).attrs == ("a", "b")
+
+    def test_normalized_removes_repeats(self):
+        spec = OrderSpec(["a", "b", "a", "c", "b"])
+        assert spec.normalized().attrs == ("a", "b", "c")
+
+    def test_as_set(self):
+        assert OrderSpec(["a", "b", "a"]).as_set == frozenset({"a", "b"})
+
+    def test_is_empty(self):
+        assert OrderSpec().is_empty
+        assert not OrderSpec(["x"]).is_empty
+
+    def test_sequence_protocol(self):
+        spec = OrderSpec(["a", "b"])
+        assert len(spec) == 2
+        assert spec[0] == "a"
+        assert list(spec) == ["a", "b"]
+
+    def test_equality_hash(self):
+        assert OrderSpec(["a"]) == OrderSpec(["a"])
+        assert OrderSpec(["a", "b"]) != OrderSpec(["b", "a"])
+        assert hash(OrderSpec(["a"])) == hash(OrderSpec(["a"]))
+
+    def test_bad_names(self):
+        with pytest.raises(DependencyError):
+            OrderSpec([""])
+        with pytest.raises(DependencyError):
+            OrderSpec([7])
+
+    def test_as_spec_coercion(self):
+        assert as_spec(["a"]) == OrderSpec(["a"])
+        spec = OrderSpec(["a"])
+        assert as_spec(spec) is spec
+
+
+class TestListOD:
+    def test_str(self):
+        assert str(ListOD(["a"], ["b", "c"])) == "[a] -> [b,c]"
+
+    def test_reversed(self):
+        od = ListOD(["a"], ["b"])
+        assert od.reversed() == ListOD(["b"], ["a"])
+
+    def test_equality(self):
+        assert ListOD(["a"], ["b"]) == ListOD(["a"], ["b"])
+        assert ListOD(["a"], ["b"]) != ListOD(["b"], ["a"])
+
+
+class TestOrderCompatibility:
+    def test_str(self):
+        assert str(OrderCompatibility(["a"], ["b"])) == "[a] ~ [b]"
+
+    def test_equality(self):
+        assert OrderCompatibility(["a"], ["b"]) == \
+            OrderCompatibility(["a"], ["b"])
+
+
+class TestCanonicalFD:
+    def test_str_sorted_context(self):
+        fd = CanonicalFD({"z", "a"}, "m")
+        assert str(fd) == "{a,z}: [] -> m"
+
+    def test_trivial(self):
+        assert CanonicalFD({"a"}, "a").is_trivial
+        assert not CanonicalFD({"a"}, "b").is_trivial
+
+    def test_constant(self):
+        assert CanonicalFD(set(), "a").is_constant
+        assert not CanonicalFD({"b"}, "a").is_constant
+
+    def test_sort_key_orders_by_context_size(self):
+        small = CanonicalFD(set(), "a")
+        big = CanonicalFD({"x", "y"}, "a")
+        assert small.sort_key() < big.sort_key()
+
+    def test_format_context(self):
+        assert format_context(frozenset()) == "{}"
+        assert format_context(frozenset({"b", "a"})) == "{a,b}"
+
+
+class TestCanonicalOCD:
+    def test_pair_is_unordered(self):
+        assert CanonicalOCD({"x"}, "b", "a") == CanonicalOCD({"x"}, "a", "b")
+        assert str(CanonicalOCD(set(), "b", "a")) == "{}: a ~ b"
+
+    def test_trivial_identity(self):
+        assert CanonicalOCD(set(), "a", "a").is_trivial
+
+    def test_trivial_normalization(self):
+        assert CanonicalOCD({"a"}, "a", "b").is_trivial
+        assert CanonicalOCD({"b"}, "a", "b").is_trivial
+
+    def test_nontrivial(self):
+        assert not CanonicalOCD({"c"}, "a", "b").is_trivial
+
+    def test_pair_property(self):
+        assert CanonicalOCD(set(), "b", "a").pair == frozenset({"a", "b"})
+
+    def test_hash_commutative(self):
+        assert hash(CanonicalOCD({"x"}, "a", "b")) == \
+            hash(CanonicalOCD({"x"}, "b", "a"))

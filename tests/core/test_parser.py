@@ -1,0 +1,104 @@
+"""Tests for the dependency text syntax."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+)
+from repro.core.parser import parse, parse_equivalence
+from repro.errors import ParseError
+
+_names = st.text(alphabet="abcxyz_", min_size=1, max_size=4)
+
+
+class TestParseCanonical:
+    def test_fd(self):
+        assert parse("{a,b}: [] -> c") == CanonicalFD({"a", "b"}, "c")
+
+    def test_fd_empty_context(self):
+        assert parse("{}: [] -> c") == CanonicalFD(set(), "c")
+
+    def test_fd_unicode_arrow(self):
+        assert parse("{a}: [] ↦ b") == CanonicalFD({"a"}, "b")
+
+    def test_fd_bar_arrow(self):
+        assert parse("{a}: [] |-> b") == CanonicalFD({"a"}, "b")
+
+    def test_ocd(self):
+        assert parse("{x}: a ~ b") == CanonicalOCD({"x"}, "a", "b")
+
+    def test_whitespace_insensitive(self):
+        assert parse("  { a , b } :  [] ->  c ") == \
+            CanonicalFD({"a", "b"}, "c")
+
+    @pytest.mark.parametrize("bad", [
+        "{a}: b -> c",          # FD left side must be []
+        "{a}: [] -> c,d",       # one attribute only
+        "{a} [] -> c",          # missing colon
+        "{a}: [] ->",           # empty right side
+        "{a}: ~ b",             # empty OCD side
+        "{a}: []",              # no operator
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestParseListForms:
+    def test_list_od(self):
+        assert parse("[a,b] -> [c]") == ListOD(["a", "b"], ["c"])
+
+    def test_compat(self):
+        assert parse("[a] ~ [b,c]") == OrderCompatibility(["a"], ["b", "c"])
+
+    def test_empty_lhs(self):
+        assert parse("[] -> [c]") == ListOD([], ["c"])
+
+    def test_equivalence_needs_dedicated_entry(self):
+        with pytest.raises(ParseError):
+            parse("[a] <-> [b]")
+        forward, backward = parse_equivalence("[a] <-> [b]")
+        assert forward == ListOD(["a"], ["b"])
+        assert backward == ListOD(["b"], ["a"])
+
+    def test_parse_equivalence_rejects_plain(self):
+        with pytest.raises(ParseError):
+            parse_equivalence("[a] -> [b]")
+
+    @pytest.mark.parametrize("bad", ["", "a -> b", "[a] [b]", "[a,] -> [b]"])
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestRoundTrips:
+    """parse(str(dep)) == dep for every dependency family."""
+
+    @given(st.sets(_names, max_size=3), _names)
+    def test_fd(self, context, attribute):
+        fd = CanonicalFD(context, attribute)
+        assert parse(str(fd)) == fd
+
+    @given(st.sets(_names, max_size=3), _names, _names)
+    def test_ocd(self, context, left, right):
+        ocd = CanonicalOCD(context, left, right)
+        assert parse(str(ocd)) == ocd
+
+    @given(st.lists(_names, max_size=3),
+           st.lists(_names, min_size=1, max_size=3))
+    def test_list_od(self, lhs, rhs):
+        od = ListOD(lhs, rhs)
+        assert parse(str(od)) == od
+
+    @given(st.lists(_names, min_size=1, max_size=3),
+           st.lists(_names, min_size=1, max_size=3))
+    def test_compat(self, lhs, rhs):
+        compat = OrderCompatibility(lhs, rhs)
+        assert parse(str(compat)) == compat

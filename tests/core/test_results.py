@@ -1,0 +1,86 @@
+"""Tests for result containers and reporting."""
+
+from __future__ import annotations
+
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.results import (
+    DiscoveryResult,
+    LevelStats,
+    diff_results,
+    od_set,
+)
+
+
+def _result(algorithm="X", fds=(), ocds=()):
+    return DiscoveryResult(
+        algorithm=algorithm, attribute_names=("a", "b", "c"), n_rows=5,
+        fds=list(fds), ocds=list(ocds))
+
+
+class TestDiscoveryResult:
+    def test_counts_and_paper_format(self):
+        result = _result(fds=[CanonicalFD(set(), "a")],
+                         ocds=[CanonicalOCD(set(), "b", "c")])
+        assert result.n_ods == 2
+        assert result.paper_counts() == "2 (1 + 1)"
+
+    def test_all_ods_sorted_small_contexts_first(self):
+        big = CanonicalFD({"a", "b"}, "c")
+        small = CanonicalFD(set(), "a")
+        result = _result(fds=[big, small])
+        assert result.all_ods == [small, big]
+
+    def test_constants(self):
+        constant = CanonicalFD(set(), "a")
+        contextual = CanonicalFD({"b"}, "a")
+        result = _result(fds=[constant, contextual])
+        assert result.constants == [constant]
+
+    def test_level_filters(self):
+        result = _result(
+            fds=[CanonicalFD(set(), "a"), CanonicalFD({"b"}, "a")],
+            ocds=[CanonicalOCD({"c"}, "a", "b")])
+        assert len(result.fds_at_level(0)) == 1
+        assert len(result.fds_at_level(1)) == 1
+        assert len(result.ocds_at_level(1)) == 1
+
+    def test_summary_mentions_everything(self):
+        result = _result()
+        result.level_stats.append(LevelStats(level=1, n_nodes=3))
+        result.timed_out = True
+        text = result.summary()
+        assert "TIMED OUT" in text and "L1" in text
+
+    def test_to_dict_round_trips_strings(self):
+        result = _result(fds=[CanonicalFD({"b"}, "a")])
+        payload = result.to_dict()
+        assert payload["fds"] == ["{b}: [] -> a"]
+        assert payload["n_fds"] == 1
+
+    def test_same_ods_ignores_order(self):
+        fd1, fd2 = CanonicalFD(set(), "a"), CanonicalFD({"b"}, "c")
+        assert _result(fds=[fd1, fd2]).same_ods(_result(fds=[fd2, fd1]))
+
+
+class TestLevelStats:
+    def test_totals(self):
+        stats = LevelStats(level=2, n_fds_found=3, n_ocds_found=4)
+        assert stats.n_ods_found == 7
+        assert "L2" in str(stats)
+
+
+class TestDiff:
+    def test_none_when_equal(self):
+        fd = CanonicalFD(set(), "a")
+        assert diff_results(_result(fds=[fd]), _result(fds=[fd])) is None
+
+    def test_reports_both_sides(self):
+        left = _result("L", fds=[CanonicalFD(set(), "a")])
+        right = _result("R", ocds=[CanonicalOCD(set(), "a", "b")])
+        text = diff_results(left, right)
+        assert "only in L" in text and "only in R" in text
+
+    def test_od_set(self):
+        fd = CanonicalFD(set(), "a")
+        ocd = CanonicalOCD(set(), "a", "b")
+        assert od_set([fd], [ocd]) == {fd, ocd}

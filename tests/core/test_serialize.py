@@ -1,0 +1,85 @@
+"""Serialization round trips for dependencies and results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro import discover_ods
+from repro.core.serialize import (
+    dependency_from_text,
+    dependency_to_text,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.errors import DependencyError
+from tests.conftest import make_relation, small_relations
+
+
+class TestDependencyText:
+    def test_round_trip_all_kinds(self):
+        from repro.core.parser import parse
+
+        for text in ["{a}: [] -> b", "{}: a ~ b", "[a,b] -> [c]",
+                     "[a] ~ [b]"]:
+            dependency = parse(text)
+            assert dependency_from_text(
+                dependency_to_text(dependency)) == dependency
+
+
+class TestResultRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        relation = make_relation(
+            3, [(1, 5, 7), (2, 5, 7), (3, 6, 7)])
+        result = discover_ods(relation)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.same_ods(result)
+        assert loaded.algorithm == result.algorithm
+        assert loaded.n_rows == result.n_rows
+        assert loaded.minimal == result.minimal
+        assert len(loaded.level_stats) == len(result.level_stats)
+
+    def test_file_is_plain_json(self, tmp_path):
+        relation = make_relation(2, [(1, 1), (2, 2)])
+        path = tmp_path / "result.json"
+        save_result(discover_ods(relation), path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert all(isinstance(line, str) for line in payload["fds"])
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_dict_round_trip_property(self, relation):
+        result = discover_ods(relation)
+        assert result_from_dict(result_to_dict(result)).same_ods(result)
+
+    def test_config_preserved(self):
+        relation = make_relation(2, [(1, 1), (2, 2)])
+        result = discover_ods(relation, max_level=2)
+        loaded = result_from_dict(result_to_dict(result))
+        assert loaded.config["max_level"] == 2
+
+
+class TestBadInput:
+    def test_unknown_version(self):
+        with pytest.raises(DependencyError):
+            result_from_dict({"format_version": 99})
+
+    def test_wrong_dependency_kind(self):
+        payload = {"format_version": 1, "fds": ["{}: a ~ b"],
+                   "ocds": [], "attributes": ["a", "b"], "n_rows": 0}
+        with pytest.raises(DependencyError):
+            result_from_dict(payload)
+
+    def test_ocd_slot_rejects_fd(self):
+        payload = {"format_version": 1, "fds": [],
+                   "ocds": ["{a}: [] -> b"], "attributes": ["a", "b"],
+                   "n_rows": 0}
+        with pytest.raises(DependencyError):
+            result_from_dict(payload)

@@ -1,0 +1,131 @@
+"""Bidirectional ODs: directed specs, validators, discovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.od import ListOD
+from repro.core.validation import list_od_holds
+from repro.errors import DependencyError
+from repro.extensions import (
+    BidirectionalOD,
+    Direction,
+    bidirectional_ocd_holds,
+    bidirectional_od_holds,
+    directed,
+    discover_bidirectional_ocds,
+)
+from tests.conftest import make_relation, small_relations
+
+
+class TestDirectedSpecs:
+    def test_parse_strings(self):
+        spec = directed("a", "b desc", ("c", "asc"))
+        assert [str(d) for d in spec] == ["a asc", "b desc", "c asc"]
+
+    def test_bad_inputs(self):
+        with pytest.raises(DependencyError):
+            directed("a b c")
+        with pytest.raises(DependencyError):
+            directed(42)
+
+    def test_flip(self):
+        assert Direction.ASC.flipped is Direction.DESC
+        assert Direction.DESC.flipped is Direction.ASC
+
+    def test_od_str(self):
+        od = BidirectionalOD(directed("a"), directed("b desc"))
+        assert str(od) == "[a asc] -> [b desc]"
+
+
+class TestBidirectionalValidator:
+    def test_ascending_matches_plain_od(self):
+        relation = make_relation(2, [(1, 10), (2, 20), (3, 15)])
+        plain = list_od_holds(relation, ListOD(["c0"], ["c1"]))
+        bi = bidirectional_od_holds(
+            relation, BidirectionalOD(directed("c0"), directed("c1")))
+        assert plain == bi
+
+    def test_inverse_column(self):
+        relation = make_relation(2, [(1, 30), (2, 20), (3, 10)])
+        asc = BidirectionalOD(directed("c0"), directed("c1"))
+        desc = BidirectionalOD(directed("c0"), directed("c1 desc"))
+        assert not bidirectional_od_holds(relation, asc)
+        assert bidirectional_od_holds(relation, desc)
+
+    def test_mixed_directions(self):
+        rows = [(1, 9, 100), (2, 8, 200), (3, 7, 300)]
+        relation = make_relation(3, rows)
+        od = BidirectionalOD(
+            directed("c0"), directed("c1 desc", "c2"))
+        assert bidirectional_od_holds(relation, od)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_asc_asc_equals_unidirectional(self, relation):
+        names = list(relation.names)
+        od = ListOD([names[0]], names[1:2] or [names[0]])
+        bi = BidirectionalOD(directed(names[0]),
+                             directed(*(names[1:2] or [names[0]])))
+        assert list_od_holds(relation, od) == \
+            bidirectional_od_holds(relation, bi)
+
+
+class TestBidirectionalOcd:
+    def test_same_direction(self):
+        relation = make_relation(2, [(1, 10), (2, 20)])
+        assert bidirectional_ocd_holds(relation, [], "c0", "c1", True)
+        assert not bidirectional_ocd_holds(relation, [], "c0", "c1", False)
+
+    def test_opposite_direction(self):
+        relation = make_relation(2, [(1, 20), (2, 10)])
+        assert bidirectional_ocd_holds(relation, [], "c0", "c1", False)
+        assert not bidirectional_ocd_holds(relation, [], "c0", "c1", True)
+
+    def test_contextual(self):
+        rows = [(0, 1, 2), (0, 2, 1), (1, 1, 1), (1, 2, 2)]
+        relation = make_relation(3, rows)
+        # within c0=0 the pair is inversely ordered; within c0=1 direct
+        assert not bidirectional_ocd_holds(
+            relation, ["c0"], "c1", "c2", True)
+        assert not bidirectional_ocd_holds(
+            relation, ["c0"], "c1", "c2", False)
+
+
+class TestDiscovery:
+    def test_finds_opposite_pair(self):
+        rows = [(i, 100 - i, i % 2) for i in range(20)]
+        relation = make_relation(3, rows)
+        result = discover_bidirectional_ocds(relation, max_context=0)
+        rendered = {str(o) for o in result.ocds}
+        assert "{}: c0 ~desc c1" in rendered
+        assert any(o for o in result.opposite_only
+                   if {o.left, o.right} == {"c0", "c1"})
+
+    def test_constants_pruned(self):
+        relation = make_relation(2, [(5, 1), (5, 2)])
+        result = discover_bidirectional_ocds(relation, max_context=0)
+        assert result.ocds == []  # c0 constant => nothing minimal
+
+    def test_minimality_subset_contexts(self):
+        rows = [(0, 1, 2), (0, 2, 3), (1, 3, 1), (1, 4, 2)]
+        relation = make_relation(3, rows)
+        result = discover_bidirectional_ocds(relation, max_context=1)
+        seen = [(o.left, o.right, o.same_direction, tuple(sorted(o.context)))
+                for o in result.ocds]
+        assert len(seen) == len(set(seen))
+        # if a pair holds with empty context it must not reappear with
+        # a larger one for the same polarity
+        empties = {(l, r, s) for l, r, s, ctx in seen if not ctx}
+        for l, r, s, ctx in seen:
+            if ctx:
+                assert (l, r, s) not in empties
+
+    def test_ncvoter_age_birth_year(self):
+        from repro.datasets import ncvoter_like
+
+        relation = ncvoter_like(150, 8)
+        result = discover_bidirectional_ocds(relation, max_context=0)
+        opposite = {(o.left, o.right) for o in result.opposite_only}
+        assert ("age", "birth_year") in opposite

@@ -1,0 +1,113 @@
+"""Conditional OD discovery: genuine conditionals only, verified."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.extensions import (
+    condition_text,
+    discover_conditional_ods,
+    verify_conditional,
+)
+from tests.conftest import make_relation, small_relations
+
+
+def _partitioned_relation():
+    """c1 ~ c2 holds within each c0 group but not globally; within
+    c0=1 the pair is inverted so only the c0=0 fragment carries it."""
+    rows = []
+    for i in range(30):
+        rows.append((0, i, i + 100))      # direct order
+    for i in range(30):
+        rows.append((1, i, -i))           # inverted order
+    return make_relation(3, rows)
+
+
+class TestDiscovery:
+    def test_finds_fragment_ocd(self):
+        relation = _partitioned_relation()
+        result = discover_conditional_ods(relation, min_support=0.2)
+        rendered = {(condition_text(c.condition), str(c.od))
+                    for c in result.ods}
+        assert ("c0=0", "{}: c1 ~ c2") in rendered
+
+    def test_global_ods_excluded(self):
+        # c1 ~ c2 globally: nothing conditional about it
+        rows = [(i % 2, i, i) for i in range(20)]
+        relation = make_relation(3, rows)
+        result = discover_conditional_ods(relation, min_support=0.2)
+        assert not any(str(c.od) == "{}: c1 ~ c2" for c in result.ods)
+
+    def test_condition_attribute_artifacts_excluded(self):
+        relation = _partitioned_relation()
+        result = discover_conditional_ods(relation, min_support=0.2)
+        for conditional in result.ods:
+            condition_attrs = {a for a, _ in conditional.condition}
+            od = conditional.od
+            involved = set(od.context)
+            involved |= ({od.attribute}
+                         if hasattr(od, "attribute")
+                         else {od.left, od.right})
+            assert not involved & condition_attrs
+
+    def test_support_reported(self):
+        relation = _partitioned_relation()
+        result = discover_conditional_ods(relation, min_support=0.2)
+        assert all(0.2 <= c.support <= 1.0 for c in result.ods)
+
+    def test_min_support_filters_fragments(self):
+        rows = [(0, 1, 2)] * 18 + [(1, 5, 6), (1, 6, 5)]
+        relation = make_relation(3, rows)
+        result = discover_conditional_ods(relation, min_support=0.5)
+        # the c0=1 fragment has support 0.1 and must never be examined
+        assert all(("c0", 1) not in c.condition for c in result.ods)
+        assert all(c.support >= 0.5 for c in result.ods)
+
+    def test_wide_domains_not_used_as_conditions(self):
+        # c0 is a key: too many values to condition on
+        rows = [(i, i % 3, i % 5) for i in range(30)]
+        relation = make_relation(3, rows)
+        result = discover_conditional_ods(
+            relation, min_support=0.01, max_condition_domain=5)
+        assert all(attr != "c0"
+                   for c in result.ods
+                   for attr, _ in c.condition)
+
+    def test_conjunctions(self):
+        rows = []
+        for i in range(12):
+            rows.append((0, 0, i, i))       # direct within (0,0)
+            rows.append((0, 1, i, -i))      # inverted elsewhere
+            rows.append((1, 0, i, -i))
+            rows.append((1, 1, i, -i))
+        relation = make_relation(4, rows)
+        result = discover_conditional_ods(
+            relation, min_support=0.2, max_conjuncts=2)
+        wanted = [c for c in result.ods
+                  if len(c.condition) == 2 and str(c.od) == "{}: c2 ~ c3"]
+        assert wanted
+        assert wanted[0].condition == (("c0", 0), ("c1", 0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=10, max_domain=2))
+    def test_everything_reported_verifies(self, relation):
+        result = discover_conditional_ods(relation, min_support=0.2)
+        for conditional in result.ods:
+            assert verify_conditional(relation, conditional), \
+                str(conditional)
+
+
+class TestVerifyConditional:
+    def test_rejects_global(self):
+        from repro.core.od import CanonicalOCD
+        from repro.extensions.conditional import ConditionalOD
+
+        rows = [(0, i, i) for i in range(6)]
+        relation = make_relation(3, rows)
+        bogus = ConditionalOD(
+            (("c0", 0),), CanonicalOCD(frozenset(), "c1", "c2"), 1.0)
+        # holds on the fragment but also globally => not conditional
+        assert not verify_conditional(relation, bogus)
+
+    def test_condition_text(self):
+        assert condition_text((("a", 1), ("b", "x"))) == "a=1 AND b='x'"

@@ -1,0 +1,136 @@
+"""Pointwise ODs: dominance semantics and their relationship to the
+paper's lexicographic ODs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.od import ListOD
+from repro.core.validation import list_od_holds
+from repro.extensions import (
+    PointwiseOD,
+    discover_pointwise_ods,
+    find_dominance_violation,
+    pointwise_od_holds,
+)
+from tests.conftest import make_relation, small_relations
+
+
+def _brute_holds(relation, od: PointwiseOD) -> bool:
+    encoded = relation.encode()
+    index = {name: i for i, name in enumerate(encoded.names)}
+    lhs = [encoded.column(index[n]) for n in sorted(od.lhs)]
+    rhs = [encoded.column(index[n]) for n in sorted(od.rhs)]
+    n = relation.n_rows
+    for s in range(n):
+        for t in range(n):
+            if all(col[s] <= col[t] for col in lhs) and \
+                    not all(col[s] <= col[t] for col in rhs):
+                return False
+    return True
+
+
+class TestSemantics:
+    def test_monotone_pair(self):
+        relation = make_relation(2, [(1, 10), (2, 20), (3, 30)])
+        assert pointwise_od_holds(
+            relation, PointwiseOD(frozenset({"c0"}), frozenset({"c1"})))
+
+    def test_violated_by_inversion(self):
+        relation = make_relation(2, [(1, 20), (2, 10)])
+        od = PointwiseOD(frozenset({"c0"}), frozenset({"c1"}))
+        assert not pointwise_od_holds(relation, od)
+        witness = find_dominance_violation(relation, od)
+        assert witness is not None
+
+    def test_ties_must_agree(self):
+        # pointwise: s <= t AND t <= s on X forces both orders on Y
+        relation = make_relation(2, [(1, 5), (1, 6)])
+        od = PointwiseOD(frozenset({"c0"}), frozenset({"c1"}))
+        assert not pointwise_od_holds(relation, od)
+
+    def test_empty_lhs_needs_constants(self):
+        constant = make_relation(2, [(1, 7), (2, 7)])
+        varying = make_relation(2, [(1, 7), (2, 8)])
+        od = PointwiseOD(frozenset(), frozenset({"c1"}))
+        assert pointwise_od_holds(constant, od)
+        assert not pointwise_od_holds(varying, od)
+
+    def test_multi_attribute_lhs_weaker(self):
+        # {c0} -> {c2} fails, but {c0,c1} -> {c2} holds: fewer pairs
+        # are dominated on two attributes.
+        relation = make_relation(3, [(1, 2, 10), (2, 1, 5)])
+        assert not pointwise_od_holds(
+            relation, PointwiseOD(frozenset({"c0"}), frozenset({"c2"})))
+        assert pointwise_od_holds(
+            relation,
+            PointwiseOD(frozenset({"c0", "c1"}), frozenset({"c2"})))
+
+    @settings(max_examples=80, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2),
+           st.data())
+    def test_matches_bruteforce(self, relation, data):
+        names = list(relation.names)
+        lhs_size = data.draw(st.integers(0, len(names)))
+        rhs_size = data.draw(st.integers(1, len(names)))
+        lhs = frozenset(data.draw(st.permutations(names))[:lhs_size])
+        rhs = frozenset(data.draw(st.permutations(names))[:rhs_size])
+        od = PointwiseOD(lhs, rhs)
+        assert pointwise_od_holds(relation, od) == \
+            _brute_holds(relation, od)
+        witness = find_dominance_violation(relation, od)
+        assert (witness is None) == _brute_holds(relation, od)
+
+
+class TestRelationToLexicographic:
+    @settings(max_examples=80, deadline=None)
+    @given(small_relations(max_cols=2, max_rows=8, max_domain=3))
+    def test_coincide_on_single_attributes(self, relation):
+        """For |X| = |Y| = 1 the two OD notions are the same relation
+        (both say: A-order implies B-order, ties forced)."""
+        if relation.arity < 2:
+            return
+        a, b = relation.names[0], relation.names[1]
+        lex = list_od_holds(relation, ListOD([a], [b]))
+        point = pointwise_od_holds(
+            relation, PointwiseOD(frozenset({a}), frozenset({b})))
+        assert lex == point
+
+    def test_diverge_beyond_singletons(self):
+        """The notions diverge on composite left sides: rows that are
+        pointwise *incomparable* (c0 up, c1 down) still have a strict
+        lexicographic order, so the lexicographic OD can fail while the
+        pointwise one holds vacuously — the paper's §2.1 distinction."""
+        relation = make_relation(3, [(1, 9, 20), (2, 1, 10)])
+        lex = list_od_holds(relation, ListOD(["c0", "c1"], ["c2"]))
+        point = pointwise_od_holds(
+            relation,
+            PointwiseOD(frozenset({"c0", "c1"}), frozenset({"c2"})))
+        assert not lex
+        assert point
+
+
+class TestDiscovery:
+    def test_finds_monotone_pairs(self):
+        relation = make_relation(2, [(1, 10), (2, 20), (3, 30)])
+        result = discover_pointwise_ods(relation)
+        rendered = {str(od) for od in result.ods}
+        assert "{c0} pointwise-> {c1}" in rendered
+        assert "{c1} pointwise-> {c0}" in rendered
+
+    def test_minimality_smaller_lhs_wins(self):
+        relation = make_relation(3, [(1, 1, 10), (2, 2, 20), (3, 3, 30)])
+        result = discover_pointwise_ods(relation, max_lhs=2)
+        # {c0} -> {c2} holds, so {c0,c1} -> {c2} must be pruned
+        lhs_for_c2 = [od.lhs for od in result.ods
+                      if od.rhs == frozenset({"c2"})]
+        assert frozenset({"c0"}) in lhs_for_c2
+        assert frozenset({"c0", "c1"}) not in lhs_for_c2
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_everything_reported_holds(self, relation):
+        for od in discover_pointwise_ods(relation, max_lhs=2).ods:
+            assert pointwise_od_holds(relation, od), str(od)

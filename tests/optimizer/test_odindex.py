@@ -1,0 +1,95 @@
+"""The OD index: closure queries and list-OD implication."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.od import (
+    CanonicalFD,
+    CanonicalOCD,
+    ListOD,
+    OrderCompatibility,
+)
+from repro.core.validation import list_od_holds
+from repro.datasets import date_dim
+from repro.optimizer import ODIndex
+from tests.conftest import make_relation, small_relations
+
+
+class TestConstruction:
+    def test_from_result(self):
+        relation = make_relation(2, [(1, 1), (2, 2)])
+        from repro import discover_ods
+
+        index = ODIndex.from_result(discover_ods(relation))
+        assert len(index) > 0
+
+    def test_discover_shortcut(self):
+        relation = make_relation(2, [(1, 1), (2, 2)])
+        index = ODIndex.discover(relation)
+        assert index.is_order_compatible(set(), "c0", "c1")
+
+    def test_manual_cover(self):
+        index = ODIndex(fds=[CanonicalFD({"a"}, "b")],
+                        ocds=[CanonicalOCD(set(), "a", "b")])
+        assert index.fds and index.ocds
+
+
+class TestQueries:
+    def setup_method(self):
+        self.index = ODIndex(
+            fds=[CanonicalFD({"a"}, "b"), CanonicalFD(set(), "k")],
+            ocds=[CanonicalOCD(set(), "a", "b")])
+
+    def test_closure(self):
+        assert self.index.attribute_closure({"a"}) == {"a", "b", "k"}
+
+    def test_is_constant(self):
+        assert self.index.is_constant({"a"}, "b")
+        assert self.index.is_constant({"z"}, "k")   # constants everywhere
+        assert not self.index.is_constant(set(), "b")
+
+    def test_is_order_compatible(self):
+        assert self.index.is_order_compatible(set(), "a", "b")
+        assert self.index.is_order_compatible({"z"}, "a", "b")  # Aug-II
+        assert self.index.is_order_compatible(set(), "a", "k")  # Propagate
+
+    def test_implies_list_od_two_specs(self):
+        assert self.index.implies_list_od(["a"], ["b"])
+
+    def test_implies_order_compatibility(self):
+        assert self.index.implies_order_compatibility(
+            OrderCompatibility(["a"], ["b"]))
+
+    def test_implies_order_equivalence_needs_both(self):
+        index = ODIndex(fds=[CanonicalFD({"a"}, "b")],
+                        ocds=[CanonicalOCD(set(), "a", "b")])
+        # a -> b implied, but b -> a is not
+        assert index.implies_list_od(["a"], ["b"])
+        assert not index.implies_order_equivalence(["a"], ["b"])
+
+
+class TestSoundnessAndCompleteness:
+    @settings(max_examples=60, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_implication_equals_validity_for_discovered_covers(
+            self, relation):
+        """For an instance-derived cover, implies_list_od(X ↦ Y) must
+        agree with the OD actually holding on the instance."""
+        from itertools import permutations
+
+        index = ODIndex.discover(relation)
+        names = list(relation.names)
+        specs = [list(p) for n in (1, 2)
+                 for p in permutations(names, min(n, len(names)))]
+        for lhs in specs[:6]:
+            for rhs in specs[:6]:
+                od = ListOD(lhs, rhs)
+                assert index.implies_list_od(od) == \
+                    list_od_holds(relation, od), str(od)
+
+    def test_tpcds_index(self):
+        index = ODIndex.discover(date_dim(400))
+        assert index.implies_list_od(["d_date_sk"], ["d_year"])
+        assert index.implies_list_od(["d_month"], ["d_month", "d_quarter"])
+        assert not index.implies_list_od(["d_year"], ["d_month"])

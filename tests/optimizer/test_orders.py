@@ -1,0 +1,114 @@
+"""ORDER BY / GROUP BY simplification and sort elimination."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.od import CanonicalFD, ListOD, OrderSpec
+from repro.core.validation import list_od_holds
+from repro.datasets import date_dim
+from repro.optimizer import (
+    ODIndex,
+    interesting_orders,
+    simplify_group_by,
+    simplify_order_by,
+    sort_is_redundant,
+)
+from tests.conftest import make_relation, small_relations
+
+
+class TestSimplifyOrderBy:
+    def setup_method(self):
+        self.relation = date_dim(365)  # one calendar year
+        self.index = ODIndex.discover(self.relation)
+
+    def test_drops_constant_year(self):
+        result = simplify_order_by(
+            self.index, ["d_year", "d_month", "d_dom"])
+        assert result.simplified == OrderSpec(["d_month", "d_dom"])
+        assert result.changed
+        assert any("constant" in step for step in result.steps)
+
+    def test_drops_quarter_after_month(self):
+        result = simplify_order_by(self.index, ["d_month", "d_quarter"])
+        assert result.simplified == OrderSpec(["d_month"])
+
+    def test_drops_repeats(self):
+        result = simplify_order_by(self.index, ["d_dom", "d_dom"])
+        assert result.simplified == OrderSpec(["d_dom"])
+        assert any("Normalization" in step for step in result.steps)
+
+    def test_keeps_independent(self):
+        result = simplify_order_by(self.index, ["d_dow", "d_dom"])
+        assert not result.changed
+
+    def test_str_shows_arrow(self):
+        result = simplify_order_by(self.index, ["d_month", "d_quarter"])
+        assert "=>" in str(result)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_simplification_preserves_semantics(self, relation):
+        """Sorting by the simplified list is equivalent to sorting by
+        the original: original ↔ simplified must hold on the data."""
+        index = ODIndex.discover(relation)
+        spec = list(relation.names)
+        result = simplify_order_by(index, spec)
+        forward = ListOD(result.original, result.simplified)
+        assert list_od_holds(relation, forward)
+        assert list_od_holds(relation, forward.reversed())
+
+
+class TestSimplifyGroupBy:
+    def test_drops_determined(self):
+        index = ODIndex(fds=[CanonicalFD({"month"}, "quarter")])
+        result = simplify_group_by(index, ["year", "quarter", "month"])
+        assert result.simplified == ("year", "month")
+        assert result.changed
+
+    def test_keeps_when_nothing_derivable(self):
+        index = ODIndex()
+        result = simplify_group_by(index, ["a", "b"])
+        assert result.simplified == ("a", "b")
+        assert not result.changed
+
+    def test_dedupes(self):
+        index = ODIndex()
+        result = simplify_group_by(index, ["a", "a", "b"])
+        assert result.original == ("a", "b")
+
+    def test_paper_query1_group_by(self):
+        index = ODIndex.discover(date_dim(720))
+        result = simplify_group_by(
+            index, ["d_year", "d_quarter", "d_month"])
+        # month determines quarter (within a year-spanning table the
+        # month-of-year still fixes the quarter-of-year)
+        assert "d_quarter" not in result.simplified
+        assert "d_month" in result.simplified
+
+
+class TestSortElimination:
+    def test_index_covers_order(self):
+        relation = date_dim(365)
+        index = ODIndex.discover(relation)
+        assert sort_is_redundant(index, ["d_date_sk"], ["d_month"])
+        assert not sort_is_redundant(index, ["d_dom"], ["d_month"])
+
+    def test_clustered_index_example(self, employee_table):
+        # Section 2.1: index on yr,sal serves order by yr,bin
+        index = ODIndex.discover(employee_table)
+        assert sort_is_redundant(index, ["yr", "sal"], ["yr", "bin"])
+
+
+class TestInterestingOrders:
+    def test_equivalent_specs_grouped(self):
+        relation = make_relation(2, [(1, 10), (2, 20), (3, 30)])
+        index = ODIndex.discover(relation)
+        groups = interesting_orders(index, [["c0"], ["c1"], ["c0", "c1"]])
+        assert len(groups) == 1
+
+    def test_distinct_specs_kept_apart(self):
+        relation = make_relation(2, [(1, 20), (2, 10)])
+        index = ODIndex.discover(relation)
+        groups = interesting_orders(index, [["c0"], ["c1"]])
+        assert len(groups) == 2

@@ -1,0 +1,132 @@
+"""Join elimination: legality, plan equivalence, and refusal cases."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import date_dim, web_sales
+from repro.optimizer import (
+    ODIndex,
+    RangePredicate,
+    StarQuery,
+    compare_plans,
+    dimension_key_bounds,
+    eliminate_join,
+    execute_with_join,
+)
+from repro.relation.table import Relation
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    dim = date_dim(730)            # 2010-2011
+    fact = web_sales(1500, 730)
+    index = ODIndex.discover(dim)
+    return fact, dim, index
+
+
+class TestEliminateJoin:
+    def test_applies_for_ordered_attribute(self, warehouse):
+        fact, dim, index = warehouse
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_year", 2010, 2010))
+        outcome = eliminate_join(query, index, dim)
+        assert outcome.applied
+        assert outcome.key_range is not None
+        low, high = outcome.key_range
+        assert low <= high
+        assert "BETWEEN" in outcome.rewritten_predicate
+
+    def test_refuses_for_unordered_attribute(self, warehouse):
+        fact, dim, index = warehouse
+        # day-of-week is not ordered by the surrogate key
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_dow", 2, 3))
+        outcome = eliminate_join(query, index, dim)
+        assert not outcome.applied
+        assert "not implied" in outcome.reason
+
+    def test_empty_range(self, warehouse):
+        fact, dim, index = warehouse
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_year", 1990, 1991))
+        outcome = eliminate_join(query, index, dim)
+        assert outcome.applied
+        assert outcome.key_range is None
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize("low,high", [
+        (2010, 2010), (2011, 2011), (2010, 2011),
+    ])
+    def test_year_ranges(self, warehouse, low, high):
+        fact, dim, index = warehouse
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_year", low, high))
+        comparison = compare_plans(fact, dim, query, index)
+        assert comparison.elimination.applied
+        assert comparison.equivalent
+        assert comparison.rewrite_metrics.dim_rows_scanned == 0
+        assert comparison.join_metrics.dim_rows_scanned == dim.n_rows
+
+    def test_date_range(self, warehouse):
+        fact, dim, index = warehouse
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_date", 20100301, 20100715))
+        comparison = compare_plans(fact, dim, query, index)
+        assert comparison.elimination.applied
+        assert comparison.equivalent
+
+    def test_fallback_keeps_join_result(self, warehouse):
+        fact, dim, index = warehouse
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_dow", 2, 3))
+        comparison = compare_plans(fact, dim, query, index)
+        assert not comparison.elimination.applied
+        assert comparison.equivalent  # falls back to the join rows
+
+    def test_savings_summary_renders(self, warehouse):
+        fact, dim, index = warehouse
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_year", 2010, 2010))
+        comparison = compare_plans(fact, dim, query, index)
+        assert "probes" in comparison.savings_summary()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 80), st.integers(0, 80), st.data())
+    def test_random_monotone_dimension(self, bound_a, bound_b, data):
+        """On any dimension where attr is monotone in key, the rewrite
+        must be legal and produce identical results."""
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        n_dim = rng.randint(2, 40)
+        keys = sorted(rng.sample(range(1000), n_dim))
+        attr = [k // 7 for k in keys]  # monotone non-decreasing
+        dim = Relation.from_columns({"key": keys, "attr": attr})
+        fact = Relation.from_columns({
+            "fk": [rng.choice(keys) for _ in range(60)]})
+        index = ODIndex.discover(dim)
+        low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+        query = StarQuery("fk", "key", RangePredicate("attr", low, high))
+        comparison = compare_plans(fact, dim, query, index)
+        assert comparison.elimination.applied
+        assert comparison.equivalent
+
+
+class TestExecutors:
+    def test_join_counts_rows(self):
+        dim = Relation.from_columns({"key": [1, 2], "attr": [10, 20]})
+        fact = Relation.from_columns({"fk": [1, 1, 2, 3]})
+        query = StarQuery("fk", "key", RangePredicate("attr", 10, 10))
+        rows, metrics = execute_with_join(fact, dim, query)
+        assert rows == [0, 1]
+        assert metrics.dim_rows_scanned == 2
+        assert metrics.fact_rows_scanned == 4
+
+    def test_bounds_none_when_empty(self):
+        dim = Relation.from_columns({"key": [1], "attr": [5]})
+        query = StarQuery("fk", "key", RangePredicate("attr", 99, 100))
+        assert dimension_key_bounds(dim, query) is None

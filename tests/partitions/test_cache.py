@@ -1,0 +1,44 @@
+"""Tests for the memoizing partition cache."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.partitions.cache import PartitionCache
+from repro.partitions.partition import partition_from_columns
+from repro.relation.schema import iter_bits
+from tests.conftest import make_relation, small_relations
+
+
+class TestPartitionCache:
+    def test_empty_mask(self):
+        rel = make_relation(2, [(1, 2), (3, 4), (1, 2)])
+        cache = PartitionCache(rel.encode())
+        empty = cache.get(0)
+        assert empty.canonical_form() == frozenset(
+            {frozenset({0, 1, 2})})
+
+    def test_memoized(self):
+        rel = make_relation(2, [(1, 2), (1, 3)])
+        cache = PartitionCache(rel.encode())
+        assert cache.get(0b11) is cache.get(0b11)
+
+    def test_get_attrs(self):
+        rel = make_relation(3, [(1, 2, 3), (1, 2, 4)])
+        cache = PartitionCache(rel.encode())
+        assert cache.get_attrs([0, 1]) == cache.get(0b011)
+
+    def test_preload_singletons(self):
+        rel = make_relation(3, [(1, 2, 3)])
+        cache = PartitionCache(rel.encode())
+        cache.preload_singletons()
+        assert len(cache) == 4  # {} plus three singletons
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=2))
+    def test_every_mask_matches_reference(self, relation):
+        encoded = relation.encode()
+        cache = PartitionCache(encoded)
+        for mask in range(1 << encoded.arity):
+            expected = partition_from_columns(encoded, iter_bits(mask))
+            assert cache.get(mask) == expected, f"mask={mask:b}"

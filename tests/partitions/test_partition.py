@@ -1,0 +1,107 @@
+"""Tests for stripped partitions: construction, product, measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.partitions.partition import (
+    StrippedPartition,
+    partition_from_columns,
+)
+from tests.conftest import small_relations
+
+
+class TestConstruction:
+    def test_from_ranks(self):
+        partition = StrippedPartition.from_ranks(
+            np.array([0, 1, 0, 2, 1, 0]))
+        assert partition.canonical_form() == frozenset({
+            frozenset({0, 2, 5}), frozenset({1, 4})})
+        assert partition.n_rows == 6
+
+    def test_singletons_stripped(self):
+        partition = StrippedPartition.from_ranks(np.array([0, 1, 2]))
+        assert partition.classes == []
+        assert partition.is_superkey()
+
+    def test_single_class(self):
+        partition = StrippedPartition.single_class(4)
+        assert partition.canonical_form() == frozenset(
+            {frozenset({0, 1, 2, 3})})
+
+    def test_single_class_tiny(self):
+        assert StrippedPartition.single_class(1).classes == []
+        assert StrippedPartition.single_class(0).classes == []
+
+    def test_empty_ranks(self):
+        partition = StrippedPartition.from_ranks(np.array([], dtype=np.int64))
+        assert partition.n_rows == 0
+        assert partition.classes == []
+
+
+class TestMeasures:
+    def test_error(self):
+        partition = StrippedPartition([[0, 1, 2], [3, 4]], 7)
+        assert partition.n_classes == 2
+        assert partition.n_grouped_rows == 5
+        assert partition.error == 3  # (3-1) + (2-1)
+
+    def test_with_singletons(self):
+        partition = StrippedPartition([[1, 3]], 4)
+        full = partition.with_singletons()
+        assert sorted(map(sorted, full)) == [[0], [1, 3], [2]]
+
+
+class TestProduct:
+    def test_simple(self):
+        left = StrippedPartition.from_ranks(np.array([0, 0, 1, 1, 0]))
+        right = StrippedPartition.from_ranks(np.array([0, 1, 0, 0, 0]))
+        product = left.product(right)
+        # X = (a,b): rows (0,0),(0,1),(1,0),(1,0),(0,0)
+        assert product.canonical_form() == frozenset({
+            frozenset({0, 4}), frozenset({2, 3})})
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            StrippedPartition([], 3).product(StrippedPartition([], 4))
+
+    def test_product_with_empty_context(self):
+        column = StrippedPartition.from_ranks(np.array([0, 1, 0]))
+        everything = StrippedPartition.single_class(3)
+        assert everything.product(column) == column
+        assert column.product(everything) == column
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=12, max_domain=2))
+    def test_product_equals_from_scratch(self, relation):
+        """Π_Y · Π_Z == Π_{Y∪Z} computed by hashing projections."""
+        encoded = relation.encode()
+        if encoded.arity < 2:
+            return
+        split = encoded.arity // 2
+        left_attrs = list(range(split))
+        right_attrs = list(range(split, encoded.arity))
+        left = partition_from_columns(encoded, left_attrs)
+        right = partition_from_columns(encoded, right_attrs)
+        combined = partition_from_columns(
+            encoded, left_attrs + right_attrs)
+        assert left.product(right) == combined
+        assert right.product(left) == combined  # commutative
+
+    def test_row_to_class_cached(self):
+        partition = StrippedPartition([[0, 1]], 3)
+        assert partition.row_to_class() is partition.row_to_class()
+        assert list(partition.row_to_class()) == [0, 0, -1]
+
+
+class TestEquality:
+    def test_class_order_irrelevant(self):
+        first = StrippedPartition([[0, 1], [2, 3]], 4)
+        second = StrippedPartition([[3, 2], [1, 0]], 4)
+        assert first == second
+
+    def test_different_n_rows(self):
+        assert StrippedPartition([[0, 1]], 2) != StrippedPartition(
+            [[0, 1]], 3)

@@ -1,0 +1,62 @@
+"""Tests for sorted partitions (τ) and the bucket swap check."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partitions.sorted_partition import (
+    SortedPartition,
+    swap_free_buckets,
+)
+
+
+class TestSortedPartition:
+    def test_from_ranks(self):
+        tau = SortedPartition.from_ranks(np.array([2, 0, 1, 0]))
+        assert tau.buckets == [[1, 3], [2], [0]]
+        assert tau.n_buckets == 3
+
+    def test_rank_of_inverse(self):
+        ranks = np.array([2, 0, 1, 0, 2])
+        tau = SortedPartition.from_ranks(ranks)
+        assert list(tau.rank_of()) == list(ranks)
+
+    def test_restrict_orders_by_value(self):
+        tau = SortedPartition.from_ranks(np.array([3, 1, 2, 1, 0]))
+        assert tau.restrict([0, 1, 3]) == [[1, 3], [0]]
+
+    def test_empty(self):
+        tau = SortedPartition.from_ranks(np.array([], dtype=np.int64))
+        assert tau.buckets == []
+
+
+class TestSwapFreeBuckets:
+    def test_no_swap(self):
+        ranks_b = np.array([0, 1, 1, 2])
+        assert swap_free_buckets([[0], [1, 2], [3]], ranks_b)
+
+    def test_swap_detected(self):
+        ranks_b = np.array([2, 1, 0])
+        assert not swap_free_buckets([[0], [1], [2]], ranks_b)
+
+    def test_ties_within_bucket_allowed(self):
+        # equal A values never form a swap no matter what B does
+        ranks_b = np.array([5, 0, 7])
+        assert swap_free_buckets([[0, 1, 2]], ranks_b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    min_size=1, max_size=12))
+    def test_agrees_with_pairwise_definition(self, pairs):
+        """Bucket scan == pairwise swap definition (Definition 5)."""
+        ranks_a = np.array([a for a, _ in pairs])
+        ranks_b = np.array([b for _, b in pairs])
+        tau = SortedPartition.from_ranks(ranks_a)
+        buckets = tau.restrict(range(len(pairs)))
+        via_scan = swap_free_buckets(buckets, ranks_b)
+        via_pairs = not any(
+            ranks_a[i] < ranks_a[j] and ranks_b[i] > ranks_b[j]
+            for i in range(len(pairs)) for j in range(len(pairs)))
+        assert via_scan == via_pairs

@@ -1,0 +1,100 @@
+"""Minimal key discovery: matches a brute-force definition check."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.profile import discover_keys
+from tests.conftest import make_relation, small_relations
+
+
+def _brute_minimal_keys(relation):
+    names = relation.names
+    rows = list(relation.rows())
+    index = {name: i for i, name in enumerate(names)}
+
+    def is_superkey(attrs):
+        seen = set()
+        for row in rows:
+            key = tuple(row[index[a]] for a in attrs)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    keys = []
+    for size in range(0, len(names) + 1):
+        for attrs in combinations(names, size):
+            if is_superkey(attrs) and not any(
+                    set(prior) <= set(attrs) for prior in keys):
+                keys.append(attrs)
+    return {frozenset(k) for k in keys}
+
+
+class TestDiscoverKeys:
+    def test_single_key_column(self):
+        relation = make_relation(2, [(1, 5), (2, 5), (3, 6)])
+        result = discover_keys(relation)
+        assert set(result.keys) == {frozenset({"c0"})}
+
+    def test_composite_key(self):
+        relation = make_relation(
+            2, [(1, 1), (1, 2), (2, 1), (2, 2)])
+        result = discover_keys(relation)
+        assert set(result.keys) == {frozenset({"c0", "c1"})}
+
+    def test_no_key(self):
+        relation = make_relation(1, [(1,), (1,)])
+        result = discover_keys(relation)
+        assert result.keys == []
+
+    def test_empty_relation_empty_key(self):
+        relation = make_relation(2, [])
+        result = discover_keys(relation)
+        assert result.keys == [frozenset()]
+
+    def test_single_row_empty_key(self):
+        relation = make_relation(2, [(1, 2)])
+        assert discover_keys(relation).keys == [frozenset()]
+
+    def test_max_size(self):
+        relation = make_relation(
+            2, [(1, 1), (1, 2), (2, 1), (2, 2)])
+        result = discover_keys(relation, max_size=1)
+        assert result.keys == []
+
+    def test_is_superkey_helper(self):
+        relation = make_relation(2, [(1, 5), (2, 5), (3, 6)])
+        result = discover_keys(relation)
+        assert result.is_superkey({"c0", "c1"})
+        assert result.is_superkey({"c0"})
+        assert not result.is_superkey({"c1"})
+
+    def test_rendered_sorted_by_size(self):
+        relation = make_relation(
+            3, [(1, 0, 0), (2, 0, 1), (3, 1, 0), (4, 1, 1)])
+        rendered = discover_keys(relation).rendered()
+        assert rendered[0] == "(c0)"
+
+    @settings(max_examples=80, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=3))
+    def test_matches_bruteforce(self, relation):
+        result = discover_keys(relation)
+        assert set(result.keys) == _brute_minimal_keys(relation)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=2))
+    def test_agrees_with_fastod_key_fds(self, relation):
+        """For each minimal key K and attribute A outside it, the FD
+        K: [] -> A is valid — consistency with Lemma 12."""
+        from repro.core.od import CanonicalFD
+        from repro.core.validation import CanonicalValidator
+
+        validator = CanonicalValidator(relation)
+        for key in discover_keys(relation).keys:
+            for attribute in relation.names:
+                if attribute not in key:
+                    assert validator.holds(CanonicalFD(key, attribute))

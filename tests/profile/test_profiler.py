@@ -1,0 +1,60 @@
+"""The one-call profiler: pipeline wiring and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profile import profile_relation
+from tests.conftest import make_relation
+
+
+@pytest.fixture
+def relation():
+    return make_relation(
+        3, [(1, 5, 7), (2, 5, 7), (3, 6, 7), (4, 6, 7)])
+
+
+class TestProfileRelation:
+    def test_pipeline_fields(self, relation):
+        profile = profile_relation(relation)
+        assert profile.n_rows == 4
+        assert profile.keys.n_keys >= 1
+        assert profile.n_dependencies == profile.ods.n_ods
+        assert profile.elapsed_seconds > 0
+        assert profile.approximate is None
+
+    def test_constants_surfaced(self, relation):
+        profile = profile_relation(relation)
+        assert profile.constants == ["c2"]
+
+    def test_approximate_optional(self, relation):
+        profile = profile_relation(relation, approximate_error=0.5)
+        assert profile.approximate is not None
+        assert profile.approximate.max_error == 0.5
+
+    def test_max_level_respected(self, relation):
+        profile = profile_relation(relation, max_level=1)
+        assert all(len(od.context) == 0 for od in profile.ods.all_ods)
+
+    def test_render_text(self, relation):
+        text = profile_relation(relation).render_text()
+        assert "Keys" in text
+        assert "Constant attributes: c2" in text
+        assert "coverage=" in text
+
+    def test_render_markdown(self, relation):
+        markdown = profile_relation(relation).render_markdown()
+        assert markdown.startswith("# Data profile")
+        assert "| dependency | coverage | context |" in markdown
+        assert "`c2`" in markdown
+
+    def test_ranked_matches_ods(self, relation):
+        profile = profile_relation(relation)
+        assert len(profile.ranked) == profile.ods.n_ods
+
+    def test_report_top_limit(self, relation):
+        text = profile_relation(relation).render_text(top=1)
+        # only one ranked OD line is shown
+        ranked_lines = [line for line in text.splitlines()
+                        if "coverage=" in line]
+        assert len(ranked_lines) == 1

@@ -1,0 +1,60 @@
+"""Ranking: coverage semantics and ordering stability."""
+
+from __future__ import annotations
+
+from repro import discover_ods
+from repro.profile import rank_ods, top_ods
+from tests.conftest import make_relation
+
+
+class TestRanking:
+    def test_empty_context_has_full_coverage(self):
+        relation = make_relation(
+            2, [(1, 10), (1, 20), (2, 30), (2, 40)])
+        result = discover_ods(relation)
+        ranked = rank_ods(result, relation)
+        for item in ranked:
+            if not item.od.context:
+                assert item.coverage == 1.0
+
+    def test_key_context_has_zero_coverage(self):
+        # c0 is a key: FD {c0}: [] -> c1 constrains no tuple pair
+        relation = make_relation(2, [(1, 9), (2, 3), (3, 5)])
+        result = discover_ods(relation)
+        ranked = {str(r.od): r for r in rank_ods(result, relation)}
+        assert ranked["{c0}: [] -> c1"].coverage == 0.0
+
+    def test_partial_coverage(self):
+        # context c0: rows 0,1 grouped; rows 2,3 singletons
+        relation = make_relation(
+            2, [(1, 5), (1, 5), (2, 6), (3, 7)])
+        result = discover_ods(relation)
+        by_od = {str(r.od): r for r in rank_ods(result, relation)}
+        fd = by_od.get("{c0}: [] -> c1")
+        if fd is not None:
+            assert fd.coverage == 0.5
+
+    def test_sorted_best_first(self):
+        relation = make_relation(
+            3, [(1, 1, 0), (2, 2, 0), (3, 3, 1), (3, 3, 1)])
+        ranked = rank_ods(discover_ods(relation), relation)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self):
+        relation = make_relation(
+            3, [(1, 1, 0), (2, 2, 0), (3, 3, 1), (3, 3, 1)])
+        result = discover_ods(relation)
+        first = [str(r.od) for r in rank_ods(result, relation)]
+        second = [str(r.od) for r in rank_ods(result, relation)]
+        assert first == second
+
+    def test_top_limits(self):
+        relation = make_relation(2, [(1, 1), (2, 2), (3, 3)])
+        result = discover_ods(relation)
+        assert len(top_ods(result, relation, limit=1)) == 1
+
+    def test_str_renders_signals(self):
+        relation = make_relation(2, [(1, 1), (2, 2)])
+        ranked = rank_ods(discover_ods(relation), relation)
+        assert "coverage=" in str(ranked[0])

@@ -1,0 +1,82 @@
+"""Tests for CSV loading, writing and type inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError
+from repro.relation.csvio import (
+    infer_value,
+    read_csv,
+    read_csv_text,
+    write_csv,
+)
+from repro.relation.table import Relation
+
+
+class TestInferValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("", None),
+        ("42", 42),
+        ("-3", -3),
+        ("2.5", 2.5),
+        ("1e3", 1000.0),
+        ("abc", "abc"),
+        ("4x", "4x"),
+    ])
+    def test_cases(self, text, expected):
+        assert infer_value(text) == expected
+
+
+class TestReadCsvText:
+    def test_header_and_types(self):
+        rel = read_csv_text("a,b,c\n1,x,2.5\n2,y,\n")
+        assert rel.names == ("a", "b", "c")
+        assert rel.row(0) == (1, "x", 2.5)
+        assert rel.row(1) == (2, "y", None)
+
+    def test_no_header(self):
+        rel = read_csv_text("1,2\n3,4\n", has_header=False)
+        assert rel.names == ("col0", "col1")
+        assert rel.n_rows == 2
+
+    def test_limit(self):
+        rel = read_csv_text("a\n1\n2\n3\n", limit=2)
+        assert rel.n_rows == 2
+
+    def test_no_type_inference(self):
+        rel = read_csv_text("a\n1\n", infer_types=False)
+        assert rel.row(0) == ("1",)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(DataError):
+            read_csv_text("a,b\n1\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            read_csv_text("", has_header=False)
+
+    def test_blank_lines_skipped(self):
+        rel = read_csv_text("a\n\n1\n\n2\n")
+        assert rel.n_rows == 2
+
+    def test_custom_delimiter(self):
+        rel = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert rel.row(0) == (1, 2)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        original = Relation.from_rows(
+            ["n", "s", "missing"],
+            [(1, "alpha", None), (2, "beta", 7)])
+        path = tmp_path / "out.csv"
+        write_csv(original, path)
+        back = read_csv(path)
+        assert back == original
+
+    def test_read_csv_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("x,y\n5,6\n")
+        rel = read_csv(path)
+        assert rel.row(0) == (5, 6)

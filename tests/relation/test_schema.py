@@ -1,0 +1,91 @@
+"""Tests for schemas and bitmask helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relation.schema import (
+    Schema,
+    bit_count,
+    iter_bits,
+    mask_of_indices,
+)
+
+
+class TestSchema:
+    def test_basic_lookup(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.arity == 3
+        assert schema.index("b") == 1
+        assert schema.name_of(2) == "c"
+        assert schema.names == ("a", "b", "c")
+
+    def test_indices_and_names_roundtrip(self):
+        schema = Schema(["x", "y", "z"])
+        assert schema.indices(["z", "x"]) == (2, 0)
+        assert schema.names_of([2, 0]) == ("z", "x")
+
+    def test_unknown_attribute(self):
+        schema = Schema(["a"])
+        with pytest.raises(SchemaError):
+            schema.index("nope")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", 3])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([""])
+
+    def test_mask_roundtrip(self):
+        schema = Schema(["a", "b", "c", "d"])
+        mask = schema.mask_of(["d", "b"])
+        assert mask == 0b1010
+        assert schema.names_of_mask(mask) == ("b", "d")
+
+    def test_contains_and_iter(self):
+        schema = Schema(["a", "b"])
+        assert "a" in schema and "q" not in schema
+        assert list(schema) == ["a", "b"]
+
+    def test_project(self):
+        schema = Schema(["a", "b", "c"])
+        assert Schema(["c", "a"]) == schema.project(["c", "a"])
+        with pytest.raises(SchemaError):
+            schema.project(["zzz"])
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_name_of_out_of_range(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).name_of(5)
+
+
+class TestBitHelpers:
+    @given(st.sets(st.integers(min_value=0, max_value=20)))
+    def test_mask_roundtrip(self, indices):
+        mask = mask_of_indices(indices)
+        assert set(iter_bits(mask)) == indices
+        assert bit_count(mask) == len(indices)
+
+    def test_iter_bits_ordered(self):
+        assert list(iter_bits(0b101101)) == [0, 2, 3, 5]
+
+    def test_zero_mask(self):
+        assert list(iter_bits(0)) == []
+        assert bit_count(0) == 0

@@ -1,0 +1,155 @@
+"""CLI tests: every subcommand through main(argv)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.relation.csvio import write_csv
+from tests.conftest import make_relation
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    relation = make_relation(
+        3, [(1, 10, 5), (2, 20, 5), (3, 30, 5), (3, 30, 5)])
+    path = tmp_path / "data.csv"
+    write_csv(relation, path)
+    return str(path)
+
+
+class TestDiscover:
+    def test_human_output(self, csv_file, capsys):
+        assert main(["discover", csv_file]) == 0
+        out = capsys.readouterr().out
+        assert "FASTOD" in out
+        assert "{}: [] -> c2" in out  # c2 constant
+
+    def test_json_output(self, csv_file, capsys):
+        assert main(["discover", csv_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "FASTOD"
+        assert "{}: [] -> c2" in payload["fds"]
+
+    def test_no_minimal(self, csv_file, capsys):
+        assert main(["discover", csv_file, "--no-minimal", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["minimal"] is False
+
+    def test_max_level_and_limit(self, csv_file, capsys):
+        assert main(["discover", csv_file, "--max-level", "1",
+                     "--limit", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_rows"] == 2
+
+
+class TestCheck:
+    def test_holds(self, csv_file, capsys):
+        assert main(["check", csv_file, "{}: [] -> c2"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_violated_exit_code(self, csv_file, capsys):
+        assert main(["check", csv_file, "{}: [] -> c0"]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+
+class TestViolations:
+    def test_report(self, tmp_path, capsys):
+        relation = make_relation(2, [(1, 2), (2, 1)])
+        path = tmp_path / "swap.csv"
+        write_csv(relation, path)
+        assert main(["violations", str(path), "[c0] ~ [c1]"]) == 1
+        out = capsys.readouterr().out
+        assert "violated" in out and "swap" in out
+
+    def test_clean(self, csv_file, capsys):
+        assert main(["violations", csv_file, "{}: [] -> c2"]) == 0
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "flight.csv"
+        assert main(["generate", "flight", str(out_path),
+                     "--rows", "50", "--cols", "6"]) == 0
+        assert out_path.exists()
+        text = capsys.readouterr().out
+        assert "50 rows x 6 attributes" in text
+
+    def test_generated_discoverable(self, tmp_path, capsys):
+        out_path = tmp_path / "d.csv"
+        main(["generate", "dbtesma", str(out_path), "--rows", "40",
+              "--cols", "5"])
+        assert main(["discover", str(out_path)]) == 0
+
+
+class TestDatasets:
+    def test_lists_families(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "flight" in out and "ncvoter" in out
+
+
+class TestProfile:
+    def test_text_report(self, csv_file, capsys):
+        assert main(["profile", csv_file]) == 0
+        out = capsys.readouterr().out
+        assert "Keys" in out and "Order dependencies" in out
+
+    def test_markdown_report(self, csv_file, capsys):
+        assert main(["profile", csv_file, "--markdown"]) == 0
+        assert capsys.readouterr().out.startswith("# Data profile")
+
+    def test_with_approximate(self, csv_file, capsys):
+        assert main(["profile", csv_file, "--approx", "0.3"]) == 0
+        assert "Approximate" in capsys.readouterr().out
+
+
+class TestKeys:
+    def test_duplicate_rows_no_key(self, csv_file, capsys):
+        # the fixture has a duplicated row, so nothing can be a key
+        assert main(["keys", csv_file]) == 0
+        assert "0 minimal key(s)" in capsys.readouterr().out
+
+    def test_lists_minimal_keys(self, tmp_path, capsys):
+        relation = make_relation(2, [(1, 5), (2, 5), (3, 6)])
+        path = tmp_path / "keyed.csv"
+        write_csv(relation, path)
+        assert main(["keys", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 minimal key(s)" in out
+        assert "(c0)" in out
+
+    def test_max_size(self, tmp_path, capsys):
+        relation = make_relation(
+            2, [(1, 1), (1, 2), (2, 1), (2, 2)])
+        path = tmp_path / "composite.csv"
+        write_csv(relation, path)
+        assert main(["keys", str(path), "--max-size", "1"]) == 0
+        assert "0 minimal key(s)" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_derivable(self, csv_file, capsys):
+        # c2 is constant, so any padded context derives it
+        assert main(["explain", csv_file, "{c0}: [] -> c2"]) == 0
+        out = capsys.readouterr().out
+        assert "derivation of" in out
+        assert "Augmentation-I" in out
+
+    def test_underivable(self, csv_file, capsys):
+        assert main(["explain", csv_file, "{c2}: [] -> c0"]) == 1
+        assert "no derivation" in capsys.readouterr().out
+
+    def test_rejects_list_ods(self, csv_file, capsys):
+        assert main(["explain", csv_file, "[c0] -> [c1]"]) == 2
+        assert "canonical" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_repro_error_exit_code(self, tmp_path, capsys):
+        missing = tmp_path / "nope.csv"
+        missing.write_text("")  # empty CSV triggers DataError
+        assert main(["discover", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""The exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DataError,
+    DependencyError,
+    DiscoveryBudgetExceeded,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SchemaError, DataError, DependencyError, ParseError,
+        DiscoveryBudgetExceeded])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parse_error_is_dependency_error(self):
+        assert issubclass(ParseError, DependencyError)
+
+    def test_budget_carries_metadata(self):
+        error = DiscoveryBudgetExceeded(
+            "out of budget", elapsed_seconds=1.5, nodes_visited=42)
+        assert error.elapsed_seconds == 1.5
+        assert error.nodes_visited == 42
+        assert "out of budget" in str(error)
+
+    def test_catching_base_class_catches_everything(self):
+        for exc in (SchemaError, DataError, ParseError):
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+
+class TestRaisedWhereDocumented:
+    def test_schema_error_from_unknown_attribute(self):
+        from repro.relation.schema import Schema
+
+        with pytest.raises(SchemaError):
+            Schema(["a"]).index("b")
+
+    def test_data_error_from_ragged_csv(self):
+        from repro.relation.csvio import read_csv_text
+
+        with pytest.raises(DataError):
+            read_csv_text("a,b\n1\n")
+
+    def test_parse_error_from_garbage(self):
+        from repro.core.parser import parse
+
+        with pytest.raises(ParseError):
+            parse("nonsense")
+
+    def test_dependency_error_from_bad_axiom_use(self):
+        from repro.core.axioms_set import strengthen
+        from repro.core.od import CanonicalFD
+
+        with pytest.raises(DependencyError):
+            strengthen(CanonicalFD({"x"}, "a"), CanonicalFD({"q"}, "b"))

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs; the bench harness renders."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+    def test_runs_cleanly(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, timeout=300, cwd=REPO)
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip()   # says something
+
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLES) >= 3
+
+
+class TestHarnessReporter:
+    def test_render_alignment(self):
+        sys.path.insert(0, str(REPO))
+        from benchmarks.harness import Reporter
+
+        reporter = Reporter("t", "Title", ["a", "long_column"])
+        reporter.add(a=1, long_column="x")
+        reporter.add(a=22, long_column="yy")
+        table = reporter.render()
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "long_column" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2  # aligned
+
+    def test_finish_writes_file(self, tmp_path, monkeypatch, capsys):
+        sys.path.insert(0, str(REPO))
+        import benchmarks.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        reporter = harness.Reporter("unit", "T", ["c"])
+        reporter.add(c="v")
+        reporter.finish()
+        assert (tmp_path / "unit.txt").read_text().startswith("T")
+        assert "v" in capsys.readouterr().out
+
+    def test_formatters(self):
+        sys.path.insert(0, str(REPO))
+        from benchmarks.harness import DNF, fmt_counts, fmt_seconds
+
+        assert fmt_seconds(0.5) == "500ms"
+        assert fmt_seconds(None) == "-"
+        assert fmt_seconds(1.0, dnf=True) == DNF
+        assert fmt_counts(None) == "-"
+
+    def test_dataset_cache(self):
+        sys.path.insert(0, str(REPO))
+        from benchmarks.harness import dataset
+
+        assert dataset("flight", 50, 5) is dataset("flight", 50, 5)

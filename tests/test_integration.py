@@ -1,0 +1,111 @@
+"""End-to-end integration tests across module boundaries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Relation, discover_ods, parse
+from repro.cli import main
+from repro.core.serialize import load_result, save_result
+from repro.datasets import date_dim, flight_like, web_sales
+from repro.optimizer import (
+    ODIndex,
+    RangePredicate,
+    StarQuery,
+    compare_plans,
+    simplify_order_by,
+)
+from repro.profile import profile_relation
+from repro.relation.csvio import read_csv, write_csv
+from repro.violations import check_dependency, greedy_repair, verify_repair
+
+
+class TestDiscoverSerializeOptimize:
+    """discover -> save -> load -> index -> rewrite, no re-discovery."""
+
+    def test_pipeline(self, tmp_path):
+        dim = date_dim(365)
+        result = discover_ods(dim)
+        path = tmp_path / "date_dim_ods.json"
+        save_result(result, path)
+
+        loaded = load_result(path)
+        index = ODIndex.from_result(loaded)
+        assert index.implies_list_od(["d_date_sk"], ["d_year"])
+
+        fact = web_sales(400, 365)
+        query = StarQuery("ws_sold_date_sk", "d_date_sk",
+                          RangePredicate("d_month", 3, 6))
+        comparison = compare_plans(fact, dim, query, index)
+        assert comparison.elimination.applied
+        assert comparison.equivalent
+
+
+class TestCsvRoundTripDiscovery:
+    """generate -> CSV -> reload -> discovery results identical."""
+
+    def test_generated_csv_discovery_identical(self, tmp_path):
+        original = flight_like(200, 8)
+        path = tmp_path / "flight.csv"
+        write_csv(original, path)
+        reloaded = read_csv(path)
+        first = discover_ods(original)
+        second = discover_ods(reloaded)
+        assert first.same_ods(second)
+
+
+class TestCliToLibrary:
+    """CLI JSON output parses back into library objects."""
+
+    def test_json_ods_parse(self, tmp_path, capsys):
+        relation = flight_like(100, 6)
+        path = tmp_path / "data.csv"
+        write_csv(relation, path)
+        assert main(["discover", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.core.validation import CanonicalValidator
+
+        validator = CanonicalValidator(relation.encode())
+        for line in payload["fds"] + payload["ocds"]:
+            assert validator.holds(parse(line)), line
+
+
+class TestCleanThenDiscover:
+    """repair -> rediscovery finds the repaired rule as exact."""
+
+    def test_repair_recovers_dependency(self):
+        rows = [(i, i) for i in range(12)]
+        rows[5] = (5, 0)  # one corrupted pair breaks c0 ~ c1
+        relation = Relation.from_rows(["c0", "c1"], rows)
+        assert not check_dependency(relation, "[c0] ~ [c1]").holds
+
+        repair = greedy_repair(relation, ["[c0] ~ [c1]"])
+        assert verify_repair(repair, ["[c0] ~ [c1]"])
+        rediscovered = discover_ods(repair.relation)
+        assert "{}: c0 ~ c1" in {str(o) for o in rediscovered.ocds}
+
+
+class TestProfileDrivesOptimizer:
+    """profiler output feeds the optimizer without re-running FASTOD."""
+
+    def test_profile_to_simplification(self):
+        dim = date_dim(365)
+        profile = profile_relation(dim)
+        index = ODIndex.from_result(profile.ods)
+        simplified = simplify_order_by(
+            index, ["d_year", "d_quarter", "d_month"])
+        assert list(simplified.simplified) == ["d_quarter", "d_month"]
+
+    def test_profile_keys_match_superkey_contexts(self):
+        relation = flight_like(150, 6)
+        profile = profile_relation(relation)
+        # flight_sk is the key; every other attribute is determined
+        assert profile.keys.is_superkey({"flight_sk"})
+        determined = {fd.attribute for fd in profile.ods.fds
+                      if fd.context == frozenset({"flight_sk"})}
+        index = ODIndex.from_result(profile.ods)
+        closure = index.attribute_closure({"flight_sk"})
+        assert closure == set(relation.names)
+        assert determined <= closure

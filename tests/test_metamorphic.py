@@ -1,0 +1,132 @@
+"""Metamorphic properties of discovery.
+
+Transformations with a *known* effect on the set of ODs:
+
+* shuffling rows        -> identical ODs (order of tuples is irrelevant)
+* duplicating rows      -> identical ODs (dependencies are pairwise)
+* renaming attributes   -> ODs renamed accordingly
+* strictly increasing value transform -> identical ODs (only the order
+  of values matters, not the values)
+* projecting attributes -> every surviving OD over the kept attributes
+  still holds (validity is projection-stable; minimality need not be)
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import discover_ods
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.validation import CanonicalValidator
+from repro.relation.table import Relation
+from tests.conftest import small_relations
+
+relations = small_relations(max_cols=4, max_rows=10, max_domain=3)
+
+
+def _ods_as_strings(result):
+    return {str(od) for od in result.all_ods}
+
+
+class TestRowTransformations:
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.randoms(use_true_random=False))
+    def test_row_shuffle_invariant(self, relation, rng):
+        rows = list(relation.rows())
+        rng.shuffle(rows)
+        shuffled = Relation.from_rows(relation.names, rows)
+        assert _ods_as_strings(discover_ods(relation)) == \
+            _ods_as_strings(discover_ods(shuffled))
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.randoms(use_true_random=False))
+    def test_row_duplication_invariant(self, relation, rng):
+        rows = list(relation.rows())
+        duplicated = rows + [rng.choice(rows)] * 2 if rows else rows
+        doubled = Relation.from_rows(relation.names, duplicated)
+        if not rows:
+            return
+        assert _ods_as_strings(discover_ods(relation)) == \
+            _ods_as_strings(discover_ods(doubled))
+
+
+class TestValueTransformations:
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.integers(0, 3))
+    def test_strictly_increasing_transform_invariant(
+            self, relation, column_index):
+        if relation.arity == 0:
+            return
+        column_index %= relation.arity
+        name = relation.names[column_index]
+        columns = {n: list(relation.column(n)) for n in relation.names}
+        columns[name] = [v * 7 + 3 for v in columns[name]]
+        transformed = Relation.from_columns(
+            {n: columns[n] for n in relation.names})
+        assert _ods_as_strings(discover_ods(relation)) == \
+            _ods_as_strings(discover_ods(transformed))
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.integers(0, 3))
+    def test_decreasing_transform_preserves_fds_only(
+            self, relation, column_index):
+        """Negating a column keeps every FD (equality unaffected) while
+        OCDs may appear/disappear — so we assert exactly the FD half."""
+        if relation.arity == 0:
+            return
+        column_index %= relation.arity
+        name = relation.names[column_index]
+        columns = {n: list(relation.column(n)) for n in relation.names}
+        columns[name] = [-v for v in columns[name]]
+        negated = Relation.from_columns(
+            {n: columns[n] for n in relation.names})
+        before = {str(fd) for fd in discover_ods(relation).fds}
+        after = {str(fd) for fd in discover_ods(negated).fds}
+        assert before == after
+
+
+class TestSchemaTransformations:
+    @settings(max_examples=60, deadline=None)
+    @given(relations)
+    def test_rename_maps_ods(self, relation):
+        mapping = {name: f"{name}_r" for name in relation.names}
+        renamed = relation.rename(mapping)
+        original = _ods_as_strings(discover_ods(relation))
+        rewritten = set()
+        for text in original:
+            for old, new in sorted(mapping.items(), reverse=True):
+                text = text.replace(old, new)
+            rewritten.add(text)
+        assert rewritten == _ods_as_strings(discover_ods(renamed))
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_projection_preserves_validity(self, relation, data):
+        if relation.arity < 2:
+            return
+        keep = data.draw(st.integers(1, relation.arity - 1))
+        kept_names = list(relation.names[:keep])
+        projected = relation.project(kept_names)
+        validator = CanonicalValidator(projected)
+        for od in discover_ods(relation).all_ods:
+            involved = set(od.context)
+            if isinstance(od, CanonicalFD):
+                involved.add(od.attribute)
+            else:
+                involved |= {od.left, od.right}
+            if involved <= set(kept_names):
+                assert validator.holds(od), str(od)
+
+
+class TestColumnOrderInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.randoms(use_true_random=False))
+    def test_schema_permutation_invariant(self, relation, rng):
+        names = list(relation.names)
+        rng.shuffle(names)
+        permuted = relation.project(names)
+        assert _ods_as_strings(discover_ods(relation)) == \
+            _ods_as_strings(discover_ods(permuted))

@@ -1,0 +1,157 @@
+"""Data-level property tests for the paper's pruning lemmas.
+
+These are the statements FASTOD's candidate machinery relies on; each
+is checked directly on random instances, independent of the algorithm.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.validation import CanonicalValidator
+from repro.partitions.cache import PartitionCache
+from tests.conftest import small_relations
+
+relations = small_relations(max_cols=4, max_rows=10, max_domain=2)
+
+
+def _draw_subset(data, names, max_size=3):
+    size = data.draw(st.integers(0, min(max_size, len(names))))
+    return frozenset(data.draw(st.permutations(list(names)))[:size])
+
+
+class TestLemma5:
+    """If B ∈ X and X\\B: [] ↦ B, then X: [] ↦ A implies X\\B: [] ↦ A."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(relations, st.data())
+    def test_on_data(self, relation, data):
+        names = list(relation.names)
+        if len(names) < 2:
+            return
+        validator = CanonicalValidator(relation)
+        context = _draw_subset(data, names)
+        b = data.draw(st.sampled_from(names))
+        a = data.draw(st.sampled_from(names))
+        full = context | {b}
+        if not validator.holds(CanonicalFD(full - {b}, b)):
+            return
+        if validator.holds(CanonicalFD(full, a)):
+            assert validator.holds(CanonicalFD(full - {b}, a))
+
+
+class TestLemma6:
+    """If C ∈ X and X\\C: [] ↦ C, then X: A ~ B implies X\\C: A ~ B."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(relations, st.data())
+    def test_on_data(self, relation, data):
+        names = list(relation.names)
+        if len(names) < 3:
+            return
+        validator = CanonicalValidator(relation)
+        a, b, c = data.draw(st.permutations(names))[:3]
+        context = _draw_subset(data, names, max_size=1) | {c}
+        if not validator.holds(CanonicalFD(context - {c}, c)):
+            return
+        if validator.holds(CanonicalOCD(context, a, b)):
+            assert validator.holds(CanonicalOCD(context - {c}, a, b))
+
+
+class TestLemma12:
+    """A superkey context validates every constancy OD."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_on_data(self, relation, data):
+        names = list(relation.names)
+        validator = CanonicalValidator(relation)
+        cache = PartitionCache(relation.encode())
+        context = _draw_subset(data, names)
+        mask = 0
+        for name in context:
+            mask |= 1 << names.index(name)
+        if not cache.get(mask).is_superkey():
+            return
+        for attribute in names:
+            if attribute not in context:
+                assert validator.holds(CanonicalFD(context, attribute))
+
+
+class TestLemma13:
+    """A superkey context validates every compatibility OD (and makes
+    it non-minimal — checked against the discovery output)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_on_data(self, relation, data):
+        from repro import discover_ods
+
+        names = list(relation.names)
+        if len(names) < 2:
+            return
+        validator = CanonicalValidator(relation)
+        cache = PartitionCache(relation.encode())
+        context = _draw_subset(data, names)
+        mask = 0
+        for name in context:
+            mask |= 1 << names.index(name)
+        if not cache.get(mask).is_superkey():
+            return
+        outside = [n for n in names if n not in context]
+        if len(outside) < 2:
+            return
+        a, b = outside[0], outside[1]
+        assert validator.holds(CanonicalOCD(context, a, b))
+        # non-minimality: the discovered minimal set never contains an
+        # OCD whose context is a superkey (with >= 1 attribute: the
+        # empty superkey case means <=1 row, where no OCD is minimal
+        # either)
+        result = discover_ods(relation)
+        for ocd in result.ocds:
+            ocd_mask = 0
+            for name in ocd.context:
+                ocd_mask |= 1 << names.index(name)
+            assert not cache.get(ocd_mask).is_superkey(), str(ocd)
+
+
+class TestLemma14:
+    """Singleton classes cannot falsify any canonical OD: validating
+    against the stripped partition equals validating against the full
+    partition."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(relations, st.data())
+    def test_on_data(self, relation, data):
+        import numpy as np
+
+        from repro.core.validation import (
+            is_compatible_in_classes,
+            is_constant_in_classes,
+        )
+        from repro.partitions.partition import StrippedPartition
+
+        names = list(relation.names)
+        if len(names) < 2 or relation.n_rows == 0:
+            return
+        encoded = relation.encode()
+        cache = PartitionCache(encoded)
+        context = _draw_subset(data, names, max_size=2)
+        mask = 0
+        for name in context:
+            mask |= 1 << names.index(name)
+        stripped = cache.get(mask)
+        # full partition: singletons re-attached
+        full = StrippedPartition(
+            [c for c in stripped.with_singletons() if True],
+            stripped.n_rows)
+        a = names.index(data.draw(st.sampled_from(names)))
+        b = names.index(data.draw(st.sampled_from(names)))
+        assert is_constant_in_classes(encoded.column(a), stripped) == \
+            is_constant_in_classes(encoded.column(a), full)
+        assert is_compatible_in_classes(
+            encoded.column(a), encoded.column(b), stripped) == \
+            is_compatible_in_classes(
+                encoded.column(a), encoded.column(b), full)

@@ -1,0 +1,168 @@
+"""Approximate ODs: g3 errors, the compatible-subset DP, discovery."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.validation import CanonicalValidator
+from repro.partitions.partition import StrippedPartition
+from repro.violations import (
+    approximate_discovery,
+    error_rate,
+    fd_removal_count,
+    max_compatible_subset,
+    ocd_removal_count,
+)
+from tests.conftest import make_relation, small_relations
+
+
+def _brute_max_compatible(pairs):
+    for size in range(len(pairs), -1, -1):
+        for subset in itertools.combinations(range(len(pairs)), size):
+            if not any(
+                    pairs[i][0] < pairs[j][0] and pairs[i][1] > pairs[j][1]
+                    or pairs[j][0] < pairs[i][0] and pairs[j][1] > pairs[i][1]
+                    for i, j in itertools.combinations(subset, 2)):
+                return size
+    return 0
+
+
+class TestMaxCompatibleSubset:
+    def test_empty(self):
+        assert max_compatible_subset([]) == 0
+
+    def test_already_compatible(self):
+        assert max_compatible_subset([(0, 0), (1, 1), (2, 2)]) == 3
+
+    def test_full_reversal(self):
+        assert max_compatible_subset([(0, 2), (1, 1), (2, 0)]) == 1
+
+    def test_equal_a_block_kept_whole(self):
+        # both (3,1) points can be kept together with (2,0)
+        assert max_compatible_subset([(2, 0), (3, 1), (3, 1)]) == 3
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                    max_size=9))
+    def test_matches_exhaustive(self, pairs):
+        assert max_compatible_subset(pairs) == _brute_max_compatible(pairs)
+
+
+class TestRemovalCounts:
+    def test_fd_removal(self):
+        column = np.array([5, 5, 6, 7])
+        partition = StrippedPartition([[0, 1, 2, 3]], 4)
+        assert fd_removal_count(column, partition) == 2
+
+    def test_ocd_removal(self):
+        a = np.array([0, 1, 2])
+        b = np.array([2, 1, 0])
+        partition = StrippedPartition([[0, 1, 2]], 3)
+        assert ocd_removal_count(a, b, partition) == 2
+
+    def test_zero_when_holds(self):
+        a = np.array([0, 1, 2])
+        partition = StrippedPartition([], 3)
+        assert fd_removal_count(a, partition) == 0
+        assert ocd_removal_count(a, a, partition) == 0
+
+
+class TestErrorRate:
+    def test_zero_iff_holds_fd(self):
+        relation = make_relation(2, [(1, 5), (1, 5), (2, 6)])
+        assert error_rate(relation, CanonicalFD({"c0"}, "c1")) == 0.0
+        relation2 = make_relation(2, [(1, 5), (1, 6)])
+        assert error_rate(relation2, CanonicalFD({"c0"}, "c1")) == 0.5
+
+    def test_paper_swap_example(self, employee_table):
+        # removing 3 of 6 tuples makes [sal] ~ [subg] hold
+        assert error_rate(employee_table, "[sal] ~ [subg]") == 0.5
+
+    def test_trivial_zero(self):
+        relation = make_relation(1, [(1,), (2,)])
+        assert error_rate(relation, CanonicalFD({"c0"}, "c0")) == 0.0
+
+    def test_empty_relation(self):
+        relation = make_relation(2, [])
+        assert error_rate(relation, CanonicalFD({"c0"}, "c1")) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_zero_iff_holds_property(self, relation):
+        validator = CanonicalValidator(relation)
+        names = list(relation.names)
+        for attribute in names:
+            context = frozenset(n for n in names if n != attribute)
+            fd = CanonicalFD(context, attribute)
+            assert (error_rate(relation, fd) == 0.0) == validator.holds(fd)
+        if len(names) >= 2:
+            ocd = CanonicalOCD(frozenset(names[2:]), names[0], names[1])
+            assert (error_rate(relation, ocd) == 0.0) == \
+                validator.holds(ocd)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=8, max_domain=2))
+    def test_monotone_in_context(self, relation):
+        """Growing the context never increases the error."""
+        names = list(relation.names)
+        if len(names) < 2:
+            return
+        attribute = names[0]
+        smaller = CanonicalFD(frozenset(), attribute)
+        bigger = CanonicalFD(frozenset(names[1:]), attribute)
+        assert error_rate(relation, bigger) <= \
+            error_rate(relation, smaller)
+
+
+class TestApproximateDiscovery:
+    def test_threshold_zero_matches_exact(self):
+        from repro import discover_ods
+
+        relation = make_relation(
+            3, [(1, 5, 1), (1, 5, 2), (2, 6, 2), (3, 6, 3)])
+        approx = approximate_discovery(relation, max_error=0.0)
+        exact = discover_ods(relation)
+        assert {str(a.od) for a in approx.ods} == \
+            {str(od) for od in exact.all_ods}
+
+    def test_nearly_holding_fd_found(self):
+        rows = [(1, 5)] * 9 + [(1, 6)]
+        relation = make_relation(2, rows)
+        approx = approximate_discovery(relation, max_error=0.15)
+        assert "{c0}: [] -> c1" in {str(a.od) for a in approx.ods} or \
+            "{}: [] -> c1" in {str(a.od) for a in approx.ods}
+
+    def test_minimality_pruning(self):
+        relation = make_relation(
+            3, [(1, 5, 0), (2, 5, 1), (3, 6, 0), (4, 6, 1)])
+        approx = approximate_discovery(relation, max_error=0.0)
+        contexts = [a.od.context for a in approx.ods
+                    if isinstance(a.od, CanonicalFD)
+                    and a.od.attribute == "c1"]
+        # no context should contain another
+        for first in contexts:
+            for second in contexts:
+                assert first == second or not first < second
+
+    def test_max_context_bound(self):
+        relation = make_relation(3, [(1, 2, 3), (2, 3, 4)])
+        approx = approximate_discovery(relation, max_error=1.0,
+                                       max_context=1)
+        assert all(len(a.od.context) <= 1 for a in approx.ods)
+
+    def test_errors_reported_within_threshold(self):
+        relation = make_relation(2, [(i, i % 3) for i in range(9)])
+        approx = approximate_discovery(relation, max_error=0.4)
+        assert all(a.error <= 0.4 for a in approx.ods)
+        assert all("g3=" in str(a) for a in approx.ods)
+
+    def test_fds_ocds_views(self):
+        relation = make_relation(2, [(1, 1), (2, 2)])
+        approx = approximate_discovery(relation, max_error=0.0)
+        assert len(approx.fds) + len(approx.ocds) == len(approx.ods)

@@ -1,0 +1,61 @@
+"""Dataset-level violation summaries."""
+
+from __future__ import annotations
+
+from repro.violations import summarize_violations
+from tests.conftest import make_relation
+
+
+class TestSummarizeViolations:
+    def test_clean(self):
+        relation = make_relation(2, [(1, 10), (2, 20)])
+        summary = summarize_violations(
+            relation, ["{}: c0 ~ c1", "{c0}: [] -> c1"])
+        assert summary.clean
+        assert summary.n_violated_rules == 0
+        assert "CLEAN" in summary.render()
+
+    def test_dirty(self):
+        relation = make_relation(2, [(1, 20), (2, 10), (3, 30)])
+        summary = summarize_violations(
+            relation, ["{}: c0 ~ c1", "{c0}: [] -> c1"])
+        assert not summary.clean
+        assert summary.n_violated_rules == 1
+        assert summary.total_violating_pairs == 1
+        text = summary.render()
+        assert "violating pair" in text
+
+    def test_hot_rows_point_at_offenders(self):
+        # row 3 is the out-of-order one; witnesses are representative
+        # (one per offending class), so it appears at least once
+        relation = make_relation(2, [(1, 1), (2, 2), (3, 3), (4, 0)])
+        summary = summarize_violations(relation, ["{}: c0 ~ c1"])
+        assert summary.hot_rows
+        implicated = {row for row, _ in summary.hot_rows}
+        assert 3 in implicated
+
+    def test_multiple_rules_aggregate(self):
+        relation = make_relation(
+            3, [(1, 20, 5), (1, 10, 6), (2, 30, 5)])
+        summary = summarize_violations(
+            relation,
+            ["{}: c0 ~ c1", "{c0}: [] -> c1", "{c0}: [] -> c2"])
+        assert summary.n_violated_rules >= 2
+        assert len(summary.verdicts) == 3
+        assert len(summary.reports) == 3
+
+    def test_accepts_parsed_and_string_rules(self):
+        from repro.core.od import CanonicalFD
+
+        relation = make_relation(2, [(1, 10), (2, 20)])
+        summary = summarize_violations(
+            relation, [CanonicalFD({"c0"}, "c1"), "{}: c0 ~ c1"])
+        assert summary.clean
+
+    def test_render_top_rows_limit(self):
+        relation = make_relation(2, [(i, -i) for i in range(8)])
+        summary = summarize_violations(relation, ["{}: c0 ~ c1"])
+        text = summary.render(top_rows=2)
+        listed = [line for line in text.splitlines()
+                  if line.startswith("  row ")]
+        assert len(listed) == 2
