@@ -26,6 +26,7 @@ from benchmarks.harness import (
     fmt_counts,
     fmt_seconds,
     timed,
+    write_bench_json,
 )
 from repro import discover_ods
 from repro.baselines import discover_fds, discover_ods_order
@@ -35,6 +36,7 @@ ROW_COUNTS = [1000, 2000, 3000, 4000, 5000]
 N_ATTRS = 8
 
 _reporters = {}
+_partition_records = []
 
 
 def _reporter(name: str) -> Reporter:
@@ -64,14 +66,30 @@ def _run_row(name: str, rows: int) -> dict:
             "FASTOD #ODs (FD+OCD)": fmt_counts(fastod),
             "ORDER #ODs (FD+OCD)": fmt_counts(order, dnf=order.timed_out),
         })
+    _partition_records.append({
+        "dataset": name,
+        "n_rows": rows,
+        "n_attrs": N_ATTRS,
+        "seconds": fastod_s,
+        "ods_found": fastod.n_ods,
+    })
     return {"fastod": fastod_s, "tane": tane_s}
+
+
+def _publish_all() -> None:
+    for reporter in _reporters.values():
+        reporter.finish()
+    # only publish a complete sweep — a filtered pytest run must not
+    # overwrite the tracked artifact with partial data
+    if len(_partition_records) == len(DATASETS) * len(ROW_COUNTS):
+        write_bench_json("partitions", _partition_records,
+                         section="exp1_tuples")
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _publish():
     yield
-    for reporter in _reporters.values():
-        reporter.finish()
+    _publish_all()
 
 
 @pytest.mark.parametrize("rows", ROW_COUNTS)
@@ -87,8 +105,7 @@ def main() -> None:
     for name in DATASETS:
         for rows in ROW_COUNTS:
             _run_row(name, rows)
-    for reporter in _reporters.values():
-        reporter.finish()
+    _publish_all()
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ what the benches reproduce — see DESIGN.md for the substitution notes.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -23,6 +24,7 @@ from repro.datasets import make_dataset
 from repro.relation.table import Relation
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Budgets that let ORDER / no-pruning runs report DNF instead of
 #: stalling the whole session (the paper's "* 5h" marker).
@@ -98,3 +100,31 @@ class Reporter:
         RESULTS_DIR.mkdir(exist_ok=True)
         out = RESULTS_DIR / f"{self.experiment}.txt"
         out.write_text(table + "\n", encoding="utf-8")
+
+
+def write_bench_json(name: str, records: List[Dict[str, object]],
+                     section: str = "default",
+                     directory: Optional[Path] = None) -> Path:
+    """Persist machine-readable benchmark records in ``BENCH_<name>.json``.
+
+    The companion to the human-readable text tables: flat record dicts
+    (e.g. ``dataset``, ``n_rows``, ``n_attrs``, ``seconds``,
+    ``ods_found``) written at the repo root so perf trajectories can be
+    tracked across PRs by tooling.  The file maps section name ->
+    record list and is merged on write, so multiple benches sharing one
+    artifact (e.g. the Exp-1 sweep and the kernel micro-benchmark)
+    update their own section instead of clobbering each other.
+    """
+    target = (directory or REPO_ROOT) / f"BENCH_{name}.json"
+    sections: Dict[str, object] = {}
+    if target.exists():
+        try:
+            loaded = json.loads(target.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            loaded = None
+        if isinstance(loaded, dict):
+            sections = loaded
+    sections[section] = records
+    target.write_text(json.dumps(sections, indent=1) + "\n",
+                      encoding="utf-8")
+    return target

@@ -12,6 +12,14 @@ Implements Algorithms 1-4 of the paper:
 * stripped partitions with linear products and the error-rate FD test,
   plus key pruning (Section 4.6, Lemmas 12-14).
 
+Partitions use the flat ``rows``/``offsets`` NumPy layout of
+:mod:`repro.partitions.partition`: level products
+(:meth:`StrippedPartition.product`) resolve in one vectorized sort of
+the grouped rows, the FD error test reads ``e(X)`` in O(1) off array
+lengths, and the OCD swap scan (:func:`is_compatible_in_classes`)
+checks every context class in a single ``lexsort`` + segmented
+prefix-max pass instead of per-class Python scans.
+
 Toggles on :class:`FastODConfig` disable the pruning families to
 reproduce the paper's *FASTOD-No Pruning* ablations (Figures 6).
 """

@@ -28,7 +28,10 @@ from repro.core.od import (
     as_spec,
 )
 from repro.partitions.cache import PartitionCache
-from repro.partitions.partition import StrippedPartition
+from repro.partitions.partition import (
+    SMALL_KERNEL_THRESHOLD,
+    StrippedPartition,
+)
 from repro.relation.encoding import EncodedRelation
 from repro.relation.table import Relation
 
@@ -66,29 +69,106 @@ class Swap:
 
 
 # ----------------------------------------------------------------------
-# canonical validators (partition-based)
+# canonical validators (partition-based, vectorized over the flat
+# rows/offsets layout of StrippedPartition)
 # ----------------------------------------------------------------------
+def split_mismatch_mask(column: np.ndarray,
+                        context: StrippedPartition) -> np.ndarray:
+    """Per-grouped-row mask of split positions (parallel to
+    ``context.rows``).
+
+    Segmented constancy test: gather the grouped rows' values once and
+    compare every value against its class's first value (broadcast with
+    ``np.repeat``).  One pass, no per-class Python loop — the shared
+    kernel behind the constancy check, split witnesses, and violation
+    collection.
+    """
+    values = column[context.rows]
+    firsts = np.repeat(values[context.offsets[:-1]], context.class_sizes)
+    return values != firsts
+
+
 def is_constant_in_classes(column: np.ndarray,
                            context: StrippedPartition) -> bool:
     """``X: [] ↦ A`` given Π*_X and A's rank column."""
-    for rows in context.classes:
-        values = column[rows]
-        if (values != values[0]).any():
-            return False
-    return True
+    if len(context.rows) == 0:
+        return True
+    return not split_mismatch_mask(column, context).any()
 
 
 def find_split(column: np.ndarray, context: StrippedPartition,
                attribute: str) -> Optional[Split]:
-    """Return a witness pair violating ``X: [] ↦ A``, or ``None``."""
-    for rows in context.classes:
-        values = column[rows]
-        first = values[0]
-        different = np.flatnonzero(values != first)
-        if different.size:
-            return Split(int(rows[0]), int(rows[int(different[0])]),
-                         attribute)
-    return None
+    """Return a witness pair violating ``X: [] ↦ A``, or ``None``.
+
+    Mirrors :func:`is_constant_in_classes`; the first mismatching flat
+    position identifies both the offending class (via ``searchsorted``
+    on the offsets) and the witness row.
+    """
+    rows = context.rows
+    if len(rows) == 0:
+        return None
+    different = np.flatnonzero(split_mismatch_mask(column, context))
+    if not different.size:
+        return None
+    position = int(different[0])
+    class_id = int(np.searchsorted(context.offsets, position,
+                                   side="right")) - 1
+    return Split(int(rows[context.offsets[class_id]]),
+                 int(rows[position]), attribute)
+
+
+def _swap_mask(class_ids: np.ndarray, values_a: np.ndarray,
+               values_b: np.ndarray) -> np.ndarray:
+    """Boolean mask of swap positions over class-then-(A,B)-sorted data.
+
+    Inputs are parallel arrays already ordered by
+    ``(class, A, B)``.  A position is a swap when its B rank lies below
+    the maximum B of *strictly smaller* A groups within the same class.
+    The per-class running max of B is one global
+    ``np.maximum.accumulate`` over B values shifted by
+    ``class_id * span`` (classes occupy disjoint value bands, so the
+    accumulate never leaks across a class boundary); the "max over
+    earlier A groups" is that running max sampled at each A-group's
+    start and broadcast group-wise.
+    """
+    n = len(class_ids)
+    new_class = np.empty(n, dtype=bool)
+    new_class[0] = True
+    np.not_equal(class_ids[1:], class_ids[:-1], out=new_class[1:])
+    new_group = new_class.copy()
+    new_group[1:] |= values_a[1:] != values_a[:-1]
+
+    shifted_b = values_b - values_b.min()      # nonnegative, so -1 works
+    span = int(shifted_b.max()) + 1            # as the "no max yet" mark
+    banded = shifted_b + class_ids * span
+    running_max = np.maximum.accumulate(banded) - class_ids * span
+
+    before = np.empty(n, dtype=np.int64)
+    before[0] = -1
+    before[1:] = running_max[:-1]
+    before[new_class] = -1
+    group_of = np.cumsum(new_group) - 1
+    max_b_of_earlier_groups = before[new_group][group_of]
+    return shifted_b < max_b_of_earlier_groups
+
+
+def _sorted_swap_views(column_a: np.ndarray, column_b: np.ndarray,
+                       context: StrippedPartition):
+    """(class_ids, A, B) of the grouped rows, sorted by ``(class, A)``.
+
+    :func:`_swap_mask` needs equal ``(class, A)`` groups contiguous and
+    classes in ascending-A group order, but is insensitive to the order
+    of B *within* a group — so one composite-key ``argsort``
+    (``class_id * span + A``) replaces a 3-key ``lexsort``, which
+    profiled ~5x slower on discovery workloads.
+    """
+    rows = context.rows
+    class_ids = context.class_ids()
+    values_a = column_a[rows]
+    low = int(values_a.min())
+    span = int(values_a.max()) - low + 1
+    order = np.argsort(class_ids * span + (values_a - low))
+    return class_ids[order], values_a[order], column_b[rows][order]
 
 
 def is_compatible_in_classes(column_a: np.ndarray, column_b: np.ndarray,
@@ -97,14 +177,44 @@ def is_compatible_in_classes(column_a: np.ndarray, column_b: np.ndarray,
 
     Within each class: sort by (A, B); while scanning groups of equal A
     in ascending order, any B rank below the maximum B seen in *earlier*
-    groups is a swap.
+    groups is a swap.  All classes are checked in one vectorized pass
+    (one composite-key sort + segmented prefix-max, see
+    :func:`_swap_mask`); contexts with few grouped rows take the scalar
+    per-class scan instead, where NumPy dispatch overhead would
+    dominate.
     """
-    for rows in context.classes:
-        pairs = sorted(zip(column_a[rows].tolist(),
-                           column_b[rows].tolist()))
-        if not _scan_is_swap_free(pairs):
-            return False
-    return True
+    n_grouped = len(context.rows)
+    if n_grouped == 0:
+        return True
+    if n_grouped <= SMALL_KERNEL_THRESHOLD:
+        rows = context.rows
+        offsets = context.offsets
+        for index in range(len(offsets) - 1):
+            segment = rows[offsets[index]:offsets[index + 1]]
+            pairs = sorted(zip(column_a[segment].tolist(),
+                               column_b[segment].tolist()))
+            if not _scan_is_swap_free(pairs):
+                return False
+        return True
+    class_ids, values_a, values_b = _sorted_swap_views(
+        column_a, column_b, context)
+    return not _swap_mask(class_ids, values_a, values_b).any()
+
+
+def swap_classes(column_a: np.ndarray, column_b: np.ndarray,
+                 context: StrippedPartition) -> np.ndarray:
+    """Ids of the context classes containing at least one swap.
+
+    One vectorized pass over all classes; consumers that need per-class
+    witnesses (e.g. violation reporting) re-scan only the returned
+    classes.
+    """
+    if len(context.rows) == 0:
+        return np.empty(0, dtype=np.int64)
+    class_ids, values_a, values_b = _sorted_swap_views(
+        column_a, column_b, context)
+    mask = _swap_mask(class_ids, values_a, values_b)
+    return np.unique(class_ids[mask])
 
 
 def _scan_is_swap_free(pairs: Sequence[Tuple[int, int]]) -> bool:
@@ -133,32 +243,56 @@ def find_swap(column_a: np.ndarray, column_b: np.ndarray,
     """Return a witness pair violating ``X: A ~ B``, or ``None``.
 
     The witness is oriented so that ``row_s ≺_A row_t`` while
-    ``row_t ≺_B row_s``.
+    ``row_t ≺_B row_s``.  Detection runs on the vectorized swap mask;
+    only the first offending class is re-scanned scalar-style to build
+    the same witness pair the original per-class scan produced.
     """
-    for rows in context.classes:
-        pairs = sorted(
-            zip(column_a[rows].tolist(), column_b[rows].tolist(), rows))
-        max_b_before = None
-        best_row = -1              # a row achieving max_b_before
-        current_a = None
-        current_max_b = None
-        current_row = -1
-        first = True
-        for value_a, value_b, row in pairs:
-            if first or value_a != current_a:
-                if current_max_b is not None and (
-                        max_b_before is None
-                        or current_max_b > max_b_before):
-                    max_b_before = current_max_b
-                    best_row = current_row
-                current_a = value_a
-                current_max_b = None
-                first = False
-            if max_b_before is not None and value_b < max_b_before:
-                return Swap(int(best_row), int(row), left, right)
-            if current_max_b is None or value_b > current_max_b:
-                current_max_b = value_b
-                current_row = row
+    if len(context.rows) == 0:
+        return None
+    class_ids, values_a, values_b = _sorted_swap_views(
+        column_a, column_b, context)
+    swaps = _swap_mask(class_ids, values_a, values_b)
+    hits = np.flatnonzero(swaps)
+    if not hits.size:
+        return None
+    guilty_class = int(class_ids[hits[0]])
+    start = context.offsets[guilty_class]
+    stop = context.offsets[guilty_class + 1]
+    return scan_find_swap(column_a, column_b,
+                          context.rows[start:stop], left, right)
+
+
+def scan_find_swap(column_a: np.ndarray, column_b: np.ndarray,
+                   rows: np.ndarray, left: str,
+                   right: str) -> Optional[Swap]:
+    """Scalar witness scan over one context class (reference scan).
+
+    Public so per-class consumers (e.g. violation collection) can
+    extract witnesses from classes the vectorized pass flagged."""
+    pairs = sorted(
+        zip(column_a[rows].tolist(), column_b[rows].tolist(),
+            rows.tolist()))
+    max_b_before = None
+    best_row = -1              # a row achieving max_b_before
+    current_a = None
+    current_max_b = None
+    current_row = -1
+    first = True
+    for value_a, value_b, row in pairs:
+        if first or value_a != current_a:
+            if current_max_b is not None and (
+                    max_b_before is None
+                    or current_max_b > max_b_before):
+                max_b_before = current_max_b
+                best_row = current_row
+            current_a = value_a
+            current_max_b = None
+            first = False
+        if max_b_before is not None and value_b < max_b_before:
+            return Swap(int(best_row), int(row), left, right)
+        if current_max_b is None or value_b > current_max_b:
+            current_max_b = value_b
+            current_row = row
     return None
 
 
@@ -168,13 +302,20 @@ class CanonicalValidator:
     Builds stripped partitions on demand (memoized).  This is the
     public "does this canonical OD hold?" entry point; FASTOD inlines
     equivalent logic with level-wise partition reuse.
+
+    ``max_cached_partitions`` bounds the resident composite partitions
+    (LRU eviction, see :class:`PartitionCache`) for long-lived
+    validators checking many ad-hoc contexts; ``None`` (default) keeps
+    every partition, the historical behavior.
     """
 
-    def __init__(self, relation: Union[Relation, EncodedRelation]):
+    def __init__(self, relation: Union[Relation, EncodedRelation],
+                 max_cached_partitions: Optional[int] = None):
         if isinstance(relation, Relation):
             relation = relation.encode()
         self._relation = relation
-        self._cache = PartitionCache(relation)
+        self._cache = PartitionCache(
+            relation, max_entries=max_cached_partitions)
         self._name_to_index = {
             name: i for i, name in enumerate(relation.names)}
 

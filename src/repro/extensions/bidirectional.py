@@ -23,7 +23,10 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.validation import is_compatible_in_classes
+from repro.core.validation import (
+    is_compatible_in_classes,
+    is_constant_in_classes,
+)
 from repro.errors import DependencyError
 from repro.partitions.cache import PartitionCache
 from repro.relation.schema import bit_count, iter_bits
@@ -216,8 +219,7 @@ def discover_bidirectional_ocds(relation: Relation,
             if covered(constant_at, attribute, context_mask):
                 continue
             column = encoded.column(attribute)
-            if all((column[rows] == column[rows[0]]).all()
-                   for rows in partition.classes):
+            if is_constant_in_classes(column, partition):
                 constant_at.setdefault(attribute, []).append(context_mask)
         for a, b in combinations(outside, 2):
             if covered(constant_at, a, context_mask) \

@@ -1,9 +1,16 @@
-"""Partition machinery: stripped partitions, products, sorted partitions."""
+"""Partition machinery: stripped partitions, products, sorted partitions.
+
+Stripped partitions use a flat CSR-style NumPy layout
+(``rows``/``offsets``) — see :mod:`repro.partitions.partition` for the
+design notes and complexity bounds of the vectorized kernels built on
+top of it.
+"""
 
 from repro.partitions.cache import PartitionCache
 from repro.partitions.partition import (
     StrippedPartition,
     partition_from_columns,
+    value_group_sizes,
 )
 from repro.partitions.sorted_partition import (
     SortedPartition,
@@ -16,4 +23,5 @@ __all__ = [
     "StrippedPartition",
     "partition_from_columns",
     "swap_free_buckets",
+    "value_group_sizes",
 ]

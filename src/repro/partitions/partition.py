@@ -1,10 +1,35 @@
-"""Stripped partitions (Π*) over attribute sets.
+"""Stripped partitions (Π*) over attribute sets — flat NumPy layout.
 
 A partition Π_X groups tuples into equivalence classes by their values
 on the attribute set X.  A *stripped* partition (paper Section 4.6,
 Example 12) drops singleton classes — they can never falsify a
 canonical OD (Lemma 14) — which keeps both memory and validation time
 proportional to the number of "interesting" tuples.
+
+Representation
+--------------
+Classes are stored *stripped and flat*: one contiguous ``int64`` array
+``rows`` holding every grouped row, class after class, plus an
+``offsets`` array of length ``n_classes + 1`` so that class ``i`` is
+``rows[offsets[i]:offsets[i + 1]]``.  The layout is the CSR-style
+encoding used throughout NumPy-backed group-by engines and buys:
+
+* O(1) measures — ``n_classes``, ``||Π*||`` and the TANE error
+  ``e(X)`` read straight off array lengths;
+* vectorized construction — :meth:`from_ranks` is one ``argsort`` plus
+  one boundary scan (``np.diff``/``np.flatnonzero``), O(n log n) with
+  no Python-level per-row work;
+* vectorized refinement — :meth:`product` builds composite
+  ``(other-class, self-class)`` keys for the grouped rows and resolves
+  them with a single sort, instead of per-row dict inserts;
+* segmented validation — the split/swap kernels in
+  :mod:`repro.core.validation` reduce over ``rows``/``offsets``
+  directly with ``np.maximum.accumulate``-style prefix scans.
+
+The legacy ``classes`` list-of-lists view is kept as a lazily
+materialized property so existing consumers (violation counting,
+extensions, tests) keep working unchanged; hot paths should prefer
+``rows``/``offsets``/``class_sizes``.
 """
 
 from __future__ import annotations
@@ -15,46 +40,93 @@ import numpy as np
 
 from repro.relation.encoding import EncodedRelation
 
+#: Shared sentinels aliased into every empty partition; frozen so an
+#: in-place write through one partition's ``rows``/``offsets`` cannot
+#: corrupt every other empty partition process-wide.
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+_EMPTY_ROWS.setflags(write=False)
+_ZERO_OFFSET = np.zeros(1, dtype=np.int64)
+_ZERO_OFFSET.setflags(write=False)
+
+#: Below this many grouped rows the vectorized kernels fall back to
+#: scalar scans — fixed NumPy dispatch overhead (~a dozen ufunc calls)
+#: beats the per-row work on the tiny classes deep lattice levels
+#: produce.  Tuned on the Exp-1 synthetic workloads.  Public so the
+#: validation kernels (and tests) can share the threshold.
+SMALL_KERNEL_THRESHOLD = 64
+
 
 class StrippedPartition:
     """Equivalence classes of size >= 2 over some attribute set.
 
-    ``classes`` is a list of row-index lists.  ``n_rows`` is the size of
-    the underlying relation (needed because stripped classes alone do
-    not reveal it).
+    ``rows`` is the flat ``int64`` array of all grouped row indices and
+    ``offsets`` its class-boundary array (``offsets[0] == 0``,
+    ``offsets[-1] == len(rows)``); class ``i`` lives at
+    ``rows[offsets[i]:offsets[i + 1]]``.  ``n_rows`` is the size of the
+    underlying relation (needed because stripped classes alone do not
+    reveal it).
     """
 
-    __slots__ = ("classes", "n_rows", "_row_to_class")
+    __slots__ = ("rows", "offsets", "n_rows", "_row_to_class", "_classes",
+                 "_class_ids")
 
     def __init__(self, classes: Sequence[Sequence[int]], n_rows: int):
-        self.classes: List[List[int]] = [list(c) for c in classes]
+        if classes:
+            sizes = np.fromiter((len(c) for c in classes), dtype=np.int64,
+                                count=len(classes))
+            self.rows = np.fromiter(
+                (row for c in classes for row in c), dtype=np.int64,
+                count=int(sizes.sum()))
+            self.offsets = np.concatenate(
+                (_ZERO_OFFSET, np.cumsum(sizes)))
+        else:
+            self.rows = _EMPTY_ROWS
+            self.offsets = _ZERO_OFFSET
         self.n_rows = n_rows
         self._row_to_class: Optional[np.ndarray] = None
+        self._classes: Optional[List[List[int]]] = None
+        self._class_ids: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def from_flat(cls, rows: np.ndarray, offsets: np.ndarray,
+                  n_rows: int) -> "StrippedPartition":
+        """Adopt (not copy) a prebuilt flat layout."""
+        partition = cls.__new__(cls)
+        partition.rows = rows
+        partition.offsets = offsets
+        partition.n_rows = n_rows
+        partition._row_to_class = None
+        partition._classes = None
+        partition._class_ids = None
+        return partition
+
+    @classmethod
     def from_ranks(cls, ranks: np.ndarray) -> "StrippedPartition":
-        """Partition by a single rank-encoded column in O(n log n)."""
+        """Partition by a single rank-encoded column in O(n log n).
+
+        One stable ``argsort`` sorts rows by rank; boundaries fall
+        where consecutive sorted ranks differ.  Runs of length >= 2
+        between boundaries become the stripped classes.
+        """
         n = len(ranks)
-        order = np.argsort(ranks, kind="stable")
+        if n == 0:
+            return cls.from_flat(_EMPTY_ROWS, _ZERO_OFFSET, 0)
+        order = np.argsort(ranks, kind="stable").astype(np.int64, copy=False)
         sorted_ranks = ranks[order]
-        classes: List[List[int]] = []
-        start = 0
-        for stop in range(1, n + 1):
-            if stop == n or sorted_ranks[stop] != sorted_ranks[start]:
-                if stop - start >= 2:
-                    classes.append([int(r) for r in order[start:stop]])
-                start = stop
-        return cls(classes, n)
+        return cls.from_flat(
+            *_strip_sorted_runs(order, sorted_ranks), n)
 
     @classmethod
     def single_class(cls, n_rows: int) -> "StrippedPartition":
         """Π over the empty attribute set: every tuple is equivalent."""
         if n_rows < 2:
-            return cls([], n_rows)
-        return cls([list(range(n_rows))], n_rows)
+            return cls.from_flat(_EMPTY_ROWS, _ZERO_OFFSET, n_rows)
+        return cls.from_flat(
+            np.arange(n_rows, dtype=np.int64),
+            np.array([0, n_rows], dtype=np.int64), n_rows)
 
     @classmethod
     def for_attribute(cls, relation: EncodedRelation,
@@ -63,34 +135,65 @@ class StrippedPartition:
         return cls.from_ranks(relation.column(attribute))
 
     # ------------------------------------------------------------------
-    # measures
+    # measures (all O(1) on the flat layout)
     # ------------------------------------------------------------------
+    @property
+    def classes(self) -> List[List[int]]:
+        """Legacy list-of-lists view, materialized lazily and cached.
+
+        Prefer ``rows``/``offsets`` in hot code; this exists for
+        consumers that genuinely want Python lists (display, tests,
+        per-class heuristics)."""
+        if self._classes is None:
+            bounds = self.offsets
+            flat = self.rows.tolist()
+            self._classes = [
+                flat[bounds[i]:bounds[i + 1]]
+                for i in range(len(bounds) - 1)]
+        return self._classes
+
     @property
     def n_classes(self) -> int:
         """Number of non-singleton classes, ``|Π*_X|``."""
-        return len(self.classes)
+        return len(self.offsets) - 1
 
     @property
     def n_grouped_rows(self) -> int:
         """``||Π*_X||`` — total rows living in non-singleton classes."""
-        return sum(len(c) for c in self.classes)
+        return len(self.rows)
+
+    @property
+    def class_sizes(self) -> np.ndarray:
+        """Per-class sizes, ``np.diff(offsets)``."""
+        return np.diff(self.offsets)
 
     @property
     def error(self) -> int:
         """TANE's e(X) numerator: rows that would have to be removed so
         that X becomes a superkey (``||Π*|| - |Π*||``)."""
-        return self.n_grouped_rows - self.n_classes
+        return len(self.rows) - (len(self.offsets) - 1)
 
     def is_superkey(self) -> bool:
         """True when no two tuples agree on the attribute set (Π* empty).
 
         Triggers the key-pruning optimizations of Lemmas 12-13.
         """
-        return not self.classes
+        return len(self.rows) == 0
 
     # ------------------------------------------------------------------
     # refinement
     # ------------------------------------------------------------------
+    def class_ids(self) -> np.ndarray:
+        """Class id of each entry of ``rows`` (``np.repeat`` expansion).
+
+        Cached; the expansion is reused by every vectorized kernel that
+        segments the grouped rows by class."""
+        if self._class_ids is None:
+            self._class_ids = np.repeat(
+                np.arange(self.n_classes, dtype=np.int64),
+                self.class_sizes)
+        return self._class_ids
+
     def row_to_class(self) -> np.ndarray:
         """Map row -> class id (or -1 for rows in singleton classes).
 
@@ -98,25 +201,52 @@ class StrippedPartition:
         """
         if self._row_to_class is None:
             table = np.full(self.n_rows, -1, dtype=np.int64)
-            for class_id, rows in enumerate(self.classes):
-                table[rows] = class_id
+            table[self.rows] = self.class_ids()
             self._row_to_class = table
         return self._row_to_class
 
     def product(self, other: "StrippedPartition") -> "StrippedPartition":
-        """Π_X · Π_Y = Π_{X∪Y}, in time linear in ``||Π*_Y||``.
+        """Π_X · Π_Y = Π_{X∪Y}, vectorized over ``||Π*_Y||``.
 
-        This is the TANE-style refinement the paper relies on to compute
-        level ``l`` partitions from two level ``l-1`` parents
-        (Section 4.6).
+        This is the TANE-style refinement the paper relies on to
+        compute level ``l`` partitions from two level ``l-1`` parents
+        (Section 4.6).  Each grouped row of ``other`` is tagged with the
+        composite key ``(other-class, self-class)``; rows sharing a
+        composite key form the refined classes.  One sort of the
+        grouped rows (O(||Π*_Y|| log ||Π*_Y||)) replaces the per-row
+        dict inserts of the list-based implementation.
         """
         if self.n_rows != other.n_rows:
             raise ValueError("partitions cover different relations")
         probe = self.row_to_class()
+        rows_y = other.rows
+        if len(rows_y) <= SMALL_KERNEL_THRESHOLD:
+            return self._product_small(other, probe)
+        left = probe[rows_y]
+        class_ids_y = other.class_ids()
+        keep = left >= 0
+        if not keep.all():
+            rows_y = rows_y[keep]
+            left = left[keep]
+            class_ids_y = class_ids_y[keep]
+        if len(rows_y) == 0:
+            return StrippedPartition.from_flat(
+                _EMPTY_ROWS, _ZERO_OFFSET, self.n_rows)
+        key = class_ids_y * self.n_classes + left
+        order = np.argsort(key, kind="stable")
+        return StrippedPartition.from_flat(
+            *_strip_sorted_runs(rows_y[order], key[order]), self.n_rows)
+
+    def _product_small(self, other: "StrippedPartition",
+                       probe: np.ndarray) -> "StrippedPartition":
+        """Dict-based refinement for partitions with few grouped rows,
+        where fixed NumPy call overhead exceeds the per-row work."""
+        offsets = other.offsets
+        rows_y = other.rows.tolist()
         classes: List[List[int]] = []
-        for rows in other.classes:
+        for index in range(len(offsets) - 1):
             groups: dict = {}
-            for row in rows:
+            for row in rows_y[offsets[index]:offsets[index + 1]]:
                 left_class = probe[row]
                 if left_class >= 0:
                     groups.setdefault(int(left_class), []).append(row)
@@ -132,9 +262,8 @@ class StrippedPartition:
         """The full (non-stripped) partition, singletons included,
         ordered with stripped classes first then singleton rows."""
         seen = np.zeros(self.n_rows, dtype=bool)
+        seen[self.rows] = True
         full = [list(c) for c in self.classes]
-        for rows in self.classes:
-            seen[rows] = True
         full.extend([int(i)] for i in np.flatnonzero(~seen))
         return full
 
@@ -156,12 +285,65 @@ class StrippedPartition:
                 f"n_rows={self.n_rows})")
 
 
+def _strip_sorted_runs(sorted_rows: np.ndarray, sorted_keys: np.ndarray):
+    """Flat (rows, offsets) of the runs of equal ``sorted_keys`` that
+    are at least 2 long.
+
+    ``sorted_rows``/``sorted_keys`` are parallel arrays already ordered
+    by key.  Boundary detection is one ``np.diff``; singleton runs are
+    dropped by filtering run lengths, and survivors are gathered with a
+    single boolean mask so the result stays contiguous per class.
+    """
+    n = len(sorted_keys)
+    change = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1])
+    boundaries = np.empty(len(change) + 2, dtype=np.int64)
+    boundaries[0] = 0
+    boundaries[-1] = n
+    boundaries[1:-1] = change + 1
+    lengths = boundaries[1:] - boundaries[:-1]
+    big = lengths >= 2
+    if not big.any():
+        return _EMPTY_ROWS, _ZERO_OFFSET
+    sizes = lengths[big]
+    # runs tile the whole array, so per-run flags expand to a per-
+    # position keep mask in one repeat
+    rows = sorted_rows[np.repeat(big, lengths)]
+    offsets = np.concatenate((_ZERO_OFFSET, np.cumsum(sizes)))
+    return rows, offsets
+
+
+def value_group_sizes(column: np.ndarray, partition: StrippedPartition):
+    """Sizes of the ``(class, value)`` groups of the grouped rows.
+
+    Returns ``(group_sizes, owning_class)``: parallel arrays with one
+    entry per distinct value per class, grouped with a single
+    ``lexsort`` over ``(class, value)``.  This is the segmented
+    group-by underlying split-pair counting and g3 removal counts.
+    A superkey partition (no grouped rows) yields two empty arrays.
+    """
+    if len(partition.rows) == 0:
+        return _EMPTY_ROWS, _EMPTY_ROWS
+    class_ids = partition.class_ids()
+    values = column[partition.rows]
+    order = np.lexsort((values, class_ids))
+    sorted_classes = class_ids[order]
+    sorted_values = values[order]
+    new_group = np.empty(len(order), dtype=bool)
+    new_group[0] = True
+    new_group[1:] = ((sorted_classes[1:] != sorted_classes[:-1])
+                     | (sorted_values[1:] != sorted_values[:-1]))
+    group_sizes = np.bincount(np.cumsum(new_group) - 1)
+    return group_sizes, sorted_classes[new_group]
+
+
 def partition_from_columns(relation: EncodedRelation,
                            attributes: Iterable[int]) -> StrippedPartition:
     """Compute Π*_X from scratch by hashing whole projections.
 
     Used as the slow-but-obviously-correct reference implementation in
     property tests against :meth:`StrippedPartition.product`.
+    Deliberately kept as a Python-level hash loop — it is the oracle
+    the vectorized kernels are validated against.
     """
     attributes = list(attributes)
     if not attributes:

@@ -5,11 +5,16 @@ A sorted partition τ_A is the list of equivalence classes of attribute
 equivalence class of a context partition — ``τ_A(E(t_X))`` in the paper,
 illustrated in Table 2 — produces the sorted buckets the swap check
 scans.
+
+The rank column itself doubles as the inverse map (row -> bucket), so
+:meth:`SortedPartition.rank_of` is memoized on the instance:
+:meth:`restrict` used to rebuild it with a full O(n) pass per call,
+which dominated repeated restrictions of the same τ.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -25,20 +30,43 @@ class SortedPartition:
     rank equals ``i``.
     """
 
-    __slots__ = ("buckets", "n_rows")
+    __slots__ = ("buckets", "n_rows", "_ranks")
 
     def __init__(self, buckets: Sequence[Sequence[int]], n_rows: int):
         self.buckets: List[List[int]] = [list(b) for b in buckets]
         self.n_rows = n_rows
+        self._ranks: Optional[np.ndarray] = None
 
     @classmethod
     def from_ranks(cls, ranks: np.ndarray) -> "SortedPartition":
-        """Build τ from a dense-rank column in O(n)."""
-        n_buckets = int(ranks.max()) + 1 if len(ranks) else 0
-        buckets: List[List[int]] = [[] for _ in range(n_buckets)]
-        for row, rank in enumerate(ranks):
-            buckets[int(rank)].append(row)
-        return cls(buckets, len(ranks))
+        """Build τ from a dense-rank column in O(n log n).
+
+        One stable argsort orders rows by rank; slicing at the rank
+        boundaries yields the buckets with rows in original-position
+        order, exactly as the per-row append loop produced them.
+        """
+        n = len(ranks)
+        if n == 0:
+            partition = cls([], 0)
+            partition._ranks = np.array(ranks, dtype=np.int64)
+            partition._ranks.setflags(write=False)
+            return partition
+        n_buckets = int(ranks.max()) + 1
+        order = np.argsort(ranks, kind="stable")
+        sorted_ranks = ranks[order]
+        starts = np.searchsorted(sorted_ranks, np.arange(n_buckets))
+        stops = np.append(starts[1:], n)
+        flat = order.tolist()
+        partition = cls.__new__(cls)
+        partition.buckets = [flat[start:stop]
+                             for start, stop in zip(starts, stops)]
+        partition.n_rows = n
+        # a frozen private copy, NOT an alias of the caller's column:
+        # rank_of() hands this array out, and callers must not be able
+        # to corrupt the relation's encoded column or this memo
+        partition._ranks = np.array(ranks, dtype=np.int64)
+        partition._ranks.setflags(write=False)
+        return partition
 
     @classmethod
     def for_attribute(cls, relation: EncodedRelation,
@@ -50,24 +78,45 @@ class SortedPartition:
         return len(self.buckets)
 
     def rank_of(self) -> np.ndarray:
-        """Inverse map: row -> bucket index (== dense rank)."""
-        ranks = np.empty(self.n_rows, dtype=np.int64)
-        for bucket_index, rows in enumerate(self.buckets):
-            ranks[rows] = bucket_index
-        return ranks
+        """Inverse map: row -> bucket index (== dense rank).
+
+        Memoized on the instance — when τ was built
+        :meth:`from_ranks`, a copy of the input column *is* the inverse
+        map; otherwise it is scattered once from the buckets and
+        cached.  The returned array is read-only: the memo is shared
+        across calls, so in-place writes (harmless under the old
+        fresh-array-per-call contract) would corrupt every later
+        :meth:`restrict`.
+        """
+        if self._ranks is None:
+            ranks = np.empty(self.n_rows, dtype=np.int64)
+            for bucket_index, rows in enumerate(self.buckets):
+                ranks[rows] = bucket_index
+            ranks.setflags(write=False)
+            self._ranks = ranks
+        return self._ranks
 
     def restrict(self, eq_class: Sequence[int]) -> List[List[int]]:
         """``τ_A(E(t_X))``: the sorted buckets of one context class.
 
         Reproduces the hashing step of Table 2: each row of the class is
         hashed into the bucket of its A-rank; buckets come back in
-        ascending A order with empty buckets dropped.
+        ascending A order with empty buckets dropped.  Uses the
+        memoized inverse map plus one small stable sort over the class,
+        so the cost is O(|class| log |class|), not O(n) per call.
         """
-        member: Dict[int, List[int]] = {}
-        ranks = self.rank_of()
-        for row in eq_class:
-            member.setdefault(int(ranks[row]), []).append(row)
-        return [member[rank] for rank in sorted(member)]
+        members = np.asarray(eq_class, dtype=np.int64)
+        if members.size == 0:
+            return []
+        ranks = self.rank_of()[members]
+        order = np.argsort(ranks, kind="stable")
+        sorted_members = members[order].tolist()
+        sorted_ranks = ranks[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ranks)) + 1
+        starts = [0, *boundaries.tolist()]
+        stops = [*boundaries.tolist(), len(sorted_members)]
+        return [sorted_members[start:stop]
+                for start, stop in zip(starts, stops)]
 
 
 def swap_free_buckets(buckets_a: List[List[int]],
@@ -82,8 +131,8 @@ def swap_free_buckets(buckets_a: List[List[int]],
     """
     highest_b_so_far = -1
     for bucket in buckets_a:
-        bucket_ranks = [int(ranks_b[row]) for row in bucket]
-        if min(bucket_ranks) < highest_b_so_far:
+        bucket_ranks = ranks_b[bucket]
+        if int(bucket_ranks.min()) < highest_b_so_far:
             return False
-        highest_b_so_far = max(highest_b_so_far, max(bucket_ranks))
+        highest_b_so_far = max(highest_b_so_far, int(bucket_ranks.max()))
     return True

@@ -33,7 +33,7 @@ from repro.core.od import (
     OrderCompatibility,
 )
 from repro.partitions.cache import PartitionCache
-from repro.partitions.partition import StrippedPartition
+from repro.partitions.partition import StrippedPartition, value_group_sizes
 from repro.relation.schema import bit_count, iter_bits
 from repro.relation.table import Relation
 from repro.violations.fenwick import FenwickMax
@@ -44,12 +44,20 @@ from repro.violations.fenwick import FenwickMax
 # ----------------------------------------------------------------------
 def fd_removal_count(column: np.ndarray,
                      context: StrippedPartition) -> int:
-    """Minimum removals making ``X: [] ↦ A`` hold."""
-    removals = 0
-    for rows in context.classes:
-        _, counts = np.unique(column[rows], return_counts=True)
-        removals += len(rows) - int(counts.max())
-    return removals
+    """Minimum removals making ``X: [] ↦ A`` hold.
+
+    Per class, keep the most frequent A value.  Vectorized: one
+    ``(class, value)`` group-by over the flat partition layout, then a
+    segmented max (``np.maximum.reduceat``) over each class's group
+    sizes.
+    """
+    if len(context.rows) == 0:
+        return 0
+    group_sizes, owners = value_group_sizes(column, context)
+    class_starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(owners)) + 1))
+    keep = np.maximum.reduceat(group_sizes, class_starts)
+    return int(context.n_grouped_rows - keep.sum())
 
 
 def max_compatible_subset(pairs: Sequence[Tuple[int, int]]) -> int:

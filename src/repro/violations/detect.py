@@ -28,8 +28,11 @@ from repro.core.validation import (
     Swap,
     find_split,
     find_swap,
+    scan_find_swap,
+    split_mismatch_mask,
+    swap_classes,
 )
-from repro.partitions.partition import StrippedPartition
+from repro.partitions.partition import StrippedPartition, value_group_sizes
 from repro.relation.table import Relation
 from repro.violations.fenwick import FenwickSum
 
@@ -63,15 +66,19 @@ class ViolationReport:
 def count_split_pairs(column: np.ndarray,
                       context: StrippedPartition) -> int:
     """Number of tuple pairs violating ``X: [] ↦ A``: pairs in the same
-    context class with different A values."""
-    total = 0
-    for rows in context.classes:
-        values = column[rows]
-        size = len(rows)
-        _, counts = np.unique(values, return_counts=True)
-        same = int((counts * (counts - 1) // 2).sum())
-        total += size * (size - 1) // 2 - same
-    return total
+    context class with different A values.
+
+    Vectorized over the flat partition layout: all-pairs per class from
+    the class sizes, minus the same-value pairs counted by grouping the
+    grouped rows on ``(class, value)`` with one ``lexsort``.
+    """
+    if len(context.rows) == 0:
+        return 0
+    sizes = context.class_sizes
+    all_pairs = int((sizes * (sizes - 1) // 2).sum())
+    group_sizes = value_group_sizes(column, context)[0]
+    same = int((group_sizes * (group_sizes - 1) // 2).sum())
+    return all_pairs - same
 
 
 def count_swap_pairs(column_a: np.ndarray, column_b: np.ndarray,
@@ -113,29 +120,42 @@ def count_swap_pairs(column_a: np.ndarray, column_b: np.ndarray,
 # ----------------------------------------------------------------------
 def collect_splits(column: np.ndarray, context: StrippedPartition,
                    attribute: str, limit: int) -> List[Split]:
-    """Up to ``limit`` split witnesses (one per offending class)."""
+    """Up to ``limit`` split witnesses (one per offending class).
+
+    Offending classes are located with one vectorized segmented
+    constancy check; only those classes are touched to extract the
+    witness rows.
+    """
+    rows = context.rows
+    if len(rows) == 0:
+        return []
+    offsets = context.offsets
+    mismatch = split_mismatch_mask(column, context)
+    per_class = np.add.reduceat(mismatch, offsets[:-1])
     witnesses: List[Split] = []
-    for rows in context.classes:
-        if len(witnesses) >= limit:
-            break
-        values = column[rows]
-        different = np.flatnonzero(values != values[0])
-        if different.size:
-            witnesses.append(
-                Split(int(rows[0]), int(rows[int(different[0])]), attribute))
+    for class_id in np.flatnonzero(per_class)[:limit]:
+        start, stop = offsets[class_id], offsets[class_id + 1]
+        position = start + int(np.argmax(mismatch[start:stop]))
+        witnesses.append(
+            Split(int(rows[start]), int(rows[position]), attribute))
     return witnesses
 
 
 def collect_swaps(column_a: np.ndarray, column_b: np.ndarray,
                   context: StrippedPartition, left: str, right: str,
                   limit: int) -> List[Swap]:
-    """Up to ``limit`` swap witnesses (one per offending class)."""
+    """Up to ``limit`` swap witnesses (one per offending class).
+
+    One vectorized pass (:func:`repro.core.validation.swap_classes`)
+    finds the offending classes; the scalar witness scan then runs only
+    on those.
+    """
+    offsets = context.offsets
     witnesses: List[Swap] = []
-    for rows in context.classes:
-        if len(witnesses) >= limit:
-            break
-        single = StrippedPartition([list(rows)], context.n_rows)
-        witness = find_swap(column_a, column_b, single, left, right)
+    for class_id in swap_classes(column_a, column_b, context)[:limit]:
+        class_rows = context.rows[offsets[class_id]:offsets[class_id + 1]]
+        witness = scan_find_swap(column_a, column_b, class_rows,
+                                 left, right)
         if witness is not None:
             witnesses.append(witness)
     return witnesses
@@ -145,11 +165,19 @@ def collect_swaps(column_a: np.ndarray, column_b: np.ndarray,
 # the public checker
 # ----------------------------------------------------------------------
 class ViolationDetector:
-    """Checks dependencies of any supported syntax against a relation."""
+    """Checks dependencies of any supported syntax against a relation.
 
-    def __init__(self, relation: Relation):
+    ``max_cached_partitions`` caps the resident context partitions
+    (LRU) for detectors that outlive one query — e.g. monitoring many
+    rules against a large relation; default is unbounded.
+    """
+
+    def __init__(self, relation: Relation,
+                 max_cached_partitions: Optional[int] = None):
         self._relation = relation
-        self._validator = CanonicalValidator(relation.encode())
+        self._validator = CanonicalValidator(
+            relation.encode(),
+            max_cached_partitions=max_cached_partitions)
         self._encoded = self._validator.relation
         self._index = {name: i for i, name in enumerate(self._encoded.names)}
 

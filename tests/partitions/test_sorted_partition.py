@@ -31,6 +31,41 @@ class TestSortedPartition:
         tau = SortedPartition.from_ranks(np.array([], dtype=np.int64))
         assert tau.buckets == []
 
+    def test_rank_of_memoized(self):
+        tau = SortedPartition.from_ranks(np.array([2, 0, 1, 0, 2]))
+        assert tau.rank_of() is tau.rank_of()
+
+    def test_rank_of_does_not_alias_input_column(self):
+        column = np.array([2, 0, 1, 0, 2])
+        tau = SortedPartition.from_ranks(column)
+        assert tau.rank_of() is not column
+        assert not np.shares_memory(tau.rank_of(), column)
+
+    def test_rank_of_result_is_read_only(self):
+        # the memo is shared across calls; writes would corrupt restrict
+        tau = SortedPartition.from_ranks(np.array([1, 1, 0, 0]))
+        with np.testing.assert_raises(ValueError):
+            tau.rank_of()[0] = 99
+        assert tau.restrict([0, 1, 2, 3]) == [[2, 3], [0, 1]]
+        scattered = SortedPartition([[1], [0]], 2)
+        with np.testing.assert_raises(ValueError):
+            scattered.rank_of()[0] = 5
+
+    def test_rank_of_memoized_from_buckets(self):
+        tau = SortedPartition([[1, 3], [2], [0]], 4)
+        first = tau.rank_of()
+        assert first is tau.rank_of()
+        assert list(first) == [2, 0, 1, 0]
+
+    def test_restrict_row_order_within_bucket(self):
+        # rows keep the order they appear in the eq_class argument
+        tau = SortedPartition.from_ranks(np.array([1, 1, 1, 0]))
+        assert tau.restrict([2, 0, 1, 3]) == [[3], [2, 0, 1]]
+
+    def test_restrict_empty_class(self):
+        tau = SortedPartition.from_ranks(np.array([0, 1]))
+        assert tau.restrict([]) == []
+
 
 class TestSwapFreeBuckets:
     def test_no_swap(self):

@@ -65,3 +65,23 @@ class TestHarnessReporter:
         from benchmarks.harness import dataset
 
         assert dataset("flight", 50, 5) is dataset("flight", 50, 5)
+
+    def test_write_bench_json_merges_sections(self, tmp_path):
+        sys.path.insert(0, str(REPO))
+        import json
+
+        from benchmarks.harness import write_bench_json
+
+        write_bench_json("unit", [{"n_rows": 1}], section="sweep",
+                         directory=tmp_path)
+        target = write_bench_json("unit", [{"kernel": "product"}],
+                                  section="kernels", directory=tmp_path)
+        loaded = json.loads(target.read_text())
+        assert loaded["sweep"] == [{"n_rows": 1}]
+        assert loaded["kernels"] == [{"kernel": "product"}]
+        # re-writing a section replaces only that section
+        write_bench_json("unit", [{"n_rows": 2}], section="sweep",
+                         directory=tmp_path)
+        loaded = json.loads(target.read_text())
+        assert loaded["sweep"] == [{"n_rows": 2}]
+        assert loaded["kernels"] == [{"kernel": "product"}]
