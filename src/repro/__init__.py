@@ -35,12 +35,14 @@ from repro.errors import (
     ReproError,
     SchemaError,
 )
+from repro.incremental import BatchReport, IncrementalFastOD
 from repro.profile import discover_keys, profile_relation
 from repro.relation import Relation, Schema, read_csv, read_csv_text
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchReport",
     "CanonicalFD",
     "CanonicalOCD",
     "CanonicalValidator",
@@ -50,6 +52,7 @@ __all__ = [
     "DiscoveryResult",
     "FastOD",
     "FastODConfig",
+    "IncrementalFastOD",
     "ListOD",
     "OrderCompatibility",
     "OrderSpec",

@@ -3,6 +3,8 @@
 Subcommands::
 
     repro-od discover data.csv [--max-level N] [--no-minimal] [--json]
+    repro-od append base.csv batch1.csv batch2.csv [--verify] [--json]
+    repro-od watch data.csv [--interval S] [--idle-exit N] [--json]
     repro-od check data.csv "{month}: [] -> quarter"
     repro-od violations data.csv "[salary] -> [tax]" [--witnesses N]
     repro-od generate flight out.csv --rows 1000 --cols 10 --seed 42
@@ -16,11 +18,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.fastod import FastOD, FastODConfig
 from repro.datasets.registry import dataset_names, make_dataset
-from repro.errors import ReproError
+from repro.errors import DataError, ReproError
+from repro.partitions.cache import PartitionCache
 from repro.relation.csvio import read_csv, write_csv
 from repro.violations.detect import ViolationDetector
 
@@ -44,6 +48,40 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable pruning; enumerate every valid OD")
     discover.add_argument("--json", action="store_true",
                           help="emit machine-readable JSON")
+    discover.add_argument("--cache-max-entries", type=int, default=None,
+                          metavar="N",
+                          help="bound the partition cache to N composite "
+                               "partitions (LRU); default keeps all")
+
+    append = sub.add_parser(
+        "append",
+        help="discover on a base CSV, then fold in append batches "
+             "incrementally")
+    append.add_argument("csv", help="base CSV (the initial snapshot)")
+    append.add_argument("batches", nargs="+",
+                        help="CSV files appended in order (same header)")
+    append.add_argument("--max-level", type=int, default=None)
+    append.add_argument("--limit", type=int, default=None,
+                        help="read at most this many base rows")
+    append.add_argument("--verify", action="store_true",
+                        help="assert each batch's result against a "
+                             "from-scratch FASTOD run")
+    append.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+
+    watch = sub.add_parser(
+        "watch",
+        help="poll a CSV for appended rows and keep its ODs fresh")
+    watch.add_argument("csv")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between polls (default 1.0)")
+    watch.add_argument("--max-batches", type=int, default=None,
+                       help="stop after this many non-empty batches")
+    watch.add_argument("--idle-exit", type=int, default=None,
+                       help="stop after this many consecutive empty polls")
+    watch.add_argument("--max-level", type=int, default=None)
+    watch.add_argument("--json", action="store_true",
+                       help="emit one JSON object per line (NDJSON)")
 
     check = sub.add_parser(
         "check", help="check whether one dependency holds")
@@ -51,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("dependency",
                        help='e.g. "{month}: [] -> quarter" or "[a] -> [b]"')
     check.add_argument("--limit", type=int, default=None)
+    check.add_argument("--cache-max-entries", type=int, default=None)
 
     violations = sub.add_parser(
         "violations", help="report violating tuple pairs for a dependency")
@@ -59,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     violations.add_argument("--witnesses", type=int, default=5,
                             help="max witness pairs to print")
     violations.add_argument("--limit", type=int, default=None)
+    violations.add_argument("--cache-max-entries", type=int, default=None)
 
     generate = sub.add_parser(
         "generate", help="write a synthetic dataset to CSV")
@@ -106,7 +146,14 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         max_level=args.max_level,
         timeout_seconds=args.timeout,
     )
-    result = FastOD(relation, config).run()
+    # wire a cache only when its stats (--json) or its bound were asked
+    # for: an unbounded cache would retain every lattice partition for
+    # the whole run, where plain discovery keeps two levels
+    cache = None
+    if args.json or args.cache_max_entries is not None:
+        cache = PartitionCache(relation.encode(),
+                               max_entries=args.cache_max_entries)
+    result = FastOD(relation, config, cache=cache).run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -117,9 +164,96 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_append(args: argparse.Namespace) -> int:
+    from repro.incremental import IncrementalFastOD
+
+    base = read_csv(args.csv, limit=args.limit)
+    config = FastODConfig(max_level=args.max_level)
+    started = time.perf_counter()
+    engine = IncrementalFastOD(base, config,
+                               verify_with_oracle=args.verify)
+    initial_seconds = time.perf_counter() - started
+    reports = []
+    for path in args.batches:
+        batch = read_csv(path)
+        reports.append(engine.append(batch))
+    if args.json:
+        print(json.dumps({
+            "initial": {"n_rows": base.n_rows,
+                        "seconds": initial_seconds},
+            "batches": [report.to_dict() for report in reports],
+            "final": engine.result.to_dict(),
+        }, indent=2))
+        return 0
+    print(f"initial: {base.n_rows} rows, "
+          f"{initial_seconds * 1000:.1f} ms")
+    for report in reports:
+        print(report)
+    print()
+    print(engine.result.summary())
+    print()
+    for od in engine.result.all_ods:
+        print(od)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.incremental import IncrementalFastOD
+
+    def emit(payload: dict, text: str) -> None:
+        if args.json:
+            print(json.dumps(payload), flush=True)
+        else:
+            print(text, flush=True)
+
+    relation = read_csv(args.csv)
+    config = FastODConfig(max_level=args.max_level)
+    engine = IncrementalFastOD(relation, config)
+    seen = relation.n_rows
+    emit({"event": "initial", "n_rows": seen,
+          "result": engine.result.to_dict()},
+         f"watching {args.csv}: {seen} rows, "
+         f"ODs {engine.result.paper_counts()}")
+    batches = 0
+    idle = 0
+    while True:
+        if args.max_batches is not None and batches >= args.max_batches:
+            break
+        if args.idle_exit is not None and idle >= args.idle_exit:
+            break
+        time.sleep(args.interval)
+        current = read_csv(args.csv)
+        if current.n_rows < seen:
+            # a rewrite/rotation, not an append: rows we already folded
+            # in are gone, so the maintained state no longer describes
+            # this file — bail out rather than splice mismatched data
+            raise DataError(
+                f"{args.csv}: shrank from {seen} to {current.n_rows} "
+                f"rows while watching (rotated or rewritten?)")
+        if current.n_rows == seen:
+            idle += 1
+            continue
+        if current.names != engine.relation.names:
+            raise DataError(
+                f"{args.csv}: header changed while watching")
+        fresh = current.select_rows(range(seen, current.n_rows))
+        report = engine.append(fresh)
+        seen = current.n_rows
+        batches += 1
+        idle = 0
+        emit({"event": "batch", **report.to_dict()}, str(report))
+    emit({"event": "done", "n_rows": seen, "batches": batches,
+          "result": engine.result.to_dict()},
+         f"done: {seen} rows after {batches} batch(es), "
+         f"ODs {engine.result.paper_counts()}")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv, limit=args.limit)
-    report = ViolationDetector(relation).check(
+    report = ViolationDetector(
+        relation,
+        max_cached_partitions=args.cache_max_entries).check(
         args.dependency, max_witnesses=0, count_pairs=False)
     print(f"{report.dependency}: {'HOLDS' if report.holds else 'VIOLATED'}")
     return 0 if report.holds else 1
@@ -127,7 +261,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_violations(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv, limit=args.limit)
-    report = ViolationDetector(relation).check(
+    report = ViolationDetector(
+        relation,
+        max_cached_partitions=args.cache_max_entries).check(
         args.dependency, max_witnesses=args.witnesses, count_pairs=True)
     print(report)
     return 0 if report.holds else 1
@@ -197,6 +333,8 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "discover": _cmd_discover,
+    "append": _cmd_append,
+    "watch": _cmd_watch,
     "check": _cmd_check,
     "violations": _cmd_violations,
     "generate": _cmd_generate,

@@ -82,6 +82,38 @@ def compute_cs(mask: int, previous: Dict[int, "LatticeNode"]) -> Set[Pair]:
     return {pair for pair, count in counts.items() if count == required}
 
 
+def fill_candidate_sets(level: int, current: Dict[int, "LatticeNode"],
+                        previous: Dict[int, "LatticeNode"],
+                        full_mask: int, minimality_pruning: bool) -> None:
+    """Populate ``cc``/``cs`` for every node of one level (Algorithm 3,
+    lines 1-8) — shared by FASTOD and the incremental engine so the
+    two traversals cannot drift apart.
+
+    With minimality pruning off, every attribute and every pair stays
+    a candidate (the paper's *FASTOD-No Pruning* ablation).
+    """
+    for mask, node in current.items():
+        if not minimality_pruning:
+            node.cc = full_mask
+            node.cs = all_pairs(mask) if level >= 2 else set()
+            continue
+        node.cc = compute_cc(mask, previous)
+        if level == 2:
+            node.cs = initial_cs_level2(mask)
+        elif level > 2:
+            node.cs = compute_cs(mask, previous)
+
+
+def prune_empty_nodes(current: Dict[int, "LatticeNode"]) -> int:
+    """Algorithm 4: delete nodes whose candidate sets are both empty,
+    returning how many were dropped (callers gate on config)."""
+    doomed = [mask for mask, node in current.items()
+              if not node.cc and not node.cs]
+    for mask in doomed:
+        del current[mask]
+    return len(doomed)
+
+
 def all_pairs(mask: int) -> Set[Pair]:
     """Every unordered attribute pair inside ``mask`` — the candidate
     set used when minimality pruning is disabled (the paper's

@@ -32,16 +32,15 @@ from typing import Dict, List, Optional
 
 from repro.core.candidates import (
     LatticeNode,
-    all_pairs,
-    compute_cc,
-    compute_cs,
     context_names,
-    initial_cs_level2,
+    fill_candidate_sets,
+    prune_empty_nodes,
 )
 from repro.core.lattice import next_level_masks, parents_for_partition
 from repro.core.od import CanonicalFD, CanonicalOCD
 from repro.core.results import DiscoveryResult, LevelStats
 from repro.core.validation import is_compatible_in_classes
+from repro.partitions.cache import PartitionCache
 from repro.partitions.partition import StrippedPartition
 from repro.relation.schema import iter_bits
 from repro.relation.table import Relation
@@ -95,13 +94,18 @@ class FastOD:
     """
 
     def __init__(self, relation: Relation,
-                 config: Optional[FastODConfig] = None):
+                 config: Optional[FastODConfig] = None,
+                 cache: Optional["PartitionCache"] = None):
         self._relation = relation
         self._encoded = relation.encode()
         self._config = config or FastODConfig()
         self._names = self._encoded.names
         self._arity = self._encoded.arity
         self._full_mask = (1 << self._arity) - 1
+        if cache is not None and cache.relation is not self._encoded:
+            raise ValueError(
+                "the partition cache must wrap this relation's encoding")
+        self._cache = cache
 
     # ------------------------------------------------------------------
     # public entry point (Algorithm 1)
@@ -127,9 +131,7 @@ class FastOD:
                            cc=self._full_mask, cs=set())
         }
         current: Dict[int, LatticeNode] = {
-            1 << a: LatticeNode(
-                1 << a,
-                StrippedPartition.for_attribute(self._encoded, a))
+            1 << a: LatticeNode(1 << a, self._attribute_partition(a))
             for a in range(self._arity)
         }
         previous = level0
@@ -160,7 +162,17 @@ class FastOD:
             level += 1
 
         result.elapsed_seconds = time.perf_counter() - started
+        if self._cache is not None:
+            result.cache_stats = self._cache.stats()
         return result
+
+    # ------------------------------------------------------------------
+    # partition sourcing (optionally through a shared PartitionCache)
+    # ------------------------------------------------------------------
+    def _attribute_partition(self, attribute: int) -> StrippedPartition:
+        if self._cache is not None:
+            return self._cache.get(1 << attribute)
+        return StrippedPartition.for_attribute(self._encoded, attribute)
 
     # ------------------------------------------------------------------
     # candidate sets (Algorithm 3, lines 1-8)
@@ -168,17 +180,8 @@ class FastOD:
     def _compute_candidate_sets(self, level: int,
                                 current: Dict[int, LatticeNode],
                                 previous: Dict[int, LatticeNode]) -> None:
-        config = self._config
-        for mask, node in current.items():
-            if not config.minimality_pruning:
-                node.cc = self._full_mask
-                node.cs = all_pairs(mask) if level >= 2 else set()
-                continue
-            node.cc = compute_cc(mask, previous)
-            if level == 2:
-                node.cs = initial_cs_level2(mask)
-            elif level > 2:
-                node.cs = compute_cs(mask, previous)
+        fill_candidate_sets(level, current, previous, self._full_mask,
+                            self._config.minimality_pruning)
 
     # ------------------------------------------------------------------
     # dependency checks (Algorithm 3, lines 9-25)
@@ -270,22 +273,23 @@ class FastOD:
         if (not config.level_pruning or not config.minimality_pruning
                 or level < 2):
             return 0
-        doomed = [mask for mask, node in current.items()
-                  if not node.cc and not node.cs]
-        for mask in doomed:
-            del current[mask]
-        return len(doomed)
+        return prune_empty_nodes(current)
 
     # ------------------------------------------------------------------
     # next level (Algorithm 2 + partition products)
     # ------------------------------------------------------------------
     def _calculate_next_level(self, current: Dict[int, LatticeNode]
                               ) -> Dict[int, LatticeNode]:
+        cache = self._cache
         next_nodes: Dict[int, LatticeNode] = {}
         for mask in next_level_masks(current.keys()):
-            left, right = parents_for_partition(mask)
-            partition = current[left].partition.product(
-                current[right].partition)
+            partition = cache.peek(mask) if cache is not None else None
+            if partition is None:
+                left, right = parents_for_partition(mask)
+                partition = current[left].partition.product(
+                    current[right].partition)
+                if cache is not None:
+                    cache.put(mask, partition)
             next_nodes[mask] = LatticeNode(mask, partition)
         return next_nodes
 

@@ -57,6 +57,9 @@ class DiscoveryResult:
     timed_out: bool = False
     minimal: bool = True
     config: Dict[str, object] = field(default_factory=dict)
+    #: populated when the run was wired to a PartitionCache
+    #: (hits/misses/evictions/residency, see PartitionCache.stats())
+    cache_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # views
@@ -116,7 +119,7 @@ class DiscoveryResult:
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready rendering (used by the CLI)."""
-        return {
+        rendered: Dict[str, object] = {
             "algorithm": self.algorithm,
             "attributes": list(self.attribute_names),
             "n_rows": self.n_rows,
@@ -140,6 +143,9 @@ class DiscoveryResult:
                 for s in self.level_stats
             ],
         }
+        if self.cache_stats is not None:
+            rendered["cache"] = dict(self.cache_stats)
+        return rendered
 
     def same_ods(self, other: "DiscoveryResult") -> bool:
         """Set equality of the discovered ODs (ignores timings)."""

@@ -11,6 +11,11 @@ from repro.datasets.synthetic import (
     ncvoter_like,
     ncvoter_planted,
 )
+from repro.datasets.streaming import (
+    drifting_stream,
+    split_stream,
+    stream_batches,
+)
 from repro.datasets.tpcds import date_dim, date_dim_planted, web_sales
 
 __all__ = [
@@ -20,6 +25,7 @@ __all__ = [
     "date_dim_planted",
     "dbtesma_like",
     "dbtesma_planted",
+    "drifting_stream",
     "employees",
     "flight_like",
     "flight_planted",
@@ -27,5 +33,7 @@ __all__ = [
     "make_dataset",
     "ncvoter_like",
     "ncvoter_planted",
+    "split_stream",
+    "stream_batches",
     "web_sales",
 ]

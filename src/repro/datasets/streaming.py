@@ -1,0 +1,93 @@
+"""Streaming variants of the synthetic datasets: base + append batches.
+
+The incremental engine's workload is a warehouse loading in batches.
+These helpers split any registered dataset family into an initial
+snapshot plus a deterministic sequence of append batches, optionally
+*drifting* late batches — perturbing cells so that dependencies that
+held on the early data stop holding, which is what exercises the
+engine's demotion path (appends can only ever invalidate ODs, never
+create them).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.registry import make_dataset
+from repro.relation.table import Relation
+
+
+def split_stream(relation: Relation, n_batches: int,
+                 base_fraction: float = 0.5
+                 ) -> Tuple[Relation, List[Relation]]:
+    """Split a relation into a base snapshot plus ``n_batches`` equal
+    append batches (the last batch takes any remainder).
+
+    Concatenating base and batches in order reproduces the relation
+    row-for-row, so a from-scratch run on the full data is the oracle
+    for an incremental run over the stream.
+    """
+    if n_batches < 1:
+        raise ValueError("need at least one batch")
+    if not 0.0 < base_fraction <= 1.0:
+        raise ValueError("base_fraction must be in (0, 1]")
+    n_base = max(1, int(relation.n_rows * base_fraction)) \
+        if relation.n_rows else 0
+    base = relation.take(n_base)
+    remaining = relation.n_rows - n_base
+    per_batch = remaining // n_batches if n_batches else 0
+    batches: List[Relation] = []
+    start = n_base
+    for index in range(n_batches):
+        stop = relation.n_rows if index == n_batches - 1 \
+            else min(start + per_batch, relation.n_rows)
+        batches.append(relation.select_rows(range(start, stop)))
+        start = stop
+    return base, batches
+
+
+def stream_batches(family: str, n_rows: int = 1000, n_attrs: int = 8,
+                   seed: int = 42, n_batches: int = 10,
+                   base_fraction: float = 0.5
+                   ) -> Tuple[Relation, List[Relation]]:
+    """A clean append stream over a registered dataset family."""
+    relation = make_dataset(family, n_rows=n_rows, n_attrs=n_attrs,
+                            seed=seed)
+    return split_stream(relation, n_batches, base_fraction)
+
+
+def drifting_stream(family: str, n_rows: int = 1000, n_attrs: int = 8,
+                    seed: int = 42, n_batches: int = 10,
+                    base_fraction: float = 0.5,
+                    drift_after: float = 0.5, drift: float = 0.02
+                    ) -> Tuple[Relation, List[Relation]]:
+    """An append stream whose late batches violate planted structure.
+
+    From batch ``ceil(drift_after * n_batches)`` on, each batch has a
+    ``drift`` fraction of its cells (chosen deterministically from
+    ``seed``) replaced with random values drawn from the column's
+    existing domain — breaking monotone derivations and hash FDs so
+    that discovery results actually change along the stream.
+    """
+    base, batches = stream_batches(family, n_rows, n_attrs, seed,
+                                   n_batches, base_fraction)
+    rng = np.random.default_rng(seed + 1)
+    first_drifting = int(np.ceil(drift_after * n_batches))
+    drifted: List[Relation] = []
+    for index, batch in enumerate(batches):
+        if index < first_drifting or batch.n_rows == 0 or drift <= 0:
+            drifted.append(batch)
+            continue
+        columns = {name: list(batch.column(name)) for name in batch.names}
+        n_cells = batch.n_rows * batch.arity
+        n_perturbed = max(1, int(n_cells * drift))
+        flat = rng.choice(n_cells, size=n_perturbed, replace=False)
+        for position in flat:
+            row = int(position) // batch.arity
+            name = batch.names[int(position) % batch.arity]
+            domain = base.column(name)
+            columns[name][row] = domain[int(rng.integers(len(domain)))]
+        drifted.append(Relation.from_columns(columns))
+    return base, drifted

@@ -1,0 +1,18 @@
+"""Incremental discovery: delta-maintained partitions and OD sets.
+
+The append-only counterpart to :mod:`repro.core.fastod`: batches are
+folded into maintained groupings and per-class validation state instead
+of re-running discovery from scratch (see DESIGN.md, "Incremental
+architecture").
+"""
+
+from repro.incremental.delta import BatchEffect, DeltaPartition, GroupTracker
+from repro.incremental.engine import BatchReport, IncrementalFastOD
+
+__all__ = [
+    "BatchEffect",
+    "BatchReport",
+    "DeltaPartition",
+    "GroupTracker",
+    "IncrementalFastOD",
+]

@@ -1,0 +1,620 @@
+"""Incremental FASTOD: keep the discovered OD set fresh under appends.
+
+A from-scratch FASTOD run re-sorts every partition and re-scans every
+candidate even though an appended batch can only *shrink* the set of
+valid ODs (a violating tuple pair, once present, never goes away).
+:class:`IncrementalFastOD` exploits that monotonicity:
+
+* **verdicts are monotone** — a refuted candidate (FD or OCD) stays
+  refuted forever, so False verdicts are cached and never re-examined;
+* **held ODs are maintained, not re-validated** — every emitted FD is
+  re-checked per batch through O(1) maintained partition measures
+  (``e(X \\ A) = e(X)`` off :class:`repro.incremental.delta.GroupTracker`
+  counters), and every emitted OCD carries per-class interval state
+  (:class:`repro.violations.monitor.OcdClassState`, the ODMonitor
+  machinery keyed by stable group ids) fed only the batch rows that
+  landed in its context classes — O(log k) per row instead of a
+  re-scan;
+* **only the load-bearing groupings are kept current** — the tracker
+  chains behind the currently-held ODs are synced every batch; every
+  other grouping goes stale and catches up in one combined span if a
+  later traversal actually consults it;
+* the lattice **traversal re-runs only when a verdict flipped**: if a
+  batch invalidated nothing, the previous result is carried over
+  verbatim; otherwise the level-wise sweep re-runs against the verdict
+  caches, paying full validation only for candidates that became
+  reachable because an invalidated OD stopped pruning them.
+
+After every batch the engine's FD/OCD sets are identical to what a
+from-scratch run on the grown relation would produce (the
+``verify_with_oracle`` flag asserts exactly that, and the property
+tests in ``tests/incremental`` enforce it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.candidates import (
+    LatticeNode,
+    context_names,
+    fill_candidate_sets,
+    prune_empty_nodes,
+)
+from repro.core.fastod import FastOD, FastODConfig
+from repro.core.lattice import next_level_masks
+from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.results import DiscoveryResult, LevelStats, diff_results
+from repro.core.validation import is_compatible_in_classes
+from repro.errors import DataError
+from repro.incremental.delta import BatchEffect, DeltaPartition, GroupTracker
+from repro.relation.encoding import sort_key
+from repro.relation.schema import bit_count, iter_bits
+from repro.relation.table import Relation
+from repro.violations.monitor import OcdClassState
+
+FdKey = Tuple[int, int]             # (context mask, node mask)
+OcdKey = Tuple[int, int, int]       # (context mask, attr a, attr b)
+
+
+@dataclass
+class BatchReport:
+    """What one appended batch did to the discovered OD set."""
+
+    batch_index: int
+    n_appended: int
+    n_rows: int
+    invalidated: List[str] = field(default_factory=list)
+    appeared: List[str] = field(default_factory=list)
+    retraversed: bool = False
+    seconds: float = 0.0
+    result: Optional[DiscoveryResult] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "batch": self.batch_index,
+            "n_appended": self.n_appended,
+            "n_rows": self.n_rows,
+            "invalidated": list(self.invalidated),
+            "appeared": list(self.appeared),
+            "retraversed": self.retraversed,
+            "seconds": self.seconds,
+            "n_ods": self.result.n_ods if self.result else 0,
+        }
+
+    def __str__(self) -> str:
+        changes = ""
+        if self.invalidated:
+            changes += f", -{len(self.invalidated)} invalidated"
+        if self.appeared:
+            changes += f", +{len(self.appeared)} newly minimal"
+        ods = self.result.paper_counts() if self.result else "?"
+        return (f"batch {self.batch_index}: +{self.n_appended} rows "
+                f"({self.n_rows} total), ODs {ods}{changes}, "
+                f"{self.seconds * 1000:.1f} ms")
+
+
+class IncrementalFastOD:
+    """FASTOD whose output is delta-maintained across appended batches.
+
+    >>> from repro.relation.table import Relation
+    >>> engine = IncrementalFastOD(Relation.from_rows(
+    ...     ["a", "b"], [(1, 10), (2, 20)]))
+    >>> engine.result.n_ods > 0
+    True
+    >>> report = engine.append([(3, 5)])      # a swap lands
+    >>> "{}: a ~ b" in report.invalidated
+    True
+    """
+
+    def __init__(self, relation: Relation,
+                 config: Optional[FastODConfig] = None,
+                 verify_with_oracle: bool = False):
+        config = config or FastODConfig()
+        if config.timeout_seconds is not None:
+            raise ValueError(
+                "IncrementalFastOD needs complete traversals to keep "
+                "its snapshots consistent; timeout_seconds is not "
+                "supported")
+        self._config = config
+        self._verify = verify_with_oracle
+        self._relation = relation
+        self._encoded = relation.encode()
+        self._names = self._encoded.names
+        self._arity = self._encoded.arity
+        self._full_mask = (1 << self._arity) - 1
+        self._columns = [relation.column_at(i) for i in range(self._arity)]
+        keys = self._encoded.keys
+        self._col_gids: List[np.ndarray] = [
+            keys[a].gid_sorted[self._encoded.ranks[a]]
+            if len(keys[a].gid_sorted) else np.empty(0, dtype=np.int64)
+            for a in range(self._arity)
+        ]
+        self._trackers: Dict[int, GroupTracker] = {}
+        self._delta_partitions: Dict[int, DeltaPartition] = {}
+        # verdict caches: False is permanent, True carries maintenance
+        # state and a place on the per-batch sync schedule
+        self._fd_true: Set[FdKey] = set()
+        self._fd_false: Set[FdKey] = set()
+        self._ocd_true: Dict[OcdKey, OcdClassState] = {}
+        self._ocd_false: Set[OcdKey] = set()
+        self._live_ocds: Set[OcdKey] = set()
+        self._needed_masks: List[int] = []
+        self._batch_effects: Dict[int, BatchEffect] = {}
+        self._sort_key_cols: Dict[int, List[tuple]] = {}
+        self._n_batches = 0
+        self._result = self._traverse()
+        if self._verify:
+            self._check_against_oracle(self._result)
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        """The relation as of the last append."""
+        return self._relation
+
+    @property
+    def result(self) -> DiscoveryResult:
+        """The discovered minimal OD set as of the last append."""
+        return self._result
+
+    @property
+    def n_batches(self) -> int:
+        return self._n_batches
+
+    def append(self, batch: Union[Relation, Iterable[Sequence]]
+               ) -> BatchReport:
+        """Fold a batch of rows in and refresh the discovered set."""
+        started = time.perf_counter()
+        if isinstance(batch, Relation):
+            if batch.names != self._names:
+                raise DataError(
+                    f"batch schema {batch.names} does not match "
+                    f"{self._names}")
+            rows = list(batch.rows())
+        else:
+            rows = [tuple(row) for row in batch]
+        self._n_batches += 1
+        previous = self._result
+        if not rows:
+            return BatchReport(
+                self._n_batches, 0, self._encoded.n_rows,
+                seconds=time.perf_counter() - started, result=previous)
+
+        n_old = self._relation.n_rows
+        relation = self._relation.append_rows(rows)
+        encoded = relation.encode()
+        self._relation = relation
+        self._encoded = encoded
+        self._columns = [relation.column_at(i) for i in range(self._arity)]
+        for a in range(self._arity):
+            self._col_gids[a] = np.concatenate((
+                self._col_gids[a],
+                encoded.keys[a].gid_sorted[encoded.ranks[a][n_old:]]))
+        for a, keys in self._sort_key_cols.items():
+            keys.extend(sort_key(value)
+                        for value in self._columns[a][n_old:])
+
+        # keep the load-bearing groupings current and catch the effects
+        self._batch_effects = {}
+        for mask in self._needed_masks:
+            self._sync(mask)
+
+        ocd_flipped = self._demote_ocds()
+        fd_flipped = self._demote_fds()
+
+        retraversed = bool(ocd_flipped) or bool(fd_flipped)
+        if retraversed:
+            self._result = self._traverse()
+        else:
+            self._result = self._carry_result(previous)
+        if self._verify:
+            self._check_against_oracle(self._result)
+
+        before = {str(od) for od in previous.all_ods}
+        after = {str(od) for od in self._result.all_ods}
+        return BatchReport(
+            self._n_batches, len(rows), self._encoded.n_rows,
+            invalidated=sorted(before - after),
+            appeared=sorted(after - before),
+            retraversed=retraversed,
+            seconds=time.perf_counter() - started,
+            result=self._result)
+
+    # ------------------------------------------------------------------
+    # tracked state
+    # ------------------------------------------------------------------
+    def _tracker(self, mask: int) -> GroupTracker:
+        """The tracker for ``mask``, built from the current snapshot on
+        first use (parents first)."""
+        tracker = self._trackers.get(mask)
+        if tracker is None:
+            if mask == 0:
+                tracker = GroupTracker.from_gids(
+                    0, np.zeros(self._encoded.n_rows, dtype=np.int64))
+            else:
+                low = mask & -mask
+                attribute = low.bit_length() - 1
+                if mask == low:
+                    tracker = GroupTracker.from_gids(
+                        mask, self._col_gids[attribute])
+                else:
+                    tracker = GroupTracker.combine(
+                        mask, self._sync(mask ^ low),
+                        self._col_gids[attribute])
+            self._trackers[mask] = tracker
+        return tracker
+
+    def _sync(self, mask: int) -> GroupTracker:
+        """Bring a tracker (and its materialized partition) up to the
+        current snapshot, replaying everything it missed as one span.
+
+        Masks on the per-batch schedule advance exactly one batch at a
+        time, so their recorded effect *is* that batch — which is what
+        the OCD state maintenance feeds on.
+        """
+        tracker = self._tracker(mask)
+        target = self._encoded.n_rows
+        if tracker.n_rows == target:
+            return tracker
+        low = mask & -mask
+        attribute = low.bit_length() - 1
+        span = slice(tracker.n_rows, target)
+        if mask == 0:
+            attr_gids = np.zeros(target - tracker.n_rows, dtype=np.int64)
+            parent: Optional[GroupTracker] = None
+        elif mask == low:
+            attr_gids = self._col_gids[attribute][span]
+            parent = None
+        else:
+            parent = self._sync(mask ^ low)
+            attr_gids = self._col_gids[attribute][span]
+        effect = tracker.apply_batch(attr_gids, parent)
+        self._batch_effects[mask] = effect
+        delta = self._delta_partitions.get(mask)
+        if delta is not None:
+            delta.apply(effect)
+        return tracker
+
+    def _delta(self, mask: int) -> DeltaPartition:
+        delta = self._delta_partitions.get(mask)
+        if delta is None:
+            delta = DeltaPartition(self._sync(mask))
+            self._delta_partitions[mask] = delta
+        return delta
+
+    def _rebuild_schedule(self) -> None:
+        """Recompute which masks each batch must keep current: the
+        parent chains behind every held FD and OCD verdict."""
+        needed: Set[int] = {0}
+        for ctx_mask, node_mask in self._fd_true:
+            needed.update(self._chain(ctx_mask))
+            needed.update(self._chain(node_mask))
+        for ctx_mask, _, _ in self._ocd_true:
+            needed.update(self._chain(ctx_mask))
+        self._needed_masks = sorted(needed, key=bit_count)
+
+    @staticmethod
+    def _chain(mask: int) -> Iterable[int]:
+        """``mask`` and its derivation chain (drop lowest bit down)."""
+        while mask:
+            yield mask
+            mask ^= mask & -mask
+        yield 0
+
+    # ------------------------------------------------------------------
+    # verdict maintenance (the per-batch fast path)
+    # ------------------------------------------------------------------
+    def _demote_fds(self) -> List[FdKey]:
+        """Re-check every held FD off the maintained O(1) measures."""
+        flipped = [key for key in self._fd_true
+                   if not self._fd_check(*key)]
+        for key in flipped:
+            self._fd_true.discard(key)
+            self._fd_false.add(key)
+        return flipped
+
+    def _demote_ocds(self) -> List[OcdKey]:
+        """ODMonitor-style per-class checks of the batch against every
+        held OCD; violators are demoted permanently."""
+        flipped: List[OcdKey] = []
+        for key in list(self._ocd_true):
+            ctx_mask, a, b = key
+            effect = self._batch_effects.get(ctx_mask)
+            if effect is None or not effect.touches_classes:
+                continue
+            if self._feed_state(self._ocd_true[key], effect, a, b):
+                del self._ocd_true[key]
+                self._ocd_false.add(key)
+                flipped.append(key)
+        return flipped
+
+    def _sort_keys(self, attribute: int) -> List[tuple]:
+        """Per-row sort keys of one column, built lazily and extended
+        per batch — the comparison currency of the OCD states (raw
+        ranks cannot serve: they shift when batches insert values)."""
+        keys = self._sort_key_cols.get(attribute)
+        if keys is None:
+            keys = [sort_key(v) for v in self._columns[attribute]]
+            self._sort_key_cols[attribute] = keys
+        return keys
+
+    def _feed_state(self, state: OcdClassState, effect: BatchEffect,
+                    a: int, b: int) -> bool:
+        """Insert the batch's class-touching rows; True on violation."""
+        keys_a = self._sort_keys(a)
+        keys_b = self._sort_keys(b)
+
+        def insert(gid: int, row: int) -> bool:
+            a_key = keys_a[row]
+            b_key = keys_b[row]
+            if state.check(gid, a_key, b_key) is not None:
+                return True
+            state.accept(gid, a_key, b_key)
+            return False
+
+        for row, gid in zip(effect.join_rows.tolist(),
+                            effect.join_gids.tolist()):
+            if insert(gid, row):
+                return True
+        for gid, members in effect.new_groups:
+            for row in members.tolist():
+                if insert(int(gid), int(row)):
+                    return True
+        return False
+
+    def _seed_state(self, delta: DeltaPartition, a: int,
+                    b: int) -> OcdClassState:
+        """Per-class interval state over the current grouped rows of a
+        context known (just scanned) to be swap-free.
+
+        Built vectorized: each class is sorted once by ``(A, B)`` rank,
+        and every A-group contributes one entry to the parallel sorted
+        lists directly (rank order and :func:`sort_key` order agree by
+        the encoding invariant), skipping the per-row bisection the
+        online :meth:`OcdClassState.accept` path needs.
+        """
+        state = OcdClassState()
+        partition = delta.partition
+        rows = partition.rows
+        if not len(rows):
+            return state
+        class_ids = partition.class_ids()
+        ranks_a = self._encoded.column(a)[rows]
+        ranks_b = self._encoded.column(b)[rows]
+        order = np.lexsort((ranks_b, ranks_a, class_ids))
+        sorted_rows = rows[order].tolist()
+        sorted_classes = class_ids[order]
+        sorted_a = ranks_a[order]
+        n = len(order)
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = ((sorted_classes[1:] != sorted_classes[:-1])
+                         | (sorted_a[1:] != sorted_a[:-1]))
+        starts = np.flatnonzero(new_group)
+        ends = np.append(starts[1:], n)
+        group_classes = sorted_classes[starts].tolist()
+        keys_a = self._sort_keys(a)
+        keys_b = self._sort_keys(b)
+        class_gids = delta.class_gids
+        current = -1
+        lists: Tuple[list, list, list] = ([], [], [])
+        for index, start, end in zip(group_classes, starts.tolist(),
+                                     ends.tolist()):
+            if index != current:
+                lists = ([], [], [])
+                state.classes[int(class_gids[index])] = lists
+                current = index
+            lists[0].append(keys_a[sorted_rows[start]])
+            lists[1].append(keys_b[sorted_rows[start]])
+            lists[2].append(keys_b[sorted_rows[end - 1]])
+        return state
+
+    # ------------------------------------------------------------------
+    # validation against the caches
+    # ------------------------------------------------------------------
+    def _fd_check(self, ctx_mask: int, node_mask: int) -> bool:
+        """The raw FD test off maintained measures: superkey context
+        (Lemma 12) or error equality.  Both trackers must be current."""
+        context = self._tracker(ctx_mask)
+        if context.is_superkey():
+            return True
+        return context.error == self._tracker(node_mask).error
+
+    def _fd_valid(self, ctx_mask: int, node_mask: int) -> bool:
+        """``X \\ A: [] ↦ A`` with verdict caching.
+
+        False verdicts are permanent (a split persists under appends);
+        True verdicts were re-checked against the current batch by
+        :meth:`_demote_fds`.  Fresh candidates sync their tracker
+        chains — this is the only place stale groupings catch up.
+        """
+        key = (ctx_mask, node_mask)
+        if key in self._fd_false:
+            return False
+        if key in self._fd_true:
+            return True
+        self._sync(ctx_mask)
+        self._sync(node_mask)
+        valid = self._fd_check(ctx_mask, node_mask)
+        if valid:
+            self._fd_true.add(key)
+        else:
+            self._fd_false.add(key)
+        return valid
+
+    def _ocd_valid(self, ctx_mask: int, a: int, b: int) -> bool:
+        """``X \\ {A,B}: A ~ B`` with verdict caching.
+
+        False verdicts are permanent; True verdicts were maintained
+        against every batch by :meth:`_demote_ocds`, so they are still
+        exact.  Only candidates never seen before pay a full scan — and
+        immediately start carrying per-class state for future batches.
+        """
+        key = (ctx_mask, a, b)
+        if key in self._ocd_false:
+            return False
+        if key in self._ocd_true:
+            self._live_ocds.add(key)
+            return True
+        tracker = self._sync(ctx_mask)
+        if tracker.is_superkey():
+            # no stripped classes to scan (Lemma 13); state starts
+            # empty and fills as batches form classes
+            self._ocd_true[key] = OcdClassState()
+            self._live_ocds.add(key)
+            return True
+        delta = self._delta(ctx_mask)
+        valid = is_compatible_in_classes(
+            self._encoded.column(a), self._encoded.column(b),
+            delta.partition)
+        if valid:
+            self._ocd_true[key] = self._seed_state(delta, a, b)
+            self._live_ocds.add(key)
+        else:
+            self._ocd_false.add(key)
+        return valid
+
+    # ------------------------------------------------------------------
+    # the level-wise sweep (Algorithms 1-4 against the caches)
+    # ------------------------------------------------------------------
+    def _traverse(self) -> DiscoveryResult:
+        config = self._config
+        started = time.perf_counter()
+        result = DiscoveryResult(
+            algorithm="FASTOD-Incremental" if config.minimality_pruning
+            else "FASTOD-Incremental-NoPruning",
+            attribute_names=self._names,
+            n_rows=self._encoded.n_rows,
+            minimal=config.minimality_pruning,
+            config=config.to_dict(),
+        )
+        emitted_fds: Set[FdKey] = set()
+        self._live_ocds = set()
+
+        level0 = {0: LatticeNode(0, None, cc=self._full_mask, cs=set())}
+        current: Dict[int, LatticeNode] = {
+            1 << a: LatticeNode(1 << a, None)
+            for a in range(self._arity)
+        }
+        previous = level0
+
+        level = 1
+        while current:
+            if config.max_level is not None and level > config.max_level:
+                break
+            stats = LevelStats(level=level, n_nodes=len(current))
+            level_started = time.perf_counter()
+            self._compute_candidate_sets(level, current, previous)
+            self._compute_ods(level, current, previous, result, stats,
+                              emitted_fds)
+            stats.n_nodes_pruned = self._prune_level(level, current)
+            stats.seconds = time.perf_counter() - level_started
+            result.level_stats.append(stats)
+
+            next_nodes = {
+                mask: LatticeNode(mask, None)
+                for mask in next_level_masks(current.keys())
+            }
+            previous = current
+            current = next_nodes
+            level += 1
+
+        # verdicts the sweep no longer consults stop being maintained;
+        # if invalidations ever re-open that part of the lattice, they
+        # are simply re-validated from the then-current snapshot
+        self._fd_true = emitted_fds
+        self._ocd_true = {
+            key: state for key, state in self._ocd_true.items()
+            if key in self._live_ocds
+        }
+        self._rebuild_schedule()
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _compute_candidate_sets(self, level: int,
+                                current: Dict[int, LatticeNode],
+                                previous: Dict[int, LatticeNode]) -> None:
+        fill_candidate_sets(level, current, previous, self._full_mask,
+                            self._config.minimality_pruning)
+
+    def _compute_ods(self, level: int, current: Dict[int, LatticeNode],
+                     previous: Dict[int, LatticeNode],
+                     result: DiscoveryResult, stats: LevelStats,
+                     emitted_fds: Set[FdKey]) -> None:
+        config = self._config
+        minimal = config.minimality_pruning
+        for mask, node in current.items():
+            for attribute in list(iter_bits(mask & node.cc)):
+                bit = 1 << attribute
+                stats.n_fd_candidates += 1
+                if self._fd_valid(mask ^ bit, mask):
+                    result.fds.append(CanonicalFD(
+                        context_names(mask ^ bit, self._names),
+                        self._names[attribute]))
+                    emitted_fds.add((mask ^ bit, mask))
+                    stats.n_fds_found += 1
+                    if minimal:
+                        node.cc &= ~bit
+                        node.cc &= mask
+            if level < 2:
+                continue
+            for pair in sorted(node.cs):
+                a, b = pair
+                bit_a, bit_b = 1 << a, 1 << b
+                if minimal:
+                    if (not previous[mask ^ bit_b].cc & bit_a
+                            or not previous[mask ^ bit_a].cc & bit_b):
+                        node.cs.discard(pair)
+                        continue
+                stats.n_ocd_candidates += 1
+                if self._ocd_valid(mask ^ bit_a ^ bit_b, a, b):
+                    result.ocds.append(CanonicalOCD(
+                        context_names(mask ^ bit_a ^ bit_b, self._names),
+                        self._names[a], self._names[b]))
+                    stats.n_ocds_found += 1
+                    if minimal:
+                        node.cs.discard(pair)
+
+    def _prune_level(self, level: int,
+                     current: Dict[int, LatticeNode]) -> int:
+        config = self._config
+        if (not config.level_pruning or not config.minimality_pruning
+                or level < 2):
+            return 0
+        return prune_empty_nodes(current)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _carry_result(self, previous: DiscoveryResult) -> DiscoveryResult:
+        """No verdict changed, so no traversal ran: the previous OD set
+        is still exact for the grown relation."""
+        return DiscoveryResult(
+            algorithm=previous.algorithm,
+            attribute_names=previous.attribute_names,
+            n_rows=self._encoded.n_rows,
+            fds=list(previous.fds),
+            ocds=list(previous.ocds),
+            level_stats=previous.level_stats,
+            minimal=previous.minimal,
+            config=previous.config,
+        )
+
+    def _check_against_oracle(self, result: DiscoveryResult) -> None:
+        """Assert byte-identical FD/OCD sets vs a from-scratch run."""
+        oracle = FastOD(self._relation, self._config).run()
+        mine = (sorted(str(od) for od in result.fds),
+                sorted(str(od) for od in result.ocds))
+        theirs = (sorted(str(od) for od in oracle.fds),
+                  sorted(str(od) for od in oracle.ocds))
+        if mine != theirs:
+            raise AssertionError(
+                "incremental result diverged from the from-scratch "
+                "oracle:\n" + (diff_results(result, oracle) or ""))

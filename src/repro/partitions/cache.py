@@ -132,6 +132,74 @@ class PartitionCache:
             self._store.move_to_end(mask, last=False)
         return partition
 
+    def peek(self, mask: int) -> Optional[StrippedPartition]:
+        """Resident partition for ``mask`` or ``None`` — never derives.
+
+        Counts a hit or miss and refreshes LRU recency like
+        :meth:`get`, but leaves materialization to the caller (used by
+        consumers that have a cheaper way to build a missing partition
+        than the cache's product chain, e.g. FASTOD's level-wise
+        parent products)."""
+        found = self._lookup(mask, touch=True)
+        if found is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found
+
+    def put(self, mask: int, partition: StrippedPartition) -> None:
+        """Adopt an externally computed partition for ``mask``.
+
+        Single-attribute and empty-set partitions are pinned like their
+        derived counterparts; composites enter at the hot end of the
+        LRU order and may evict."""
+        if partition.n_rows != self._relation.n_rows:
+            raise ValueError(
+                f"partition covers {partition.n_rows} rows but the "
+                f"relation has {self._relation.n_rows}")
+        if mask == 0 or mask & (mask - 1) == 0:
+            self._pinned[mask] = partition
+            return
+        self._store[mask] = partition
+        if self._max_entries is not None:
+            self._store.move_to_end(mask)
+            if len(self._store) > self._max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, masks: Optional[Iterable[int]] = None) -> None:
+        """Drop cached partitions (all of them by default).
+
+        The append path's cache hook: once the underlying relation
+        gains rows, every resident partition is stale.  Passing
+        ``masks`` drops only those (ignoring absent ones) for callers
+        that maintain the rest through delta kernels.  Hit/miss
+        counters are preserved; invalidations are not billed as
+        evictions."""
+        if masks is None:
+            self._pinned = {
+                0: StrippedPartition.single_class(self._relation.n_rows)
+            }
+            self._store.clear()
+            return
+        for mask in masks:
+            if mask == 0:
+                self._pinned[0] = StrippedPartition.single_class(
+                    self._relation.n_rows)
+            else:
+                self._pinned.pop(mask, None)
+                self._store.pop(mask, None)
+
+    def rebase(self, relation: EncodedRelation) -> None:
+        """Point the cache at a grown relation, dropping stale entries.
+
+        The coarse-grained invalidation hook for consumers that hold a
+        long-lived cache across appends (e.g. a detector re-checking
+        rules after each batch): swap in the re-encoded relation and
+        start partitions fresh, keeping the hit/miss history."""
+        self._relation = relation
+        self.invalidate()
+
     def get_attrs(self, attributes: Iterable[int]) -> StrippedPartition:
         """Convenience overload taking attribute indices."""
         return self.get(mask_of_indices(attributes))

@@ -65,6 +65,8 @@ def read_csv_text(text: str, *, has_header: bool = True,
 
 def _read(handle, *, has_header: bool, delimiter: str,
           limit: Optional[int], infer_types: bool, origin: str) -> Relation:
+    if limit is not None and limit < 0:
+        raise DataError(f"{origin}: negative row limit {limit}")
     reader = csv.reader(handle, delimiter=delimiter)
     rows: List[Sequence[str]] = []
     header: Optional[List[str]] = None
@@ -74,9 +76,10 @@ def _read(handle, *, has_header: bool, delimiter: str,
         if has_header and header is None:
             header = [name.strip() for name in record]
             continue
-        rows.append(record)
+        # check before appending so limit=0 really reads zero rows
         if limit is not None and len(rows) >= limit:
             break
+        rows.append(record)
     if header is None:
         if not rows:
             raise DataError(f"{origin}: empty CSV")

@@ -11,7 +11,7 @@ import random
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import DataError, SchemaError
-from repro.relation.encoding import EncodedRelation, rank_encode_column
+from repro.relation.encoding import EncodedRelation
 from repro.relation.schema import Schema
 
 
@@ -177,14 +177,55 @@ class Relation:
         ]
         return Relation(self._schema, columns)
 
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """A new relation with ``rows`` appended — the warehouse load
+        path.
+
+        When this relation has already been encoded, the appended
+        relation's encoding is derived *incrementally*: only the new
+        values are keyed and the old rank columns shift through one
+        vectorized monotone remap per column
+        (:meth:`repro.relation.encoding.EncodedRelation.append_values`),
+        instead of re-sorting the whole column.  ``self`` is untouched.
+        """
+        batch_columns: List[List[Any]] = [[] for _ in range(self.arity)]
+        for row_number, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != self.arity:
+                raise DataError(
+                    f"appended row {row_number} has {len(row)} values, "
+                    f"expected {self.arity}")
+            for column, value in zip(batch_columns, row):
+                column.append(value)
+        columns = [
+            mine + batch for mine, batch in zip(self._columns, batch_columns)
+        ]
+        appended = Relation(self._schema, columns)
+        if self._encoded is not None and self._encoded.keys is not None:
+            appended._encoded, _ = self._encoded.append_values(batch_columns)
+        return appended
+
+    def append_relation(self, other: "Relation") -> "Relation":
+        """:meth:`append_rows` taking another relation's tuples (schemas
+        must match exactly)."""
+        if self._schema != other._schema:
+            raise SchemaError(
+                f"cannot append: schemas differ "
+                f"({self.names} vs {other.names})")
+        return self.append_rows(other.rows())
+
     # ------------------------------------------------------------------
     # encoding
     # ------------------------------------------------------------------
     def encode(self) -> EncodedRelation:
-        """Rank-encode all columns (cached; see paper Section 4.6)."""
+        """Rank-encode all columns (cached; see paper Section 4.6).
+
+        The encoding retains per-column key dictionaries so that
+        :meth:`append_rows` can extend it incrementally.
+        """
         if self._encoded is None:
-            ranks = [rank_encode_column(col) for col in self._columns]
-            self._encoded = EncodedRelation(self._schema.names, ranks)
+            self._encoded = EncodedRelation.from_columns(
+                self._schema.names, self._columns)
         return self._encoded
 
     # ------------------------------------------------------------------

@@ -17,7 +17,12 @@ from repro.violations.detect import (
     count_swap_pairs,
 )
 from repro.violations.fenwick import FenwickMax, FenwickSum
-from repro.violations.monitor import ODMonitor, RejectedInsert
+from repro.violations.monitor import (
+    FdClassState,
+    OcdClassState,
+    ODMonitor,
+    RejectedInsert,
+)
 from repro.violations.summary import (
     RuleVerdict,
     ViolationSummary,
@@ -33,9 +38,11 @@ from repro.violations.repair import (
 __all__ = [
     "ApproximateDiscoveryResult",
     "ApproximateOD",
+    "FdClassState",
     "FenwickMax",
     "FenwickSum",
     "ODMonitor",
+    "OcdClassState",
     "RejectedInsert",
     "RepairResult",
     "RuleVerdict",

@@ -19,7 +19,7 @@ values.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -43,8 +43,12 @@ class RejectedInsert:
         return f"insert {self.row!r} violates {self.od}: {self.reason}"
 
 
-class _FDState:
-    """Per-class constant tracking for one constancy OD."""
+class FdClassState:
+    """Per-class constant tracking for one constancy OD.
+
+    Group keys are any hashable identity for a context class — the
+    monitor uses context-value tuples, the incremental engine uses
+    stable partition group ids."""
 
     __slots__ = ("constants",)
 
@@ -62,56 +66,68 @@ class _FDState:
         self.constants.setdefault(context_key, value)
 
 
-class _OCDState:
+class OcdClassState:
     """Per-class A-group interval tracking for one compatibility OD.
 
-    For each context class we keep ``groups``: a sorted list of
-    ``(a_key, min_b, max_b)``.  In an accepted (violation-free) state
-    the B-intervals are non-overlapping and ascending with A, so a new
-    point only needs comparing with its immediate A-neighbours.
+    For each context class we keep the A-groups as three parallel
+    sorted lists — A keys, interval minima and maxima over B — so a
+    point is located with one O(log k) bisection straight on the key
+    list.  In an accepted (violation-free) state the B-intervals are
+    non-overlapping and ascending with A, so a new point only needs
+    comparing with its immediate A-neighbours.
+
+    Class keys are any hashable identity (see :class:`FdClassState`);
+    this is also the per-class check the incremental discovery engine
+    uses to demote previously valid OCDs when a batch lands.
     """
 
     __slots__ = ("classes",)
 
     def __init__(self):
-        self.classes: Dict[tuple, List[List[tuple]]] = {}
-
-    def _locate(self, groups: List[List[tuple]], a_key: tuple) -> int:
-        return bisect_left([g[0] for g in groups], a_key)
+        #: context class -> (a_keys, min_bs, max_bs), parallel & sorted
+        self.classes: Dict[tuple, Tuple[list, list, list]] = {}
 
     def check(self, context_key: tuple, a_key: tuple,
               b_key: tuple) -> Optional[str]:
-        groups = self.classes.get(context_key)
-        if not groups:
+        entry = self.classes.get(context_key)
+        if entry is None:
             return None
-        position = self._locate(groups, a_key)
-        if position < len(groups) and groups[position][0] == a_key:
+        a_keys, min_bs, max_bs = entry
+        position = bisect_left(a_keys, a_key)
+        if position < len(a_keys) and a_keys[position] == a_key:
             # joining an existing A-group widens its interval
             left_ok = (position == 0
-                       or groups[position - 1][2] <= b_key)
-            right_ok = (position == len(groups) - 1
-                        or b_key <= groups[position + 1][1])
+                       or max_bs[position - 1] <= b_key)
+            right_ok = (position == len(a_keys) - 1
+                        or b_key <= min_bs[position + 1])
             if not left_ok:
                 return "a lower A-group already holds a larger B"
             if not right_ok:
                 return "a higher A-group already holds a smaller B"
             return None
-        if position > 0 and groups[position - 1][2] > b_key:
+        if position > 0 and max_bs[position - 1] > b_key:
             return "a lower A-group already holds a larger B"
-        if position < len(groups) and groups[position][1] < b_key:
+        if position < len(a_keys) and min_bs[position] < b_key:
             return "a higher A-group already holds a smaller B"
         return None
 
     def accept(self, context_key: tuple, a_key: tuple,
                b_key: tuple) -> None:
-        groups = self.classes.setdefault(context_key, [])
-        position = self._locate(groups, a_key)
-        if position < len(groups) and groups[position][0] == a_key:
-            group = groups[position]
-            groups[position] = [a_key, min(group[1], b_key),
-                                max(group[2], b_key)]
+        entry = self.classes.get(context_key)
+        if entry is None:
+            entry = ([], [], [])
+            self.classes[context_key] = entry
+        a_keys, min_bs, max_bs = entry
+        position = bisect_left(a_keys, a_key)
+        if position < len(a_keys) and a_keys[position] == a_key:
+            if b_key < min_bs[position]:
+                min_bs[position] = b_key
+            if b_key > max_bs[position]:
+                max_bs[position] = b_key
         else:
-            groups.insert(position, [a_key, b_key, b_key])
+            a_keys.insert(position, a_key)
+            min_bs.insert(position, b_key)
+            max_bs.insert(position, b_key)
 
 
 class ODMonitor:
@@ -134,7 +150,7 @@ class ODMonitor:
         self._index = {name: i for i, name in enumerate(self._names)}
         self._reject = reject_violations
         self._ods: List[CanonicalOD] = []
-        self._states: List[Union[_FDState, _OCDState]] = []
+        self._states: List[Union[FdClassState, OcdClassState]] = []
         self._violations: List[RejectedInsert] = []
         self.n_accepted = 0
         for dependency in dependencies:
@@ -150,8 +166,8 @@ class ODMonitor:
                         f"attribute {name!r}")
             self._ods.append(dependency)
             self._states.append(
-                _FDState() if isinstance(dependency, CanonicalFD)
-                else _OCDState())
+                FdClassState() if isinstance(dependency, CanonicalFD)
+                else OcdClassState())
 
     @staticmethod
     def _attrs_of(od: CanonicalOD):

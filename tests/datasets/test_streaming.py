@@ -1,0 +1,83 @@
+"""Streaming generators: deterministic splits that reassemble exactly,
+plus drift that really breaks planted structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fastod import FastOD
+from repro.datasets import make_dataset
+from repro.datasets.streaming import (
+    drifting_stream,
+    split_stream,
+    stream_batches,
+)
+
+
+class TestSplitStream:
+    def test_round_trips_the_relation(self):
+        relation = make_dataset("flight", n_rows=97, n_attrs=6)
+        base, batches = split_stream(relation, 7, base_fraction=0.4)
+        accumulated = base
+        for batch in batches:
+            accumulated = accumulated.concat(batch)
+        assert accumulated == relation
+
+    def test_batch_count_and_sizes(self):
+        relation = make_dataset("dbtesma", n_rows=100, n_attrs=5)
+        base, batches = split_stream(relation, 10, base_fraction=0.5)
+        assert base.n_rows == 50
+        assert len(batches) == 10
+        assert sum(b.n_rows for b in batches) == 50
+
+    def test_rejects_bad_parameters(self):
+        relation = make_dataset("flight", n_rows=10, n_attrs=4)
+        with pytest.raises(ValueError):
+            split_stream(relation, 0)
+        with pytest.raises(ValueError):
+            split_stream(relation, 2, base_fraction=0.0)
+
+    def test_deterministic(self):
+        one = stream_batches("ncvoter", n_rows=60, n_attrs=5, seed=9,
+                             n_batches=4)
+        two = stream_batches("ncvoter", n_rows=60, n_attrs=5, seed=9,
+                             n_batches=4)
+        assert one[0] == two[0]
+        assert all(a == b for a, b in zip(one[1], two[1]))
+
+
+class TestDriftingStream:
+    def test_early_batches_are_clean(self):
+        base, batches = drifting_stream(
+            "flight", n_rows=80, n_attrs=5, n_batches=4,
+            drift_after=0.5, drift=0.5)
+        _, clean = stream_batches("flight", n_rows=80, n_attrs=5,
+                                  n_batches=4)
+        assert batches[0] == clean[0]
+        assert batches[1] == clean[1]
+
+    def test_drift_changes_late_batches(self):
+        base, batches = drifting_stream(
+            "flight", n_rows=80, n_attrs=5, n_batches=4,
+            drift_after=0.5, drift=0.5)
+        _, clean = stream_batches("flight", n_rows=80, n_attrs=5,
+                                  n_batches=4)
+        assert batches[2] != clean[2] or batches[3] != clean[3]
+
+    def test_drift_invalidates_discovered_ods(self):
+        base, batches = drifting_stream(
+            "flight", n_rows=200, n_attrs=6, n_batches=6,
+            drift_after=0.3, drift=0.1)
+        before = {str(od) for od in FastOD(base).run().all_ods}
+        accumulated = base
+        for batch in batches:
+            accumulated = accumulated.concat(batch)
+        after = {str(od) for od in FastOD(accumulated).run().all_ods}
+        assert before - after, "drift should invalidate some ODs"
+
+    def test_zero_drift_is_clean(self):
+        one = drifting_stream("dbtesma", n_rows=60, n_attrs=5,
+                              n_batches=4, drift=0.0)
+        two = stream_batches("dbtesma", n_rows=60, n_attrs=5,
+                             n_batches=4)
+        assert all(a == b for a, b in zip(one[1], two[1]))

@@ -1,0 +1,167 @@
+"""IncrementalFastOD: byte-identical to from-scratch FASTOD after
+every appended batch, across configs, datasets and random streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fastod import FastOD, FastODConfig
+from repro.datasets import employees
+from repro.datasets.streaming import drifting_stream, stream_batches
+from repro.errors import DataError
+from repro.incremental import IncrementalFastOD
+from repro.relation.table import Relation
+from tests.conftest import make_relation
+
+
+def od_strings(result):
+    return sorted(str(od) for od in result.all_ods)
+
+
+def assert_oracle(engine):
+    oracle = FastOD(engine.relation, engine._config).run()
+    assert od_strings(engine.result) == od_strings(oracle)
+
+
+class TestInitialRun:
+    def test_matches_fastod_on_employees(self):
+        engine = IncrementalFastOD(employees())
+        assert od_strings(engine.result) == od_strings(
+            FastOD(employees()).run())
+
+    def test_rejects_timeout_config(self):
+        with pytest.raises(ValueError):
+            IncrementalFastOD(employees(),
+                              FastODConfig(timeout_seconds=1.0))
+
+    def test_empty_relation(self):
+        relation = Relation.from_rows(["a", "b"], [])
+        engine = IncrementalFastOD(relation, verify_with_oracle=True)
+        engine.append([(1, 2)])
+        engine.append([(1, 3), (2, 3)])
+        assert engine.relation.n_rows == 3
+
+
+class TestAppend:
+    def test_swap_invalidates_ocd(self):
+        engine = IncrementalFastOD(
+            Relation.from_rows(["a", "b"], [(1, 10), (2, 20)]))
+        report = engine.append([(3, 5)])
+        assert "{}: a ~ b" in report.invalidated
+        assert report.retraversed
+
+    def test_split_invalidates_fd_and_cascades(self):
+        engine = IncrementalFastOD(
+            make_relation(2, [(1, 5), (2, 5)]), verify_with_oracle=True)
+        assert "{}: [] -> c1" in od_strings(engine.result)
+        report = engine.append([(3, 6)])
+        assert "{}: [] -> c1" in report.invalidated
+
+    def test_duplicate_rows_skip_retraversal(self):
+        rows = [(1, 10), (2, 20), (2, 20)]
+        engine = IncrementalFastOD(make_relation(2, rows),
+                                   verify_with_oracle=True)
+        report = engine.append([rows[0], rows[1]])
+        assert not report.retraversed
+        assert not report.invalidated
+
+    def test_empty_batch_is_a_noop(self):
+        engine = IncrementalFastOD(make_relation(2, [(1, 2), (3, 4)]))
+        before = od_strings(engine.result)
+        report = engine.append([])
+        assert report.n_appended == 0
+        assert od_strings(engine.result) == before
+
+    def test_batch_relation_schema_must_match(self):
+        engine = IncrementalFastOD(make_relation(2, [(1, 2)]))
+        other = Relation.from_rows(["x", "y"], [(1, 2)])
+        with pytest.raises(DataError):
+            engine.append(other)
+
+    def test_unseen_values_between_existing_ranks(self):
+        # ranks shift but verdicts and state must survive the remap
+        engine = IncrementalFastOD(
+            make_relation(2, [(10, 100), (30, 300)]),
+            verify_with_oracle=True)
+        engine.append([(20, 200)])      # lands between both columns
+        engine.append([(15, 150)])      # swapless, between again
+        assert "{}: c0 ~ c1" in od_strings(engine.result)
+        engine.append([(40, 50)])       # now a swap
+        assert "{}: c0 ~ c1" not in od_strings(engine.result)
+
+    def test_report_counts_and_totals(self):
+        engine = IncrementalFastOD(make_relation(2, [(1, 2), (3, 4)]))
+        report = engine.append([(5, 6), (7, 8)])
+        assert report.n_appended == 2
+        assert report.n_rows == 4
+        assert report.batch_index == 1
+        assert engine.n_batches == 1
+        payload = report.to_dict()
+        assert payload["n_rows"] == 4 and payload["n_ods"] > 0
+
+
+class TestStreamEquivalence:
+    """The acceptance property: identical FD/OCD sets after every batch
+    on >= 10 append batches of a synthetic stream."""
+
+    @pytest.mark.parametrize("family", ["flight", "ncvoter", "dbtesma"])
+    def test_drifting_family_stream(self, family):
+        base, batches = drifting_stream(
+            family, n_rows=220, n_attrs=6, n_batches=10,
+            drift_after=0.4, drift=0.05)
+        engine = IncrementalFastOD(base, verify_with_oracle=True)
+        invalidated = 0
+        for batch in batches:
+            invalidated += len(engine.append(batch).invalidated)
+        assert engine.relation.n_rows == 220
+        # drift must actually have exercised the demotion path
+        assert invalidated > 0
+
+    def test_clean_stream_never_retraverses_after_saturation(self):
+        base, batches = stream_batches("flight", n_rows=150, n_attrs=5,
+                                       n_batches=8)
+        engine = IncrementalFastOD(base, verify_with_oracle=True)
+        for batch in batches:
+            engine.append(batch)
+
+    @pytest.mark.parametrize("config", [
+        FastODConfig(minimality_pruning=False, level_pruning=False),
+        FastODConfig(max_level=2),
+        FastODConfig(key_pruning=False),
+    ])
+    def test_config_variants(self, config):
+        base, batches = drifting_stream(
+            "flight", n_rows=120, n_attrs=5, n_batches=6,
+            drift_after=0.3, drift=0.05)
+        engine = IncrementalFastOD(base, config,
+                                   verify_with_oracle=True)
+        for batch in batches:
+            engine.append(batch)
+
+
+cells = st.integers(min_value=0, max_value=2)
+
+
+@st.composite
+def stream_case(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=3))
+    row = st.tuples(*([cells] * n_cols))
+    rows = draw(st.lists(row, min_size=0, max_size=8))
+    batches = draw(st.lists(st.lists(row, min_size=0, max_size=4),
+                            min_size=1, max_size=4))
+    return n_cols, rows, batches
+
+
+class TestRandomizedStreams:
+    @settings(max_examples=60, deadline=None)
+    @given(stream_case())
+    def test_always_identical_to_oracle(self, case):
+        n_cols, rows, batches = case
+        engine = IncrementalFastOD(make_relation(n_cols, rows),
+                                   verify_with_oracle=True)
+        for batch in batches:
+            engine.append(batch)
+        # a final explicit cross-check, independent of the flag
+        assert_oracle(engine)

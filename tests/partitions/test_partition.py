@@ -105,3 +105,33 @@ class TestEquality:
     def test_different_n_rows(self):
         assert StrippedPartition([[0, 1]], 2) != StrippedPartition(
             [[0, 1]], 3)
+
+
+class TestZeroRowRelations:
+    """A 0-row relation (e.g. a header-only CSV) flows through every
+    partition entry point without erroring."""
+
+    def test_from_ranks_empty(self):
+        partition = StrippedPartition.from_ranks(
+            np.array([], dtype=np.int64))
+        assert partition.n_rows == 0
+        assert partition.n_classes == 0
+        assert partition.error == 0
+        assert partition.is_superkey()
+
+    def test_single_class_zero_rows(self):
+        partition = StrippedPartition.single_class(0)
+        assert partition.n_rows == 0
+        assert partition.classes == []
+
+    def test_product_of_empty_partitions(self):
+        left = StrippedPartition.from_ranks(np.array([], dtype=np.int64))
+        right = StrippedPartition.from_ranks(np.array([], dtype=np.int64))
+        assert left.product(right).n_rows == 0
+
+    def test_for_attribute_on_empty_relation(self):
+        from repro.relation.table import Relation
+
+        encoded = Relation.from_rows(["a", "b"], []).encode()
+        partition = StrippedPartition.for_attribute(encoded, 0)
+        assert partition.n_rows == 0 and partition.is_superkey()

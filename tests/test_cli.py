@@ -153,3 +153,173 @@ class TestErrors:
         missing.write_text("")  # empty CSV triggers DataError
         assert main(["discover", str(missing)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture
+def stream_files(tmp_path):
+    """A base CSV plus two append batches (the second introduces a
+    swap that invalidates the planted OCD)."""
+    base = make_relation(2, [(1, 10), (2, 20), (3, 30)])
+    clean = make_relation(2, [(4, 40), (5, 50)])
+    dirty = make_relation(2, [(6, 5)])
+    paths = []
+    for name, rel in [("base", base), ("b1", clean), ("b2", dirty)]:
+        path = tmp_path / f"{name}.csv"
+        write_csv(rel, path)
+        paths.append(str(path))
+    return paths
+
+
+class TestAppend:
+    def test_invalidation_reported(self, stream_files, capsys):
+        base, clean, dirty = stream_files
+        assert main(["append", base, clean, dirty]) == 0
+        out = capsys.readouterr().out
+        assert "batch 1" in out and "batch 2" in out
+        assert "invalidated" in out
+        assert "FASTOD-Incremental" in out
+
+    def test_verify_flag(self, stream_files, capsys):
+        base, clean, dirty = stream_files
+        assert main(["append", base, clean, dirty, "--verify"]) == 0
+
+    def test_json_payload(self, stream_files, capsys):
+        base, clean, dirty = stream_files
+        assert main(["append", base, clean, dirty, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["initial"]["n_rows"] == 3
+        assert len(payload["batches"]) == 2
+        assert payload["batches"][1]["invalidated"] == ["{}: c0 ~ c1"]
+        assert payload["final"]["n_rows"] == 6
+
+    def test_schema_mismatch_is_an_error(self, stream_files, tmp_path,
+                                         capsys):
+        base = stream_files[0]
+        other = tmp_path / "other.csv"
+        write_csv(make_relation(3, [(1, 2, 3)]), other)
+        assert main(["append", base, str(other)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWatch:
+    def test_initial_then_done(self, csv_file, capsys):
+        assert main(["watch", csv_file, "--interval", "0.01",
+                     "--max-batches", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "watching" in out and "done:" in out
+
+    def test_picks_up_appended_rows(self, stream_files, monkeypatch,
+                                    capsys):
+        base, clean, _ = stream_files
+        appended = {"done": False}
+
+        def feed(_seconds):
+            if not appended["done"]:
+                with open(clean) as batch, open(base, "a") as target:
+                    target.write("".join(batch.readlines()[1:]))
+                appended["done"] = True
+
+        import repro.cli as cli_module
+        monkeypatch.setattr(cli_module.time, "sleep", feed)
+        assert main(["watch", base, "--interval", "0.01",
+                     "--max-batches", "1", "--json"]) == 0
+        events = [json.loads(line)
+                  for line in capsys.readouterr().out.splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds == ["initial", "batch", "done"]
+        assert events[1]["n_appended"] == 2
+        assert events[2]["result"]["n_rows"] == 5
+
+    def test_idle_exit(self, csv_file, capsys):
+        assert main(["watch", csv_file, "--interval", "0.01",
+                     "--idle-exit", "2"]) == 0
+        assert "done: 4 rows after 0 batch(es)" in \
+            capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_discover_json_includes_cache_stats(self, csv_file, capsys):
+        assert main(["discover", csv_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cache" in payload
+        assert payload["cache"]["misses"] >= 1
+        assert payload["cache"]["max_entries"] is None
+
+    def test_discover_bounded_cache(self, csv_file, capsys):
+        assert main(["discover", csv_file, "--json",
+                     "--cache-max-entries", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["max_entries"] == 1
+        # results are unaffected by the bound
+        assert "{}: [] -> c2" in payload["fds"]
+
+    def test_check_and_violations_accept_bound(self, csv_file):
+        assert main(["check", csv_file, "{}: [] -> c2",
+                     "--cache-max-entries", "2"]) == 0
+        assert main(["violations", csv_file, "{}: [] -> c2",
+                     "--cache-max-entries", "2"]) == 0
+
+
+class TestZeroRowInputs:
+    @pytest.fixture
+    def header_only(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b,c\n")
+        return str(path)
+
+    def test_discover(self, header_only, capsys):
+        assert main(["discover", header_only]) == 0
+        out = capsys.readouterr().out
+        assert "0 rows" in out
+        # with no tuples every attribute is vacuously constant
+        assert "{}: [] -> a" in out
+
+    def test_discover_json(self, header_only, capsys):
+        assert main(["discover", header_only, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_rows"] == 0 and payload["n_fds"] == 3
+
+    def test_check(self, header_only, capsys):
+        assert main(["check", header_only, "{}: [] -> a"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_violations(self, header_only):
+        assert main(["violations", header_only, "[a] -> [b]"]) == 0
+
+    def test_append_from_zero_rows(self, header_only, tmp_path, capsys):
+        batch = tmp_path / "batch.csv"
+        batch.write_text("a,b,c\n1,2,3\n1,2,4\n")
+        assert main(["append", header_only, str(batch),
+                     "--verify"]) == 0
+        assert "(2 total)" in capsys.readouterr().out
+
+    def test_limit_zero_reads_no_rows(self, csv_file, capsys):
+        assert main(["discover", csv_file, "--limit", "0",
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["n_rows"] == 0
+
+    def test_totally_empty_file_is_graceful(self, tmp_path, capsys):
+        path = tmp_path / "nothing.csv"
+        path.write_text("")
+        assert main(["discover", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWatchTruncation:
+    def test_shrinking_file_is_an_error(self, csv_file, monkeypatch,
+                                        capsys):
+        truncated = {"done": False}
+
+        def shrink(_seconds):
+            if not truncated["done"]:
+                with open(csv_file) as handle:
+                    lines = handle.readlines()
+                with open(csv_file, "w") as handle:
+                    handle.writelines(lines[:2])   # header + 1 row
+                truncated["done"] = True
+
+        import repro.cli as cli_module
+        monkeypatch.setattr(cli_module.time, "sleep", shrink)
+        assert main(["watch", csv_file, "--interval", "0.01",
+                     "--max-batches", "1"]) == 2
+        assert "shrank" in capsys.readouterr().err

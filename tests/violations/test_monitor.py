@@ -160,3 +160,73 @@ class TestDifferentialAgainstBatch:
         final = Relation.from_rows(["c0", "c1", "c2"], accepted)
         validator = CanonicalValidator(final.encode())
         assert all(validator.holds(d) for d in parsed)
+
+
+class TestEdgeCases:
+    """Unseen values, duplicates, interleaved context classes."""
+
+    def test_unseen_values_between_existing(self):
+        monitor = ODMonitor(["a", "b"], ["{}: a ~ b"])
+        assert monitor.insert((10, 100)) is None
+        assert monitor.insert((30, 300)) is None
+        # values strictly between everything seen so far
+        assert monitor.insert((20, 200)) is None
+        # and one that lands between on A but swaps on B
+        rejected = monitor.insert((25, 150))
+        assert rejected is not None
+
+    def test_unseen_value_types_mix(self):
+        monitor = ODMonitor(["k", "v"], ["{k}: [] -> v"])
+        assert monitor.insert((1, "x")) is None
+        assert monitor.insert((None, 2.5)) is None     # unseen kinds
+        assert monitor.insert(("key", True)) is None
+        assert monitor.insert((1, "x")) is None
+        assert monitor.insert((None, 2.5)) is None
+
+    def test_duplicate_rows_always_accepted(self):
+        monitor = ODMonitor(["a", "b", "c"],
+                            ["{c}: [] -> a", "{c}: a ~ b"])
+        row = (1, 2, 3)
+        for _ in range(5):
+            assert monitor.insert(row) is None
+        assert monitor.n_accepted == 5
+
+    def test_interleaved_context_classes(self):
+        # two context classes fed alternately; each stays independent
+        monitor = ODMonitor(["ctx", "a", "b"], ["{ctx}: a ~ b"])
+        stream = [("x", 1, 10), ("y", 9, 90), ("x", 2, 20),
+                  ("y", 8, 80), ("x", 3, 30), ("y", 7, 70)]
+        for row in stream:
+            assert monitor.insert(row) is None
+        # a swap inside class "x" only; "y" keeps accepting
+        assert monitor.insert(("x", 4, 5)) is not None
+        assert monitor.insert(("y", 10, 95)) is None
+
+    def test_interleaved_constancy_classes(self):
+        monitor = ODMonitor(["ctx", "v"], ["{ctx}: [] -> v"])
+        for row in [("x", 1), ("y", 2), ("x", 1), ("y", 2)]:
+            assert monitor.insert(row) is None
+        assert monitor.insert(("x", 2)) is not None
+        assert monitor.insert(("y", 2)) is None
+
+
+class TestReplayedBatchEquivalence:
+    """Replaying any accepted stream through ViolationDetector agrees:
+    a batch is violation-free iff the detector says the dependency
+    holds on the concatenated relation."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2),
+                              st.integers(0, 1)),
+                    min_size=1, max_size=12),
+           st.sampled_from(["{}: c0 ~ c1", "{c2}: [] -> c0",
+                            "{c2}: c0 ~ c1", "{c1,c2}: [] -> c0"]))
+    def test_monitor_iff_detector(self, rows, dependency):
+        from repro.violations.detect import ViolationDetector
+
+        monitor = ODMonitor(["c0", "c1", "c2"], [dependency])
+        rejections = monitor.insert_many(rows)
+        relation = Relation.from_rows(["c0", "c1", "c2"], rows)
+        report = ViolationDetector(relation).check(
+            dependency, max_witnesses=0, count_pairs=False)
+        assert (not rejections) == report.holds
