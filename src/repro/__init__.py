@@ -36,6 +36,7 @@ from repro.errors import (
     SchemaError,
 )
 from repro.incremental import BatchReport, IncrementalFastOD
+from repro.parallel import WorkerPool, resolve_workers
 from repro.profile import discover_keys, profile_relation
 from repro.relation import Relation, Schema, read_csv, read_csv_text
 
@@ -61,6 +62,7 @@ __all__ = [
     "ReproError",
     "Schema",
     "SchemaError",
+    "WorkerPool",
     "discover_keys",
     "discover_ods",
     "list_od_holds",
@@ -70,4 +72,5 @@ __all__ = [
     "parse",
     "read_csv",
     "read_csv_text",
+    "resolve_workers",
 ]

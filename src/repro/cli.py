@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="bound the partition cache to N composite "
                                "partitions (LRU); default keeps all")
+    discover.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="shard level-wise products and validation "
+                               "scans over N worker processes (default: "
+                               "$REPRO_WORKERS or 1 = serial; results "
+                               "are identical either way)")
 
     append = sub.add_parser(
         "append",
@@ -90,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help='e.g. "{month}: [] -> quarter" or "[a] -> [b]"')
     check.add_argument("--limit", type=int, default=None)
     check.add_argument("--cache-max-entries", type=int, default=None)
+    check.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="shard big validation scans by context class "
+                            "over N worker processes")
 
     violations = sub.add_parser(
         "violations", help="report violating tuple pairs for a dependency")
@@ -99,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="max witness pairs to print")
     violations.add_argument("--limit", type=int, default=None)
     violations.add_argument("--cache-max-entries", type=int, default=None)
+    violations.add_argument("--workers", type=int, default=None,
+                            metavar="N",
+                            help="shard big validation scans by context "
+                                 "class over N worker processes")
 
     generate = sub.add_parser(
         "generate", help="write a synthetic dataset to CSV")
@@ -145,6 +157,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         level_pruning=not args.no_minimal,
         max_level=args.max_level,
         timeout_seconds=args.timeout,
+        workers=args.workers,
     )
     # wire a cache only when its stats (--json) or its bound were asked
     # for: an unbounded cache would retain every lattice partition for
@@ -173,10 +186,13 @@ def _cmd_append(args: argparse.Namespace) -> int:
     engine = IncrementalFastOD(base, config,
                                verify_with_oracle=args.verify)
     initial_seconds = time.perf_counter() - started
-    reports = []
-    for path in args.batches:
-        batch = read_csv(path)
-        reports.append(engine.append(batch))
+    try:
+        reports = []
+        for path in args.batches:
+            batch = read_csv(path)
+            reports.append(engine.append(batch))
+    finally:
+        engine.close()
     if args.json:
         print(json.dumps({
             "initial": {"n_rows": base.n_rows,
@@ -216,32 +232,38 @@ def _cmd_watch(args: argparse.Namespace) -> int:
          f"ODs {engine.result.paper_counts()}")
     batches = 0
     idle = 0
-    while True:
-        if args.max_batches is not None and batches >= args.max_batches:
-            break
-        if args.idle_exit is not None and idle >= args.idle_exit:
-            break
-        time.sleep(args.interval)
-        current = read_csv(args.csv)
-        if current.n_rows < seen:
-            # a rewrite/rotation, not an append: rows we already folded
-            # in are gone, so the maintained state no longer describes
-            # this file — bail out rather than splice mismatched data
-            raise DataError(
-                f"{args.csv}: shrank from {seen} to {current.n_rows} "
-                f"rows while watching (rotated or rewritten?)")
-        if current.n_rows == seen:
-            idle += 1
-            continue
-        if current.names != engine.relation.names:
-            raise DataError(
-                f"{args.csv}: header changed while watching")
-        fresh = current.select_rows(range(seen, current.n_rows))
-        report = engine.append(fresh)
-        seen = current.n_rows
-        batches += 1
-        idle = 0
-        emit({"event": "batch", **report.to_dict()}, str(report))
+    try:
+        while True:
+            if (args.max_batches is not None
+                    and batches >= args.max_batches):
+                break
+            if args.idle_exit is not None and idle >= args.idle_exit:
+                break
+            time.sleep(args.interval)
+            current = read_csv(args.csv)
+            if current.n_rows < seen:
+                # a rewrite/rotation, not an append: rows we already
+                # folded in are gone, so the maintained state no longer
+                # describes this file — bail out rather than splice
+                # mismatched data
+                raise DataError(
+                    f"{args.csv}: shrank from {seen} to "
+                    f"{current.n_rows} rows while watching (rotated or "
+                    f"rewritten?)")
+            if current.n_rows == seen:
+                idle += 1
+                continue
+            if current.names != engine.relation.names:
+                raise DataError(
+                    f"{args.csv}: header changed while watching")
+            fresh = current.select_rows(range(seen, current.n_rows))
+            report = engine.append(fresh)
+            seen = current.n_rows
+            batches += 1
+            idle = 0
+            emit({"event": "batch", **report.to_dict()}, str(report))
+    finally:
+        engine.close()
     emit({"event": "done", "n_rows": seen, "batches": batches,
           "result": engine.result.to_dict()},
          f"done: {seen} rows after {batches} batch(es), "
@@ -251,20 +273,31 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv, limit=args.limit)
-    report = ViolationDetector(
+    detector = ViolationDetector(
         relation,
-        max_cached_partitions=args.cache_max_entries).check(
-        args.dependency, max_witnesses=0, count_pairs=False)
+        max_cached_partitions=args.cache_max_entries,
+        workers=args.workers)
+    try:
+        report = detector.check(
+            args.dependency, max_witnesses=0, count_pairs=False)
+    finally:
+        detector.close()
     print(f"{report.dependency}: {'HOLDS' if report.holds else 'VIOLATED'}")
     return 0 if report.holds else 1
 
 
 def _cmd_violations(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv, limit=args.limit)
-    report = ViolationDetector(
+    detector = ViolationDetector(
         relation,
-        max_cached_partitions=args.cache_max_entries).check(
-        args.dependency, max_witnesses=args.witnesses, count_pairs=True)
+        max_cached_partitions=args.cache_max_entries,
+        workers=args.workers)
+    try:
+        report = detector.check(
+            args.dependency, max_witnesses=args.witnesses,
+            count_pairs=True)
+    finally:
+        detector.close()
     print(report)
     return 0 if report.holds else 1
 

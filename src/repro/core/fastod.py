@@ -20,6 +20,16 @@ lengths, and the OCD swap scan (:func:`is_compatible_in_classes`)
 checks every context class in a single ``lexsort`` + segmented
 prefix-max pass instead of per-class Python scans.
 
+Since the nodes of one level are independent, the per-level work also
+shards across processes: with ``FastODConfig(workers=N)`` (or
+``REPRO_WORKERS``), partition products and OCD swap scans run on a
+shared-memory :class:`repro.parallel.WorkerPool` while the coordinator
+keeps every candidate-set mutation (``cc``/``cs`` updates, Algorithm 4
+pruning) serial and applies worker verdicts in deterministic mask
+order — so parallel results are byte-identical to ``workers=1``.
+Levels whose partitions hold fewer grouped rows than the serial
+fallback threshold never leave the coordinator.
+
 Toggles on :class:`FastODConfig` disable the pruning families to
 reproduce the paper's *FASTOD-No Pruning* ablations (Figures 6).
 """
@@ -28,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.candidates import (
     LatticeNode,
@@ -40,10 +50,18 @@ from repro.core.lattice import next_level_masks, parents_for_partition
 from repro.core.od import CanonicalFD, CanonicalOCD
 from repro.core.results import DiscoveryResult, LevelStats
 from repro.core.validation import is_compatible_in_classes
+from repro.parallel.pool import (
+    PARALLEL_MIN_GROUPED_ROWS,
+    WorkerPool,
+    resolve_workers,
+)
 from repro.partitions.cache import PartitionCache
 from repro.partitions.partition import StrippedPartition
 from repro.relation.schema import iter_bits
 from repro.relation.table import Relation
+
+#: An OCD validation unit: ``(node mask, (a, b))`` in apply order.
+OcdTask = Tuple[int, Tuple[int, int]]
 
 
 @dataclass
@@ -65,7 +83,23 @@ class FastODConfig:
         Stop after contexts of this size (``None`` = run to the top).
     timeout_seconds:
         Best-effort wall-clock budget; results so far are returned with
-        ``timed_out=True``.
+        ``timed_out=True``.  The deadline is checked between lattice
+        nodes, between the FD and OCD phases of a level, between
+        individual validation scans, and cooperatively inside parallel
+        workers — so one huge node cannot overshoot the budget by a
+        whole level.
+    workers:
+        Size of the shared-memory worker pool for level-wise products
+        and validation scans.  ``None`` defers to the
+        ``REPRO_WORKERS`` environment variable; 1 (the default
+        resolution) runs fully serial.  Results are byte-identical
+        either way.
+    parallel_min_grouped_rows:
+        Serial-fallback threshold: a level dispatches to the pool only
+        when its partitions hold at least this many grouped rows
+        (``None`` = the package default,
+        :data:`repro.parallel.PARALLEL_MIN_GROUPED_ROWS`).  Mostly a
+        testing knob — set 0 to force every level through the pool.
     """
 
     minimality_pruning: bool = True
@@ -73,6 +107,8 @@ class FastODConfig:
     key_pruning: bool = True
     max_level: Optional[int] = None
     timeout_seconds: Optional[float] = None
+    workers: Optional[int] = None
+    parallel_min_grouped_rows: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -81,7 +117,20 @@ class FastODConfig:
             "key_pruning": self.key_pruning,
             "max_level": self.max_level,
             "timeout_seconds": self.timeout_seconds,
+            "workers": self.workers,
+            "parallel_min_grouped_rows": self.parallel_min_grouped_rows,
         }
+
+
+def _level_partition_bytes(*levels: Dict[int, LatticeNode]) -> int:
+    """Resident partition bytes across lattice level dicts."""
+    total = 0
+    for nodes in levels:
+        for node in nodes.values():
+            partition = node.partition
+            if partition is not None:
+                total += partition.rows.nbytes + partition.offsets.nbytes
+    return total
 
 
 class FastOD:
@@ -95,7 +144,8 @@ class FastOD:
 
     def __init__(self, relation: Relation,
                  config: Optional[FastODConfig] = None,
-                 cache: Optional["PartitionCache"] = None):
+                 cache: Optional["PartitionCache"] = None,
+                 pool: Optional[WorkerPool] = None):
         self._relation = relation
         self._encoded = relation.encode()
         self._config = config or FastODConfig()
@@ -106,11 +156,34 @@ class FastOD:
             raise ValueError(
                 "the partition cache must wrap this relation's encoding")
         self._cache = cache
+        if pool is not None and pool.relation is not self._encoded:
+            raise ValueError(
+                "the worker pool must wrap this relation's encoding")
+        self._pool = pool
+        self._owned_pool: Optional[WorkerPool] = None
+        # an explicit config.workers wins (the benchmark's projection
+        # mode drives 4-worker sharding through a 1-process pool);
+        # otherwise an injected pool sets the effective parallelism
+        if self._config.workers is None and pool is not None:
+            self._workers = pool.workers
+        else:
+            self._workers = resolve_workers(self._config.workers)
+        threshold = self._config.parallel_min_grouped_rows
+        self._parallel_threshold = (PARALLEL_MIN_GROUPED_ROWS
+                                    if threshold is None else threshold)
 
     # ------------------------------------------------------------------
     # public entry point (Algorithm 1)
     # ------------------------------------------------------------------
     def run(self) -> DiscoveryResult:
+        try:
+            return self._run()
+        finally:
+            if self._owned_pool is not None:
+                self._owned_pool.shutdown()
+                self._owned_pool = None
+
+    def _run(self) -> DiscoveryResult:
         config = self._config
         started = time.perf_counter()
         deadline = (started + config.timeout_seconds
@@ -143,11 +216,19 @@ class FastOD:
                 break
             stats = LevelStats(level=level, n_nodes=len(current))
             level_started = time.perf_counter()
+            stats.peak_partition_bytes = _level_partition_bytes(
+                before_previous, previous, current)
 
             self._compute_candidate_sets(level, current, previous)
             timed_out = self._compute_ods(
                 level, current, previous, before_previous, result, stats,
                 deadline)
+            # Π* two levels down were consumed for the last time by this
+            # level's OCD contexts — release them before the next
+            # level's products allocate, so at most three levels of
+            # partitions are ever resident
+            self._release_level(before_previous)
+            before_previous = {}
             stats.n_nodes_pruned = self._prune_level(level, current)
             stats.seconds = time.perf_counter() - level_started
             result.level_stats.append(stats)
@@ -155,7 +236,10 @@ class FastOD:
                 result.timed_out = True
                 break
 
-            next_nodes = self._calculate_next_level(current)
+            next_nodes = self._calculate_next_level(current, deadline)
+            if next_nodes is None:     # deadline hit during products
+                result.timed_out = True
+                break
             before_previous = previous
             previous = current
             current = next_nodes
@@ -174,6 +258,34 @@ class FastOD:
             return self._cache.get(1 << attribute)
         return StrippedPartition.for_attribute(self._encoded, attribute)
 
+    def _release_level(self, nodes: Dict[int, LatticeNode]) -> None:
+        """Drop a spent level's partitions (and, for bounded caches,
+        their composite cache entries — unbounded caches keep retaining
+        everything by contract)."""
+        if not nodes:
+            return
+        if self._cache is not None and self._cache.max_entries is not None:
+            self._cache.invalidate(
+                [mask for mask in nodes if mask & (mask - 1)])
+        for node in nodes.values():
+            node.partition = None
+
+    # ------------------------------------------------------------------
+    # worker pool (lazy; only spun up when a level crosses the
+    # serial-fallback threshold)
+    # ------------------------------------------------------------------
+    def _pool_for(self, n_tasks: int, grouped_rows: int
+                  ) -> Optional[WorkerPool]:
+        if self._workers < 2 or n_tasks < 2:
+            return None
+        if grouped_rows < self._parallel_threshold:
+            return None
+        if self._pool is not None:
+            return self._pool
+        if self._owned_pool is None:
+            self._owned_pool = WorkerPool(self._encoded, self._workers)
+        return self._owned_pool
+
     # ------------------------------------------------------------------
     # candidate sets (Algorithm 3, lines 1-8)
     # ------------------------------------------------------------------
@@ -186,16 +298,33 @@ class FastOD:
     # ------------------------------------------------------------------
     # dependency checks (Algorithm 3, lines 9-25)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _deadline_hit(deadline: Optional[float]) -> bool:
+        return deadline is not None and time.perf_counter() > deadline
+
     def _compute_ods(self, level: int, current: Dict[int, LatticeNode],
                      previous: Dict[int, LatticeNode],
                      before_previous: Dict[int, LatticeNode],
                      result: DiscoveryResult, stats: LevelStats,
                      deadline: Optional[float]) -> bool:
-        """Returns True when the deadline was hit mid-level."""
+        """Returns True when the deadline was hit mid-level.
+
+        Runs in four phases so the scan work can shard across the pool
+        while all candidate-set mutations stay serial:
+
+        1. constancy ODs for every node (O(1) partition error tests);
+        2. enumerate the level's OCD candidates (minimality pre-checks
+           against the *previous* level's ``C_c+``, which this level
+           never mutates — so enumeration order cannot matter);
+        3. swap-scan verdicts, parallel or serial;
+        4. apply verdicts in the serial engine's node/pair order
+           (emission order and ``cs`` mutations byte-identical to
+           ``workers=1``).
+        """
         config = self._config
         minimal = config.minimality_pruning
         for mask, node in current.items():
-            if deadline is not None and time.perf_counter() > deadline:
+            if self._deadline_hit(deadline):
                 return True
             # --- constancy ODs  X \ A: [] -> A -------------------------
             for attribute in list(iter_bits(mask & node.cc)):
@@ -210,29 +339,90 @@ class FastOD:
                     if minimal:
                         node.cc &= ~bit          # remove A
                         node.cc &= mask          # remove all B in R \ X
-            # --- order compatibility ODs  X \ {A,B}: A ~ B --------------
-            if level < 2:
-                continue
+        if level < 2:
+            return False
+        # one huge FD phase must not push the OCD scans past the
+        # budget: re-check before any swap scanning starts
+        if self._deadline_hit(deadline):
+            return True
+
+        # --- order compatibility ODs  X \ {A,B}: A ~ B ----------------
+        tasks: List[OcdTask] = []
+        for mask, node in current.items():
             for pair in sorted(node.cs):
                 a, b = pair
-                bit_a, bit_b = 1 << a, 1 << b
                 if minimal:
-                    # Algorithm 3 line 18: minimality via C_c+ of parents.
-                    if (not previous[mask ^ bit_b].cc & bit_a
-                            or not previous[mask ^ bit_a].cc & bit_b):
+                    # Algorithm 3 line 18: minimality via C_c+ of
+                    # parents (fixed since the previous level).
+                    if (not previous[mask ^ (1 << b)].cc & (1 << a)
+                            or not previous[mask ^ (1 << a)].cc & (1 << b)):
                         node.cs.discard(pair)
                         continue
                 stats.n_ocd_candidates += 1
-                context_partition = self._ocd_context_partition(
-                    level, mask, bit_a, bit_b, before_previous)
-                if self._ocd_valid(context_partition, a, b):
-                    result.ocds.append(CanonicalOCD(
-                        context_names(mask ^ bit_a ^ bit_b, self._names),
-                        self._names[a], self._names[b]))
-                    stats.n_ocds_found += 1
-                    if minimal:
-                        node.cs.discard(pair)
-        return False
+                tasks.append((mask, pair))
+
+        verdicts, timed_out = self._ocd_verdicts(
+            level, tasks, before_previous, deadline)
+
+        for mask, pair in tasks:
+            verdict = verdicts.get((mask, pair))
+            if verdict is None:
+                continue   # the deadline cut this scan; keep the rest
+            if verdict:
+                a, b = pair
+                result.ocds.append(CanonicalOCD(
+                    context_names(mask ^ (1 << a) ^ (1 << b),
+                                  self._names),
+                    self._names[a], self._names[b]))
+                stats.n_ocds_found += 1
+                if minimal:
+                    current[mask].cs.discard(pair)
+        return timed_out
+
+    def _ocd_verdicts(self, level: int, tasks: List[OcdTask],
+                      before_previous: Dict[int, LatticeNode],
+                      deadline: Optional[float]
+                      ) -> Tuple[Dict[OcdTask, bool], bool]:
+        """Swap-scan verdicts for one level's OCD candidates.
+
+        Superkey contexts resolve O(1) on the coordinator (Lemma 13);
+        the rest shard across the worker pool when the level is big
+        enough, and fall back to the serial kernel otherwise.
+        """
+        verdicts: Dict[OcdTask, bool] = {}
+        contexts: Dict[int, StrippedPartition] = {}
+        scan_tasks: List[Tuple[OcdTask, int, str, int, int]] = []
+        key_pruning = self._config.key_pruning
+        grouped_rows = 0
+        for task in tasks:
+            mask, (a, b) = task
+            context_mask = mask ^ (1 << a) ^ (1 << b)
+            context = self._ocd_context_partition(
+                level, mask, 1 << a, 1 << b, before_previous)
+            if key_pruning and context.is_superkey():
+                verdicts[task] = True
+                continue
+            if context_mask not in contexts:
+                contexts[context_mask] = context
+                grouped_rows += len(context.rows)
+            scan_tasks.append((task, context_mask, "swap", a, b))
+        if not scan_tasks:
+            return verdicts, False
+
+        pool = self._pool_for(len(scan_tasks), grouped_rows)
+        if pool is not None:
+            scanned, timed_out = pool.run_scans(contexts, scan_tasks,
+                                                deadline)
+            verdicts.update(scanned)
+            return verdicts, timed_out
+
+        for task, context_mask, _mode, a, b in scan_tasks:
+            if self._deadline_hit(deadline):
+                return verdicts, True
+            verdicts[task] = is_compatible_in_classes(
+                self._encoded.column(a), self._encoded.column(b),
+                contexts[context_mask])
+        return verdicts, False
 
     def _fd_valid(self, context_node: LatticeNode,
                   node: LatticeNode) -> bool:
@@ -254,16 +444,6 @@ class FastOD:
             return StrippedPartition.single_class(self._encoded.n_rows)
         return before_previous[mask ^ bit_a ^ bit_b].partition
 
-    def _ocd_valid(self, context: StrippedPartition, a: int,
-                   b: int) -> bool:
-        """``X \\ {A,B}: A ~ B`` — swap scan per context class.  A
-        superkey context has no stripped classes, so the scan is free
-        (Lemma 13's observation)."""
-        if self._config.key_pruning and context.is_superkey():
-            return True
-        return is_compatible_in_classes(
-            self._encoded.column(a), self._encoded.column(b), context)
-
     # ------------------------------------------------------------------
     # level pruning (Algorithm 4)
     # ------------------------------------------------------------------
@@ -278,20 +458,53 @@ class FastOD:
     # ------------------------------------------------------------------
     # next level (Algorithm 2 + partition products)
     # ------------------------------------------------------------------
-    def _calculate_next_level(self, current: Dict[int, LatticeNode]
-                              ) -> Dict[int, LatticeNode]:
+    def _calculate_next_level(self, current: Dict[int, LatticeNode],
+                              deadline: Optional[float] = None
+                              ) -> Optional[Dict[int, LatticeNode]]:
+        """Algorithm 2 plus the partition products, pooled for big
+        levels.  Returns ``None`` when the deadline expired before the
+        level's partitions were all built (the caller flags the run
+        timed out; a half-built level is never traversed)."""
         cache = self._cache
-        next_nodes: Dict[int, LatticeNode] = {}
+        partitions: Dict[int, Optional[StrippedPartition]] = {}
+        pending: List[Tuple[int, int, int]] = []
+        grouped_rows = 0
+        parent_masks = set()
         for mask in next_level_masks(current.keys()):
             partition = cache.peek(mask) if cache is not None else None
             if partition is None:
                 left, right = parents_for_partition(mask)
-                partition = current[left].partition.product(
-                    current[right].partition)
+                pending.append((mask, left, right))
+                parent_masks.add(left)
+                parent_masks.add(right)
+            partitions[mask] = partition
+        for parent in parent_masks:
+            grouped_rows += len(current[parent].partition.rows)
+
+        if pending:
+            pool = self._pool_for(len(pending), grouped_rows)
+            if pool is not None:
+                parents = {mask: current[mask].partition
+                           for mask in parent_masks}
+                computed, timed_out = pool.run_products(
+                    parents, pending, deadline)
+                if timed_out:
+                    return None
+            else:
+                computed = {}
+                for mask, left, right in pending:
+                    if self._deadline_hit(deadline):
+                        return None
+                    computed[mask] = current[left].partition.product(
+                        current[right].partition)
+            for mask, _left, _right in pending:
+                partition = computed[mask]
+                partitions[mask] = partition
                 if cache is not None:
                     cache.put(mask, partition)
-            next_nodes[mask] = LatticeNode(mask, partition)
-        return next_nodes
+
+        return {mask: LatticeNode(mask, partition)
+                for mask, partition in partitions.items()}
 
 
 def discover_ods(relation: Relation, **config_kwargs) -> DiscoveryResult:

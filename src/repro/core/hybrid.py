@@ -25,7 +25,7 @@ branches over all attributes.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.fastod import FastOD, FastODConfig, discover_ods
 from repro.core.od import CanonicalFD, CanonicalOCD
@@ -34,13 +34,19 @@ from repro.core.validation import (
     is_compatible_in_classes,
     is_constant_in_classes,
 )
+from repro.parallel.pool import (
+    PARALLEL_MIN_ROWS,
+    WorkerPool,
+    resolve_workers,
+)
 from repro.partitions.cache import PartitionCache
 from repro.relation.schema import bit_count, iter_bits
 from repro.relation.table import Relation
 
 
 def hybrid_discover(relation: Relation, *, sample_size: int = 100,
-                    seed: int = 0) -> DiscoveryResult:
+                    seed: int = 0,
+                    workers: Optional[int] = None) -> DiscoveryResult:
     """Exact minimal OD discovery via a sample-guided lattice search.
 
     Produces the same complete, minimal set as
@@ -48,6 +54,13 @@ def hybrid_discover(relation: Relation, *, sample_size: int = 100,
     Worthwhile when the relation is tall (validation dominates) and the
     sample is representative; degenerates gracefully — at worst the
     escalation walks the same lattice FASTOD would.
+
+    With ``workers`` > 1 (or ``REPRO_WORKERS``) the full-data
+    validations of each escalation wave — masks of equal context size,
+    which are mutually independent — fan out over a shared-memory
+    :class:`~repro.parallel.WorkerPool`; workers derive context
+    partitions from their own partition caches over the shared rank
+    columns.  The output is identical at any worker count.
     """
     started = time.perf_counter()
     sample = relation.sample(min(sample_size, relation.n_rows), seed=seed)
@@ -58,7 +71,40 @@ def hybrid_discover(relation: Relation, *, sample_size: int = 100,
     names = encoded.names
     index = {name: i for i, name in enumerate(names)}
     full_mask = (1 << encoded.arity) - 1
+    n_workers = resolve_workers(workers)
+    pool: Optional[WorkerPool] = None
 
+    def validate_wave(wave: List[int], mode: str, a: int,
+                      b: int) -> List[bool]:
+        """Full-data verdicts for one wave of contexts, pooled when the
+        relation is big enough to amortize dispatch."""
+        nonlocal pool
+        if (n_workers < 2 or len(wave) < 2
+                or encoded.n_rows < PARALLEL_MIN_ROWS):
+            if mode == "const":
+                return [is_constant_in_classes(
+                    encoded.column(a), cache.get(mask)) for mask in wave]
+            return [is_compatible_in_classes(
+                encoded.column(a), encoded.column(b),
+                cache.get(mask)) for mask in wave]
+        if pool is None:
+            pool = WorkerPool(encoded, n_workers)
+        verdicts, _ = pool.run_validations(
+            [(mask, mask, mode, a, b) for mask in wave])
+        return [verdicts[mask] for mask in wave]
+
+    try:
+        return _hybrid_discover(
+            sample_result, encoded, names, index, full_mask,
+            validate_wave, sample_size, seed, started)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+
+def _hybrid_discover(sample_result, encoded, names, index,
+                     full_mask, validate_wave, sample_size, seed,
+                     started) -> DiscoveryResult:
     def mask_of(context) -> int:
         mask = 0
         for name in context:
@@ -75,8 +121,8 @@ def hybrid_discover(relation: Relation, *, sample_size: int = 100,
                  if index[fd.attribute] == attribute]
         valid_fd_masks[attribute] = _escalate(
             seeds, attribute_bit=1 << attribute, full_mask=full_mask,
-            is_valid=lambda mask, a=attribute: is_constant_in_classes(
-                encoded.column(a), cache.get(mask)))
+            validate=lambda wave, a=attribute: validate_wave(
+                wave, "const", a, 0))
 
     fds: List[CanonicalFD] = []
     for attribute, masks in valid_fd_masks.items():
@@ -109,8 +155,8 @@ def hybrid_discover(relation: Relation, *, sample_size: int = 100,
         seeds = [mask & ~forbidden for mask in seeds]
         valid_masks = _escalate(
             seeds, attribute_bit=forbidden, full_mask=full_mask,
-            is_valid=lambda mask, a=a, b=b: is_compatible_in_classes(
-                encoded.column(a), encoded.column(b), cache.get(mask)))
+            validate=lambda wave, a=a, b=b: validate_wave(
+                wave, "swap", a, b))
         for mask in _minimal_masks(valid_masks):
             # Propagate: not minimal if either side is constant there
             if _constant_within(valid_fd_masks.get(a, set()), mask) or \
@@ -133,30 +179,39 @@ def hybrid_discover(relation: Relation, *, sample_size: int = 100,
 
 
 def _escalate(seeds: List[int], *, attribute_bit: int, full_mask: int,
-              is_valid) -> Set[int]:
-    """BFS from sample-valid contexts to full-data-valid contexts.
+              validate) -> Set[int]:
+    """Wave-wise BFS from sample-valid contexts to full-data-valid
+    contexts.
 
     Contexts never include the target attribute(s) (``attribute_bit``).
+    The frontier is processed in waves of equal context size — the
+    masks of one wave are independent, which is what lets ``validate``
+    check a whole wave in parallel.  Subset-of-valid skipping works
+    exactly as in the sequential BFS: a skipping subset always has a
+    strictly smaller size, hence was decided in an earlier wave.
     Returns every *visited* context that validated; children of a valid
     context are not explored (they cannot be minimal below it).
     """
-    from collections import deque
-
-    queue = deque(sorted(set(seeds), key=bit_count))
-    seen: Set[int] = set(queue)
+    frontier = sorted(set(seeds), key=bit_count)
+    seen: Set[int] = set(frontier)
     valid: Set[int] = set()
-    while queue:
-        mask = queue.popleft()
-        if any(prior & mask == prior for prior in valid):
-            continue          # a subset already validated: not minimal
-        if is_valid(mask):
-            valid.add(mask)
-            continue
-        for attribute in iter_bits(full_mask & ~mask & ~attribute_bit):
-            child = mask | (1 << attribute)
-            if child not in seen:
-                seen.add(child)
-                queue.append(child)
+    while frontier:
+        size = bit_count(frontier[0])
+        wave = [mask for mask in frontier if bit_count(mask) == size]
+        rest = [mask for mask in frontier if bit_count(mask) > size]
+        wave = [mask for mask in wave
+                if not any(prior & mask == prior for prior in valid)]
+        children: List[int] = []
+        for mask, ok in zip(wave, validate(wave)):
+            if ok:
+                valid.add(mask)
+                continue
+            for attribute in iter_bits(full_mask & ~mask & ~attribute_bit):
+                child = mask | (1 << attribute)
+                if child not in seen:
+                    seen.add(child)
+                    children.append(child)
+        frontier = sorted(rest + children, key=bit_count)
     return valid
 
 

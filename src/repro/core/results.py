@@ -26,6 +26,10 @@ class LevelStats:
     n_ocds_found: int = 0
     n_nodes_pruned: int = 0
     seconds: float = 0.0
+    #: resident partition bytes (the three live lattice levels) while
+    #: this level validated — the peak-memory ledger of the engine's
+    #: release-two-levels-down policy
+    peak_partition_bytes: int = 0
 
     @property
     def n_ods_found(self) -> int:
@@ -139,6 +143,7 @@ class DiscoveryResult:
                     "fds": s.n_fds_found,
                     "ocds": s.n_ocds_found,
                     "seconds": s.seconds,
+                    "peak_partition_bytes": s.peak_partition_bytes,
                 }
                 for s in self.level_stats
             ],

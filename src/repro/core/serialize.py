@@ -86,6 +86,8 @@ def result_from_dict(payload: Dict) -> DiscoveryResult:
             n_fds_found=int(level.get("fds", 0)),
             n_ocds_found=int(level.get("ocds", 0)),
             seconds=float(level.get("seconds", 0.0)),
+            peak_partition_bytes=int(
+                level.get("peak_partition_bytes", 0)),
         ))
     return result
 

@@ -307,10 +307,19 @@ class CanonicalValidator:
     (LRU eviction, see :class:`PartitionCache`) for long-lived
     validators checking many ad-hoc contexts; ``None`` (default) keeps
     every partition, the historical behavior.
+
+    ``workers`` > 1 (or ``REPRO_WORKERS``) shards big validation scans
+    by context class over a shared-memory worker pool
+    (:meth:`repro.parallel.WorkerPool.run_class_scan`) — worthwhile for
+    single-dependency checks on tall relations, where one scan is the
+    whole workload.  Verdicts are identical at any worker count; the
+    pool spins up lazily and only for scans past the size threshold.
+    Call :meth:`close` (or rely on GC) to release the pool.
     """
 
     def __init__(self, relation: Union[Relation, EncodedRelation],
-                 max_cached_partitions: Optional[int] = None):
+                 max_cached_partitions: Optional[int] = None,
+                 workers: Optional[int] = None):
         if isinstance(relation, Relation):
             relation = relation.encode()
         self._relation = relation
@@ -318,6 +327,8 @@ class CanonicalValidator:
             relation, max_entries=max_cached_partitions)
         self._name_to_index = {
             name: i for i, name in enumerate(relation.names)}
+        from repro.parallel.pool import ClassScanPool
+        self._scanner = ClassScanPool(relation, workers)
 
     @property
     def relation(self) -> EncodedRelation:
@@ -326,6 +337,10 @@ class CanonicalValidator:
     @property
     def cache(self) -> PartitionCache:
         return self._cache
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        self._scanner.close()
 
     def _index(self, name: str) -> int:
         try:
@@ -350,17 +365,16 @@ class CanonicalValidator:
     def fd_holds(self, fd: CanonicalFD) -> bool:
         if fd.is_trivial:
             return True
-        column = self._relation.column(self._index(fd.attribute))
-        return is_constant_in_classes(
-            column, self._context_partition(fd.context))
+        return self._scanner.scan(
+            "const", self._index(fd.attribute), 0,
+            self._context_partition(fd.context))
 
     def ocd_holds(self, ocd: CanonicalOCD) -> bool:
         if ocd.is_trivial:
             return True
-        column_a = self._relation.column(self._index(ocd.left))
-        column_b = self._relation.column(self._index(ocd.right))
-        return is_compatible_in_classes(
-            column_a, column_b, self._context_partition(ocd.context))
+        return self._scanner.scan(
+            "swap", self._index(ocd.left), self._index(ocd.right),
+            self._context_partition(ocd.context))
 
     def witness(self, od: Union[CanonicalFD, CanonicalOCD]
                 ) -> Optional[Union[Split, Swap]]:

@@ -49,7 +49,6 @@ from repro.core.fastod import FastOD, FastODConfig
 from repro.core.lattice import next_level_masks
 from repro.core.od import CanonicalFD, CanonicalOCD
 from repro.core.results import DiscoveryResult, LevelStats, diff_results
-from repro.core.validation import is_compatible_in_classes
 from repro.errors import DataError
 from repro.incremental.delta import BatchEffect, DeltaPartition, GroupTracker
 from repro.relation.encoding import sort_key
@@ -147,6 +146,10 @@ class IncrementalFastOD:
         self._batch_effects: Dict[int, BatchEffect] = {}
         self._sort_key_cols: Dict[int, List[tuple]] = {}
         self._n_batches = 0
+        from repro.parallel.pool import ClassScanPool
+        self._scanner = ClassScanPool(
+            self._encoded, config.workers,
+            threshold=config.parallel_min_grouped_rows)
         self._result = self._traverse()
         if self._verify:
             self._check_against_oracle(self._result)
@@ -167,6 +170,19 @@ class IncrementalFastOD:
     @property
     def n_batches(self) -> int:
         return self._n_batches
+
+    def close(self) -> None:
+        """Shut down the append-path worker pool, if one was started."""
+        self._scanner.close()
+
+    def _scan_compatible(self, a: int, b: int, partition) -> bool:
+        """One full swap scan, class-sharded over the worker pool when
+        the context is big enough (``FastODConfig.workers`` /
+        ``REPRO_WORKERS``); the pool persists across batches, following
+        each grown relation via
+        :meth:`repro.parallel.ClassScanPool.rebase`."""
+        self._scanner.rebase(self._encoded)
+        return self._scanner.scan("swap", a, b, partition)
 
     def append(self, batch: Union[Relation, Iterable[Sequence]]
                ) -> BatchReport:
@@ -471,9 +487,7 @@ class IncrementalFastOD:
             self._live_ocds.add(key)
             return True
         delta = self._delta(ctx_mask)
-        valid = is_compatible_in_classes(
-            self._encoded.column(a), self._encoded.column(b),
-            delta.partition)
+        valid = self._scan_compatible(a, b, delta.partition)
         if valid:
             self._ocd_true[key] = self._seed_state(delta, a, b)
             self._live_ocds.add(key)

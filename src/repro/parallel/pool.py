@@ -1,0 +1,818 @@
+"""A persistent shared-memory worker pool for lattice-level execution.
+
+FASTOD's level-wise sweep visits each lattice node independently within
+a level: partition products and validation scans have no cross-node
+dependencies (Algorithm 1).  :class:`WorkerPool` exploits that by
+sharding a level's node work across long-lived ``multiprocessing``
+worker processes:
+
+* the encoded relation's rank columns are published **once** per pool
+  (per :meth:`rebase` after appends) via
+  :mod:`multiprocessing.shared_memory`; workers read zero-copy NumPy
+  views, so task payloads never pickle a column;
+* per dispatch, the partitions a level needs (parents for products,
+  OCD contexts for scans) are published as one block and sharded by
+  task chunk;
+* **product results return through shared memory too**: the coordinator
+  pre-allocates a writable block (the result of ``Π_X · Π_Y`` holds at
+  most ``min(||Π*_X||, ||Π*_Y||)`` grouped rows), workers write their
+  flat ``rows``/``offsets`` straight into their task's slot, and only
+  ``(mask, lengths)`` triples travel back on the result queue;
+* scan/validate verdicts are booleans — they ride the queue directly.
+
+Determinism: workers run the exact same kernels
+(:meth:`StrippedPartition.product`,
+:func:`is_compatible_in_classes`, ...) on byte-identical inputs, and
+the coordinator merges results keyed by mask/task id and applies them
+in the serial engine's order — so a parallel run's partitions and
+verdicts are byte-identical to ``workers=1``.
+
+Lifecycle: worker processes start lazily on the first dispatch (a pool
+created for a run that never crosses the serial-fallback thresholds
+costs only one column publish), and :meth:`shutdown` — also invoked by
+a GC finalizer, by ``with`` exit, and on any dispatch error including
+``KeyboardInterrupt`` — terminates workers and unlinks every live
+shared-memory segment, so crashes cannot leak segments.
+
+Cancellation is cooperative: dispatches carry an optional wall-clock
+deadline; workers re-check it between tasks inside a chunk and return
+partial results flagged ``timed_out`` instead of scanning past the
+budget.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+import traceback
+import weakref
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.parallel.shm import BlockReader, SharedArrayBlock, unlink_by_name
+from repro.partitions.partition import StrippedPartition
+from repro.relation.encoding import EncodedRelation
+
+#: Below this many grouped rows in a dispatch's partitions the callers
+#: fall back to the serial path — process dispatch costs ~fractions of
+#: a millisecond per chunk plus one segment publish, which only
+#: amortizes once the vectorized kernels have real work to chew on.
+PARALLEL_MIN_GROUPED_ROWS = 16_384
+
+#: Relation size floor for the hybrid/validator parallel paths, which
+#: gate on rows (their context partitions are not known up front).
+PARALLEL_MIN_ROWS = 4_096
+
+#: Task chunks per worker and dispatch.  Two per worker balances the
+#: trade measured on the Exp-1 workloads: more chunks smooth out
+#: uneven node costs but repeat per-chunk context materialization
+#: (shared parents/contexts are rebuilt in every chunk that touches
+#: them), fewer chunks leave stragglers.
+CHUNKS_PER_WORKER = 2
+
+#: Dispatch telemetry records kept per pool (ring-buffer style) — far
+#: more than one discovery run produces, small enough that a pool held
+#: by an unbounded ``watch`` loop cannot accumulate without limit.
+MAX_DISPATCH_RECORDS = 512
+
+#: Partition blocks retained for worker reuse.  A level's partitions
+#: serve as product parents one level later and as OCD contexts two
+#: levels later, and early levels add small ad-hoc publish blocks
+#: (singletons, the empty context) — six covers every live reference
+#: with headroom; the oldest is unlinked as new levels arrive.
+RETAINED_PARTITION_BLOCKS = 6
+
+ScanTask = Tuple[Hashable, Hashable, str, int, int]
+
+#: Where a partition's shared replica lives:
+#: ``(block name, rows offset, rows len, offsets offset, offsets len)``
+#: in int64 items.  Stored on ``StrippedPartition._shm_ref`` so a
+#: partition is published once and then referenced by every later
+#: dispatch that needs it (products one level up, OCD scans two levels
+#: up) instead of being re-copied per level.
+PartitionRef = Tuple[str, int, int, int, int]
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died while a dispatch was in flight."""
+
+
+class WorkerTaskError(ReproError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Effective worker count: explicit value, else ``REPRO_WORKERS``,
+    else 1 (serial).  Values below 1 clamp to serial."""
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(1, int(workers))
+
+
+def _chunk_slices(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` slices covering ``n_items``."""
+    n_chunks = max(1, min(n_chunks, n_items))
+    bounds = np.linspace(0, n_items, n_chunks + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(n_chunks) if bounds[i] < bounds[i + 1]]
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_MAX_ATTACHMENTS = 6
+
+
+class _WorkerState:
+    """Per-process caches: attached segments and partition caches."""
+
+    def __init__(self):
+        self.readers: "OrderedDict[str, BlockReader]" = OrderedDict()
+        self.caches: "OrderedDict[str, object]" = OrderedDict()
+        self.columns_by_block: "OrderedDict[str, List[np.ndarray]]" = \
+            OrderedDict()
+
+    def reader(self, name: str) -> BlockReader:
+        reader = self.readers.pop(name, None)
+        if reader is None:
+            reader = BlockReader(name)
+        self.readers[name] = reader          # most-recently-used last
+        while len(self.readers) > _MAX_ATTACHMENTS:
+            _, stale = self.readers.popitem(last=False)
+            stale.close()
+        return reader
+
+    def columns(self, descriptor) -> List[np.ndarray]:
+        """Rank columns for one published block, copied onto this
+        worker's heap on first use.
+
+        The copy is deliberate: columns are the random-gather targets
+        of every scan kernel, and heap pages (hugepage-backed, hot in
+        this process) gather measurably faster than tmpfs-backed
+        shared-memory pages.  One memcpy per worker per pool still
+        beats pickling columns into every task by orders of magnitude.
+        """
+        name, layout, _n_rows, arity = descriptor
+        columns = self.columns_by_block.get(name)
+        if columns is None:
+            reader = self.reader(name)
+            columns = [np.array(reader.array(layout, a))
+                       for a in range(arity)]
+            # keep the current and (briefly, across a rebase) previous
+            # relation's columns
+            while len(self.columns_by_block) >= 2:
+                self.columns_by_block.popitem(last=False)
+            self.columns_by_block[name] = columns
+        return columns
+
+    def partition_cache(self, descriptor):
+        """A worker-local :class:`PartitionCache` over the shared
+        columns (hybrid escalation tasks derive ad-hoc contexts)."""
+        from repro.partitions.cache import PartitionCache
+
+        name, _layout, n_rows, arity = descriptor
+        cache = self.caches.get(name)
+        if cache is None:
+            columns = self.columns(descriptor)
+            relation = EncodedRelation(
+                tuple(f"a{i}" for i in range(arity)), list(columns))
+            if relation.n_rows != n_rows:  # pragma: no cover - paranoia
+                raise ValueError("shared column length mismatch")
+            cache = PartitionCache(relation, max_entries=128)
+            # cap at the two most recent relations (pre/post rebase)
+            while len(self.caches) >= 2:
+                self.caches.pop(next(iter(self.caches)))
+            self.caches[name] = cache
+        return cache
+
+
+def _past(deadline: Optional[float]) -> bool:
+    return deadline is not None and time.time() > deadline
+
+
+def _partition_from_ref(state: _WorkerState, ref: PartitionRef,
+                        n_rows: int) -> StrippedPartition:
+    name, rows_off, rows_len, offs_off, offs_len = ref
+    reader = state.reader(name)
+    return StrippedPartition.from_flat(
+        reader.raw(rows_off, rows_len),
+        reader.raw(offs_off, offs_len), n_rows)
+
+
+def _handle_products(state: _WorkerState, payload: dict) -> dict:
+    out_name, out_layout = payload["out"]
+    n_rows = payload["n_rows"]
+    deadline = payload["deadline"]
+    out_reader = state.reader(out_name)
+    refs: Dict[int, PartitionRef] = payload["parents"]
+    parents: Dict[int, StrippedPartition] = {}
+
+    def parent(mask: int) -> StrippedPartition:
+        partition = parents.get(mask)
+        if partition is None:
+            partition = _partition_from_ref(state, refs[mask], n_rows)
+            parents[mask] = partition
+        return partition
+
+    done: List[Tuple[int, int, int]] = []
+    timed_out = False
+    for child, left, right in payload["tasks"]:
+        if _past(deadline):
+            timed_out = True
+            break
+        product = parent(left).product(parent(right))
+        rows_view = out_reader.array(out_layout, (child, "r"))
+        offsets_view = out_reader.array(out_layout, (child, "o"))
+        rows_view[:len(product.rows)] = product.rows
+        offsets_view[:len(product.offsets)] = product.offsets
+        done.append((child, len(product.rows), len(product.offsets)))
+    return {"done": done, "timed_out": timed_out}
+
+
+def _scan_verdict(mode: str, columns: List[np.ndarray], a: int, b: int,
+                  context: StrippedPartition) -> bool:
+    from repro.core.validation import (
+        is_compatible_in_classes,
+        is_constant_in_classes,
+    )
+
+    if mode == "swap":
+        return is_compatible_in_classes(columns[a], columns[b], context)
+    return is_constant_in_classes(columns[a], context)
+
+
+def _handle_scans(state: _WorkerState, payload: dict) -> dict:
+    columns = state.columns(payload["columns"])
+    refs: Dict[Hashable, PartitionRef] = payload["contexts"]
+    n_rows = payload["columns"][2]
+    deadline = payload["deadline"]
+    # one partition object per context key, so derived state (class
+    # ids, cached expansions) is shared by every task scanning it
+    contexts: Dict[Hashable, StrippedPartition] = {}
+    verdicts: List[Tuple[Hashable, bool]] = []
+    timed_out = False
+    for key, context_key, mode, a, b in payload["tasks"]:
+        if _past(deadline):
+            timed_out = True
+            break
+        context = contexts.get(context_key)
+        if context is None:
+            context = _partition_from_ref(state, refs[context_key],
+                                          n_rows)
+            contexts[context_key] = context
+        verdicts.append((key, _scan_verdict(mode, columns, a, b, context)))
+    return {"verdicts": verdicts, "timed_out": timed_out}
+
+
+def _handle_validations(state: _WorkerState, payload: dict) -> dict:
+    cache = state.partition_cache(payload["columns"])
+    columns = cache.relation.ranks
+    deadline = payload["deadline"]
+    verdicts: List[Tuple[Hashable, bool]] = []
+    timed_out = False
+    for key, mask, mode, a, b in payload["tasks"]:
+        if _past(deadline):
+            timed_out = True
+            break
+        context = cache.get(mask)
+        verdicts.append((key, _scan_verdict(mode, columns, a, b, context)))
+    return {"verdicts": verdicts, "timed_out": timed_out}
+
+
+_HANDLERS = {
+    "products": _handle_products,
+    "scans": _handle_scans,
+    "validations": _handle_validations,
+}
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    state = _WorkerState()
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        task_id, kind, payload = message
+        started = time.process_time()
+        try:
+            result = _HANDLERS[kind](state, payload)
+        except BaseException:
+            result_queue.put(
+                (task_id, "err", traceback.format_exc(), 0.0))
+            continue
+        result_queue.put(
+            (task_id, "ok", result, time.process_time() - started))
+    for reader in state.readers.values():
+        reader.close()
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+def _shutdown_static(processes: List, task_queue, block_names: set) -> None:
+    """Idempotent teardown shared by shutdown(), GC and atexit."""
+    try:
+        for _ in processes:
+            try:
+                task_queue.put_nowait(None)
+            except Exception:
+                break
+    except Exception:  # pragma: no cover
+        pass
+    for process in processes:
+        process.join(timeout=1.0)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+    processes.clear()
+    for name in list(block_names):
+        unlink_by_name(name)
+        block_names.discard(name)
+
+
+class WorkerPool:
+    """Shared-memory process pool bound to one encoded relation.
+
+    ``with WorkerPool(encoded, workers=4) as pool: ...`` — or call
+    :meth:`shutdown` explicitly.  The pool is *persistent*: one set of
+    workers serves every level of a discovery run (and every run that
+    reuses the pool), with the rank columns published exactly once.
+    """
+
+    def __init__(self, relation: EncodedRelation, workers: int,
+                 start_method: Optional[str] = None,
+                 n_chunks_per_dispatch: Optional[int] = None):
+        if workers < 1:
+            raise ValueError("workers must be a positive integer")
+        self._relation = relation
+        self.workers = workers
+        #: chunk count per dispatch; overriding it decouples chunk
+        #: granularity from the worker count (the benchmark's
+        #: work-distribution projection measures N-worker chunks in one
+        #: uncontended worker)
+        self.n_chunks_per_dispatch = (
+            workers * CHUNKS_PER_WORKER if n_chunks_per_dispatch is None
+            else max(1, n_chunks_per_dispatch))
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        self._ctx = mp.get_context(start_method)
+        self._processes: List = []
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._next_task_id = 0
+        self._live_blocks: set = set()
+        #: recently published partition blocks, oldest first; partitions
+        #: carry ``_shm_ref`` pointers into them so one publication
+        #: serves products one level up and OCD scans two levels up
+        self._partition_blocks: "OrderedDict[str, SharedArrayBlock]" = \
+            OrderedDict()
+        #: per-dispatch telemetry: kind, tasks, chunks, per-chunk busy
+        #: CPU seconds, publish seconds, wall seconds — the currency of
+        #: the hardware-independent benchmark gate
+        self.dispatches: List[Dict[str, object]] = []
+        self._columns_block: Optional[SharedArrayBlock] = None
+        self._columns_descriptor = None
+        self._closed = False
+        self._publish_columns()
+        self._finalizer = weakref.finalize(
+            self, _shutdown_static, self._processes, self._task_queue,
+            self._live_blocks)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def relation(self) -> EncodedRelation:
+        return self._relation
+
+    def _publish_columns(self) -> None:
+        relation = self._relation
+        old = self._columns_block
+        block = SharedArrayBlock.publish(relation.rank_arrays())
+        self._live_blocks.add(block.name)
+        self._columns_block = block
+        self._columns_descriptor = (
+            block.name, block.layout, relation.n_rows, relation.arity)
+        if old is not None:
+            self._live_blocks.discard(old.name)
+            old.close_and_unlink()
+
+    def rebase(self, relation: EncodedRelation) -> None:
+        """Point the pool at a grown relation (the incremental append
+        path): republish the columns and drop every retained partition
+        block (their row universe is stale); workers re-attach lazily
+        on their next task and drop stale mappings."""
+        self._relation = relation
+        self._publish_columns()
+        while self._partition_blocks:
+            _, block = self._partition_blocks.popitem(last=False)
+            self._live_blocks.discard(block.name)
+            block.close_and_unlink()
+
+    def _retain(self, block: SharedArrayBlock) -> None:
+        self._partition_blocks[block.name] = block
+        self._live_blocks.add(block.name)
+        while len(self._partition_blocks) > RETAINED_PARTITION_BLOCKS:
+            _, stale = self._partition_blocks.popitem(last=False)
+            self._live_blocks.discard(stale.name)
+            stale.close_and_unlink()
+
+    def _ensure_shared(self, partitions: Dict[Hashable, StrippedPartition]
+                       ) -> Dict[Hashable, PartitionRef]:
+        """Shared-memory refs for ``partitions``, publishing the ones
+        (in one batch block) that have no live replica yet."""
+        refs: Dict[Hashable, PartitionRef] = {}
+        missing: Dict[Hashable, StrippedPartition] = {}
+        for key, partition in partitions.items():
+            ref = partition._shm_ref
+            if ref is not None and ref[0] in self._partition_blocks:
+                refs[key] = ref
+            else:
+                missing[key] = partition
+        if missing:
+            arrays: Dict[Hashable, np.ndarray] = {}
+            for key, partition in missing.items():
+                arrays[(key, "r")] = partition.rows
+                arrays[(key, "o")] = partition.offsets
+            block = SharedArrayBlock.publish(arrays)
+            self._retain(block)
+            for key, partition in missing.items():
+                rows_off, rows_len = block.layout[(key, "r")]
+                offs_off, offs_len = block.layout[(key, "o")]
+                ref = (block.name, rows_off, rows_len, offs_off, offs_len)
+                partition._shm_ref = ref
+                refs[key] = ref
+        return refs
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` ran (including the error-path
+        teardown after a crash); a closed pool never restarts — holders
+        drop it and build a fresh one."""
+        return self._closed
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise WorkerCrashError(
+                "the worker pool has been shut down; create a new one")
+        if self._processes:
+            return
+        for index in range(self.workers):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._result_queue),
+                name=f"repro-worker-{index}", daemon=True)
+            process.start()
+            self._processes.append(process)
+
+    def shutdown(self) -> None:
+        """Terminate workers and unlink every live segment (idempotent).
+
+        The pool is unusable afterwards (:attr:`closed`); stale
+        partition refs are dropped so nothing can resolve against the
+        unlinked segments."""
+        self._closed = True
+        _shutdown_static(self._processes, self._task_queue,
+                         self._live_blocks)
+        self._partition_blocks.clear()
+        self._columns_block = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- dispatch machinery --------------------------------------------
+    def _submit(self, kind: str, payload: dict) -> int:
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        self._task_queue.put((task_id, kind, payload))
+        return task_id
+
+    def _check_alive(self) -> None:
+        for process in self._processes:
+            if not process.is_alive():
+                raise WorkerCrashError(
+                    f"worker {process.name} died "
+                    f"(exitcode {process.exitcode})")
+
+    def _collect(self, pending: set) -> Dict[int, Tuple[dict, float]]:
+        results: Dict[int, Tuple[dict, float]] = {}
+        while pending:
+            try:
+                message = self._result_queue.get(timeout=0.2)
+            except queue.Empty:
+                self._check_alive()
+                continue
+            task_id, status, payload, busy = message
+            if status == "err":
+                raise WorkerTaskError(
+                    f"a parallel task failed in a worker:\n{payload}")
+            if task_id in pending:
+                pending.discard(task_id)
+                results[task_id] = (payload, busy)
+        return results
+
+    def _dispatch(self, kind: str,
+                  payloads: Sequence[dict]) -> List[Tuple[dict, float]]:
+        """Run chunk payloads across the pool; any failure — a worker
+        crash, a remote exception, or a coordinator-side interrupt —
+        tears the pool down before propagating, so no segment leaks."""
+        self._ensure_started()
+        started = time.perf_counter()
+        try:
+            # fail fast if a worker already died: a silently shrunken
+            # pool would still drain the queue, just degraded
+            self._check_alive()
+            pending = {self._submit(kind, payload) for payload in payloads}
+            ordered = sorted(pending)
+            results = self._collect(pending)
+        except BaseException:
+            self.shutdown()
+            raise
+        wall = time.perf_counter() - started
+        record = {
+            "kind": kind,
+            "n_tasks": sum(len(p["tasks"]) for p in payloads),
+            "n_chunks": len(payloads),
+            "chunk_busy_seconds": [results[i][1] for i in ordered],
+            "wall_seconds": wall,
+        }
+        self.dispatches.append(record)
+        if len(self.dispatches) > MAX_DISPATCH_RECORDS:
+            del self.dispatches[:len(self.dispatches)
+                                - MAX_DISPATCH_RECORDS]
+        return [results[i][0] for i in ordered]
+
+    @staticmethod
+    def _wall_deadline(deadline: Optional[float]) -> Optional[float]:
+        """Translate a coordinator ``perf_counter`` deadline into the
+        wall-clock currency workers can compare against."""
+        if deadline is None:
+            return None
+        return time.time() + (deadline - time.perf_counter())
+
+    # -- level operations ----------------------------------------------
+    def run_products(self, parents: Dict[int, StrippedPartition],
+                     triples: Sequence[Tuple[int, int, int]],
+                     deadline: Optional[float] = None
+                     ) -> Tuple[Dict[int, StrippedPartition], bool]:
+        """Compute ``Π_left · Π_right`` for every ``(child, left,
+        right)`` triple, sharded across workers.  Returns the products
+        plus a flag set when the cooperative ``deadline`` cut workers
+        short (the dict then covers a subset of the triples).
+
+        Parents are referenced by their live shared replicas (published
+        in batch only if missing — typically just the level-1
+        singletons, since later parents were themselves produced here).
+        Results come back through a pre-allocated writable block sized
+        by the product bound ``||Π_X·Π_Y|| <= min(||Π_X||, ||Π_Y||)``;
+        the coordinator copies them onto the heap and tags each copy
+        with a ref into the retained block, so the next two levels
+        (products, then OCD scans) reuse the replica without another
+        publish.
+        """
+        # contiguous chunks of (left, right)-sorted tasks keep each
+        # parent's derived probe tables (row_to_class) inside as few
+        # chunks as possible — workers rebuild them per chunk
+        triples = sorted(triples, key=lambda t: (t[1], t[2]))
+        needed = {left for _, left, _ in triples}
+        needed.update(right for _, _, right in triples)
+        publish_started = time.perf_counter()
+        parent_refs = self._ensure_shared(
+            {mask: parents[mask] for mask in needed})
+        capacities: Dict[Hashable, int] = {}
+        for child, left, right in triples:
+            bound = min(len(parents[left].rows), len(parents[right].rows))
+            capacities[(child, "r")] = bound
+            capacities[(child, "o")] = bound // 2 + 2
+        out_block = SharedArrayBlock.allocate(capacities)
+        self._retain(out_block)
+        publish_seconds = time.perf_counter() - publish_started
+        wall_deadline = self._wall_deadline(deadline)
+
+        payloads = []
+        for start, stop in _chunk_slices(
+                len(triples), self.n_chunks_per_dispatch):
+            chunk = list(triples[start:stop])
+            chunk_parents = {mask: parent_refs[mask]
+                             for _, left, right in chunk
+                             for mask in (left, right)}
+            out_keys = [key for child, _, _ in chunk
+                        for key in ((child, "r"), (child, "o"))]
+            payloads.append({
+                "parents": chunk_parents,
+                "out": out_block.descriptor(out_keys),
+                "n_rows": self._relation.n_rows,
+                "tasks": chunk,
+                "deadline": wall_deadline,
+            })
+        chunk_results = self._dispatch("products", payloads)
+        self.dispatches[-1]["publish_seconds"] = publish_seconds
+        products: Dict[int, StrippedPartition] = {}
+        timed_out = False
+        n_rows = self._relation.n_rows
+        for result in chunk_results:
+            timed_out |= result["timed_out"]
+            for child, rows_len, offsets_len in result["done"]:
+                rows_off, _cap = out_block.layout[(child, "r")]
+                offs_off, _ocap = out_block.layout[(child, "o")]
+                rows = np.array(out_block.raw(rows_off, rows_len))
+                offsets = np.array(out_block.raw(offs_off, offsets_len))
+                partition = StrippedPartition.from_flat(
+                    rows, offsets, n_rows)
+                partition._shm_ref = (out_block.name, rows_off, rows_len,
+                                      offs_off, offsets_len)
+                products[child] = partition
+        return products, timed_out
+
+    def run_scans(self, contexts: Dict[Hashable, StrippedPartition],
+                  tasks: Sequence[ScanTask],
+                  deadline: Optional[float] = None
+                  ) -> Tuple[Dict[Hashable, bool], bool]:
+        """Validation scans over published context partitions.
+
+        ``tasks`` are ``(key, context_key, mode, a, b)`` with mode
+        ``"swap"`` (OCD) or ``"const"`` (FD); returns per-key verdicts
+        plus a flag set when the cooperative deadline cut workers short
+        (verdicts then cover a prefix of each chunk).
+
+        Contexts with a live shared replica (anything a products
+        dispatch built two levels ago) are referenced in place; only
+        the rest are published.  Tasks are grouped by context before
+        chunking so each worker rebuilds a context's derived state at
+        most once.
+        """
+        publish_started = time.perf_counter()
+        context_refs = self._ensure_shared(contexts)
+        publish_seconds = time.perf_counter() - publish_started
+        wall_deadline = self._wall_deadline(deadline)
+        tasks = sorted(tasks, key=lambda t: (repr(t[1]), repr(t[0])))
+        payloads = []
+        for start, stop in _chunk_slices(
+                len(tasks), self.n_chunks_per_dispatch):
+            chunk = list(tasks[start:stop])
+            payloads.append({
+                "columns": self._columns_descriptor,
+                "contexts": {context_key: context_refs[context_key]
+                             for _, context_key, _, _, _ in chunk},
+                "tasks": chunk,
+                "deadline": wall_deadline,
+            })
+        chunk_results = self._dispatch("scans", payloads)
+        self.dispatches[-1]["publish_seconds"] = publish_seconds
+        verdicts: Dict[Hashable, bool] = {}
+        timed_out = False
+        for result in chunk_results:
+            timed_out |= result["timed_out"]
+            verdicts.update(result["verdicts"])
+        return verdicts, timed_out
+
+    def run_validations(self, tasks: Sequence[Tuple[Hashable, int, str,
+                                                    int, int]],
+                        deadline: Optional[float] = None
+                        ) -> Tuple[Dict[Hashable, bool], bool]:
+        """Ad-hoc context validation (the hybrid escalation waves):
+        ``(key, context_mask, mode, a, b)`` tasks; workers derive the
+        context partition from their own shared-column
+        :class:`PartitionCache`."""
+        wall_deadline = self._wall_deadline(deadline)
+        payloads = [{
+            "columns": self._columns_descriptor,
+            "tasks": list(tasks[start:stop]),
+            "deadline": wall_deadline,
+        } for start, stop in _chunk_slices(
+            len(tasks), self.n_chunks_per_dispatch)]
+        chunk_results = self._dispatch("validations", payloads)
+        self.dispatches[-1]["publish_seconds"] = 0.0
+        verdicts: Dict[Hashable, bool] = {}
+        timed_out = False
+        for result in chunk_results:
+            timed_out |= result["timed_out"]
+            verdicts.update(result["verdicts"])
+        return verdicts, timed_out
+
+    def run_class_scan(self, mode: str, a: int, b: int,
+                       partition: StrippedPartition,
+                       deadline: Optional[float] = None
+                       ) -> Tuple[bool, bool]:
+        """One big scan sharded by context class (the single-dependency
+        path behind ``check``/``violations`` and incremental
+        revalidation).  Classes are split into contiguous chunks of
+        near-equal grouped rows; each chunk is a valid stripped
+        partition in its own right, so workers run the stock kernels.
+        Returns ``(verdict, timed_out)``."""
+        offsets = partition.offsets
+        n_chunks = max(1, min(self.workers * 2, partition.n_classes))
+        targets = np.linspace(0, len(partition.rows), n_chunks + 1)
+        bounds = np.unique(np.searchsorted(offsets, targets[1:-1]))
+        class_bounds = [0, *[int(b) for b in bounds], partition.n_classes]
+        contexts: Dict[Hashable, StrippedPartition] = {}
+        tasks: List[ScanTask] = []
+        for index in range(len(class_bounds) - 1):
+            lo, hi = class_bounds[index], class_bounds[index + 1]
+            if lo >= hi:
+                continue
+            chunk = StrippedPartition.from_flat(
+                partition.rows[offsets[lo]:offsets[hi]],
+                offsets[lo:hi + 1] - offsets[lo], partition.n_rows)
+            contexts[index] = chunk
+            tasks.append((index, index, mode, a, b))
+        if not tasks:
+            return True, False
+        verdicts, timed_out = self.run_scans(contexts, tasks, deadline)
+        return all(verdicts.values()), timed_out
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Aggregate dispatch telemetry (see also :attr:`dispatches`)."""
+        busy = [s for d in self.dispatches
+                for s in d["chunk_busy_seconds"]]
+        return {
+            "workers": self.workers,
+            "n_dispatches": len(self.dispatches),
+            "n_tasks": sum(d["n_tasks"] for d in self.dispatches),
+            "n_chunks": sum(d["n_chunks"] for d in self.dispatches),
+            "busy_seconds": sum(busy),
+            "wall_seconds": sum(d["wall_seconds"]
+                                for d in self.dispatches),
+        }
+
+
+class ClassScanPool:
+    """The lazy "one big scan, sharded by context class" gate shared by
+    :class:`repro.core.validation.CanonicalValidator`, the violation
+    detector, and the incremental engine's append path.
+
+    Encapsulates the whole decision in one place: serial kernel below
+    the thresholds (``workers`` < 2, fewer than two classes, or fewer
+    grouped rows than ``threshold`` — ``None`` reads the package
+    default at call time), otherwise a lazily created
+    :class:`WorkerPool` running :meth:`WorkerPool.run_class_scan`.  A
+    pool that died (crash-path :meth:`WorkerPool.shutdown`) is dropped
+    and rebuilt on the next big scan instead of poisoning every later
+    call.
+    """
+
+    def __init__(self, relation: EncodedRelation,
+                 workers: Optional[int],
+                 threshold: Optional[int] = None):
+        self._relation = relation
+        self.workers = resolve_workers(workers)
+        self._threshold = threshold
+        self._pool: Optional[WorkerPool] = None
+
+    @property
+    def relation(self) -> EncodedRelation:
+        return self._relation
+
+    def rebase(self, relation: EncodedRelation) -> None:
+        """Follow a grown relation (incremental appends)."""
+        if relation is self._relation:
+            return
+        self._relation = relation
+        if self._pool is not None and not self._pool.closed:
+            self._pool.rebase(relation)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def scan(self, mode: str, a: int, b: int,
+             partition: StrippedPartition) -> bool:
+        """Verdict of one ``"swap"``/``"const"`` scan over
+        ``partition`` — pooled when big enough, serial otherwise."""
+        from repro.core.validation import (
+            is_compatible_in_classes,
+            is_constant_in_classes,
+        )
+
+        threshold = (PARALLEL_MIN_GROUPED_ROWS if self._threshold is None
+                     else self._threshold)
+        if (self.workers >= 2 and partition.n_classes >= 2
+                and len(partition.rows) >= threshold):
+            if self._pool is not None and self._pool.closed:
+                self._pool = None          # crashed earlier: rebuild
+            if self._pool is None:
+                self._pool = WorkerPool(self._relation, self.workers)
+            verdict, _ = self._pool.run_class_scan(mode, a, b, partition)
+            return verdict
+        if mode == "swap":
+            return is_compatible_in_classes(
+                self._relation.column(a), self._relation.column(b),
+                partition)
+        return is_constant_in_classes(self._relation.column(a), partition)
+
+

@@ -1,0 +1,188 @@
+"""Shared-memory publication of ``int64`` arrays for the worker pool.
+
+The parallel engine ships its bulk inputs — the encoded relation's rank
+columns and the flat CSR ``rows``/``offsets`` partition arrays — to
+workers through :mod:`multiprocessing.shared_memory` instead of task
+pickling: the coordinator copies each array into a named segment once,
+and every worker maps the segment and reads zero-copy NumPy views.
+Only small descriptors (segment name + per-array offsets) travel on the
+task queue.
+
+A block holds any number of named ``int64`` arrays back to back.  The
+*layout* is a plain ``{key: (offset_items, length)}`` dict — keys are
+whatever hashables the caller uses (attribute indices, ``(mask, "r")``
+tuples, ...) — and is what gets pickled into task payloads, so a chunk
+payload can carry just the slice of the layout its tasks touch.
+
+Attaching registers the segment with the process-local
+``resource_tracker``, which on worker exit would unlink segments the
+worker does not own (bpo-38119); :func:`attach` therefore unregisters
+right after attaching.  Ownership stays with the coordinator: blocks
+are unlinked exactly once, by :meth:`SharedArrayBlock.close_and_unlink`
+(or the pool's shutdown/finalizer sweep).
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+#: Serializes the registration-suppression window of :func:`attach`
+#: against concurrent segment creation (e.g. a GC finalizer unlinking
+#: on another thread while a block is being published).
+_TRACKER_LOCK = threading.Lock()
+
+#: Bytes per item; every published array is ``int64``.
+ITEM_BYTES = np.dtype(np.int64).itemsize
+
+#: ``(segment name, layout)`` — everything a worker needs to read a block.
+BlockDescriptor = Tuple[str, Dict[Hashable, Tuple[int, int]]]
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership.
+
+    Attaching must not register the segment with the process-local
+    ``resource_tracker``: a spawned worker's tracker would unlink the
+    segment when the worker exits (bpo-38119), and under fork an
+    unregister from the shared tracker races the owner's own
+    registration.  Registration is suppressed for the duration of the
+    constructor instead; the creating coordinator remains the only
+    registered owner.
+    """
+    with _TRACKER_LOCK:
+        register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = register
+
+
+def unlink_by_name(name: str) -> None:
+    """Best-effort unlink of a segment by name (crash-path cleanup).
+
+    The unlink's own ``resource_tracker`` unregister balances the
+    registration made when the segment was created."""
+    try:
+        segment = attach(name)
+    except FileNotFoundError:
+        return
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover
+        pass
+
+
+class SharedArrayBlock:
+    """Owner handle for one segment holding named ``int64`` arrays.
+
+    Build with :meth:`publish` (copy existing arrays in) or
+    :meth:`allocate` (zero-init capacity workers will write into, e.g.
+    product results).  The owner must eventually call
+    :meth:`close_and_unlink`; :class:`repro.parallel.pool.WorkerPool`
+    tracks live blocks and sweeps leftovers on shutdown.
+    """
+
+    __slots__ = ("name", "layout", "_segment")
+
+    def __init__(self, layout: Dict[Hashable, Tuple[int, int]],
+                 total_items: int):
+        with _TRACKER_LOCK:      # vs attach()'s suppression window
+            self._segment = shared_memory.SharedMemory(
+                create=True, size=max(total_items * ITEM_BYTES, 1))
+        self.name = self._segment.name
+        self.layout = layout
+
+    @classmethod
+    def publish(cls, arrays: Dict[Hashable, np.ndarray]
+                ) -> "SharedArrayBlock":
+        """Copy ``arrays`` into a fresh segment (one memcpy each).
+
+        Creation takes the tracker lock too, so a concurrent
+        :func:`attach` cannot swallow this segment's registration."""
+        layout: Dict[Hashable, Tuple[int, int]] = {}
+        total = 0
+        for key, array in arrays.items():
+            layout[key] = (total, len(array))
+            total += len(array)
+        block = cls(layout, total)
+        for key, array in arrays.items():
+            if len(array):
+                view = block.array(key)
+                view[:] = array
+                del view
+        return block
+
+    @classmethod
+    def allocate(cls, capacities: Dict[Hashable, int]) -> "SharedArrayBlock":
+        """Reserve writable capacity per key without initialising it."""
+        layout: Dict[Hashable, Tuple[int, int]] = {}
+        total = 0
+        for key, capacity in capacities.items():
+            layout[key] = (total, capacity)
+            total += capacity
+        return cls(layout, total)
+
+    def descriptor(self, keys=None) -> BlockDescriptor:
+        """The picklable handle; ``keys`` restricts the layout to the
+        entries one chunk actually touches."""
+        if keys is None:
+            return (self.name, self.layout)
+        return (self.name, {key: self.layout[key] for key in keys})
+
+    def array(self, key: Hashable) -> np.ndarray:
+        """A view over one named array (owner side)."""
+        offset, length = self.layout[key]
+        return self.raw(offset, length)
+
+    def raw(self, offset_items: int, length: int) -> np.ndarray:
+        return np.frombuffer(self._segment.buf, dtype=np.int64,
+                             offset=offset_items * ITEM_BYTES,
+                             count=length)
+
+    def close_and_unlink(self) -> None:
+        if self._segment is None:
+            return
+        segment, self._segment = self._segment, None
+        try:
+            segment.close()
+        except BufferError:  # a view outlived us; GC releases the map
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class BlockReader:
+    """Worker-side view factory over one attached segment."""
+
+    __slots__ = ("name", "_segment")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._segment = attach(name)
+
+    def array(self, layout: Dict[Hashable, Tuple[int, int]],
+              key: Hashable) -> np.ndarray:
+        offset, length = layout[key]
+        return self.raw(offset, length)
+
+    def raw(self, offset_items: int, length: int) -> np.ndarray:
+        return np.frombuffer(self._segment.buf, dtype=np.int64,
+                             offset=offset_items * ITEM_BYTES,
+                             count=length)
+
+    def close(self) -> None:
+        try:
+            self._segment.close()
+        except BufferError:  # live views keep the mapping; GC finishes
+            pass

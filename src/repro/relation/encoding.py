@@ -300,6 +300,18 @@ class EncodedRelation:
         """The rank column of the attribute at ``index``."""
         return self.ranks[index]
 
+    def rank_arrays(self) -> Dict[int, np.ndarray]:
+        """All rank columns keyed by attribute index — the publication
+        unit of the shared-memory worker pool (each column is copied
+        into the shared block once per pool, never per task)."""
+        return {a: self.ranks[a] for a in range(self.arity)}
+
+    @property
+    def rank_nbytes(self) -> int:
+        """Total bytes held by the rank columns (capacity planning for
+        shared-memory publication and peak-memory accounting)."""
+        return sum(column.nbytes for column in self.ranks)
+
     def tuple_ranks(self, row: int, indices: Sequence[int]) -> Tuple[int, ...]:
         """Project one tuple onto ``indices``, returning its ranks."""
         return tuple(int(self.ranks[i][row]) for i in indices)

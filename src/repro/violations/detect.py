@@ -170,16 +170,27 @@ class ViolationDetector:
     ``max_cached_partitions`` caps the resident context partitions
     (LRU) for detectors that outlive one query — e.g. monitoring many
     rules against a large relation; default is unbounded.
+
+    ``workers`` shards big hold-checks by context class across a
+    shared-memory worker pool (see
+    :class:`repro.core.validation.CanonicalValidator`); witness
+    extraction and pair counting stay on the coordinator.
     """
 
     def __init__(self, relation: Relation,
-                 max_cached_partitions: Optional[int] = None):
+                 max_cached_partitions: Optional[int] = None,
+                 workers: Optional[int] = None):
         self._relation = relation
         self._validator = CanonicalValidator(
             relation.encode(),
-            max_cached_partitions=max_cached_partitions)
+            max_cached_partitions=max_cached_partitions,
+            workers=workers)
         self._encoded = self._validator.relation
         self._index = {name: i for i, name in enumerate(self._encoded.names)}
+
+    def close(self) -> None:
+        """Release the validator's worker pool, if one was started."""
+        self._validator.close()
 
     def check(self, dependency: Dependency, *, max_witnesses: int = 3,
               count_pairs: bool = True) -> ViolationReport:
