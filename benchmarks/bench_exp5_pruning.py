@@ -20,7 +20,6 @@ from benchmarks.harness import (
     NOPRUNE_TIMEOUT,
     Reporter,
     dataset,
-    fmt_counts,
     fmt_seconds,
     timed,
 )

@@ -1,0 +1,133 @@
+"""Micro-benchmark: the hybrid escalation hot-path tweaks.
+
+Two changes rode along with the unified-engine port of
+``hybrid_discover`` (``core/hybrid.py``):
+
+1. **mask_of memoization** — the ``frozenset -> bitmask`` translation
+   of sample contexts is memoized.  Every sample FD seeds ``|R| - 1``
+   pair escalations, so the same context was re-translated per pair.
+2. **hoisted minimal-valid filter** — the per-wave subset-of-valid
+   skip now tests candidates against ``_minimal_masks(valid)``
+   (computed once per wave) instead of scanning the whole growing
+   ``valid`` set per candidate.
+
+This bench isolates both on representative workloads (contexts/valid
+sets shaped like a flight-style escalation) and appends the numbers to
+``benchmarks/results/hybrid_micro.txt``.  The speedups are micro-level
+by design — the gate only asserts the optimized forms are not slower
+beyond noise; correctness is pinned by ``tests/core/test_hybrid.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import RESULTS_DIR  # noqa: E402
+
+from repro.core.hybrid import _minimal_masks  # noqa: E402
+
+ARITY = 10
+N_CONTEXTS = 120
+PAIR_FANOUT = ARITY - 1
+ROUNDS = 200
+
+
+def make_contexts(rng):
+    names = [f"c{i}" for i in range(ARITY)]
+    contexts = []
+    for _ in range(N_CONTEXTS):
+        k = rng.randint(0, 4)
+        contexts.append(frozenset(rng.sample(names, k)))
+    return names, contexts
+
+
+def bench_mask_of(rng):
+    names, contexts = make_contexts(rng)
+    index = {name: i for i, name in enumerate(names)}
+
+    def translate(context):
+        mask = 0
+        for name in context:
+            mask |= 1 << index[name]
+        return mask
+
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        for context in contexts:
+            for _pair in range(PAIR_FANOUT):   # one per seeded pair
+                translate(context)
+    plain = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        memo = {}
+        for context in contexts:
+            for _pair in range(PAIR_FANOUT):
+                mask = memo.get(context)
+                if mask is None:
+                    mask = translate(context)
+                    memo[context] = mask
+    memoized = time.perf_counter() - started
+    return plain, memoized
+
+
+def bench_wave_filter(rng):
+    # an escalation snapshot: a few hundred valid masks, most of them
+    # supersets of a handful of minimal ones, and a wave to filter
+    minimal = [rng.getrandbits(ARITY) & 0b1111 for _ in range(6)]
+    valid = set(minimal)
+    while len(valid) < 400:
+        base = rng.choice(minimal)
+        valid.add(base | rng.getrandbits(ARITY))
+    wave = [rng.getrandbits(ARITY) for _ in range(300)]
+
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        [m for m in wave
+         if not any(prior & m == prior for prior in valid)]
+    per_candidate_full_set = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        minimal_valid = _minimal_masks(valid)
+        [m for m in wave
+         if not any(prior & m == prior for prior in minimal_valid)]
+    hoisted_minimal = time.perf_counter() - started
+    return per_candidate_full_set, hoisted_minimal
+
+
+def main() -> int:
+    rng = random.Random(7)
+    plain, memoized = bench_mask_of(rng)
+    full_set, hoisted = bench_wave_filter(rng)
+
+    lines = [
+        "hybrid escalation micro-benchmarks "
+        f"(arity={ARITY}, {ROUNDS} rounds)",
+        f"  mask_of: plain {plain * 1000:.1f}ms, "
+        f"memoized {memoized * 1000:.1f}ms "
+        f"({plain / memoized:.2f}x)",
+        f"  wave filter: per-candidate full-valid scan "
+        f"{full_set * 1000:.1f}ms, hoisted minimal-valid "
+        f"{hoisted * 1000:.1f}ms ({full_set / hoisted:.2f}x)",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "hybrid_micro.txt"
+    out.write_text(report + "\n", encoding="utf-8")
+
+    # gate: the optimized forms must not be slower beyond noise
+    assert memoized < plain * 1.10, "mask_of memoization regressed"
+    assert hoisted < full_set * 1.10, "wave filter hoist regressed"
+    print("BENCH_hybrid_micro: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

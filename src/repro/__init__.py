@@ -27,6 +27,14 @@ from repro.core import (
     order_compatible,
     parse,
 )
+from repro.engine import (
+    DeadlineBudget,
+    ExecutorTelemetry,
+    LatticePlanner,
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.errors import (
     DataError,
     DependencyError,
@@ -48,11 +56,16 @@ __all__ = [
     "CanonicalOCD",
     "CanonicalValidator",
     "DataError",
+    "DeadlineBudget",
     "DependencyError",
     "DiscoveryBudgetExceeded",
     "DiscoveryResult",
+    "ExecutorTelemetry",
     "FastOD",
     "FastODConfig",
+    "LatticePlanner",
+    "PoolExecutor",
+    "SerialExecutor",
     "IncrementalFastOD",
     "ListOD",
     "OrderCompatibility",
@@ -66,6 +79,7 @@ __all__ = [
     "discover_keys",
     "discover_ods",
     "list_od_holds",
+    "make_executor",
     "profile_relation",
     "map_list_od",
     "order_compatible",

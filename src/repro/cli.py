@@ -71,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     append.add_argument("--verify", action="store_true",
                         help="assert each batch's result against a "
                              "from-scratch FASTOD run")
+    append.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="shard big append-path validation scans "
+                             "over N worker processes (default: "
+                             "$REPRO_WORKERS or 1 = serial)")
     append.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
 
@@ -181,7 +185,8 @@ def _cmd_append(args: argparse.Namespace) -> int:
     from repro.incremental import IncrementalFastOD
 
     base = read_csv(args.csv, limit=args.limit)
-    config = FastODConfig(max_level=args.max_level)
+    config = FastODConfig(max_level=args.max_level,
+                          workers=args.workers)
     started = time.perf_counter()
     engine = IncrementalFastOD(base, config,
                                verify_with_oracle=args.verify)

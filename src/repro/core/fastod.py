@@ -12,23 +12,26 @@ Implements Algorithms 1-4 of the paper:
 * stripped partitions with linear products and the error-rate FD test,
   plus key pruning (Section 4.6, Lemmas 12-14).
 
-Partitions use the flat ``rows``/``offsets`` NumPy layout of
-:mod:`repro.partitions.partition`: level products
-(:meth:`StrippedPartition.product`) resolve in one vectorized sort of
-the grouped rows, the FD error test reads ``e(X)`` in O(1) off array
-lengths, and the OCD swap scan (:func:`is_compatible_in_classes`)
-checks every context class in a single ``lexsort`` + segmented
-prefix-max pass instead of per-class Python scans.
+The traversal itself lives in :mod:`repro.engine`: a
+:class:`~repro.engine.LatticePlanner` owns level iteration,
+candidate-set mutation, pruning, and the deadline budget, emitting
+typed tasks that a :class:`~repro.engine.PartitionBackend` resolves
+against the flat NumPy stripped partitions of
+:mod:`repro.partitions.partition`.  :class:`FastOD` is the thin
+partition-backed entry point: it wires the relation's encoding, an
+optional :class:`~repro.partitions.cache.PartitionCache`, and an
+executor together, then runs the shared planner.
 
 Since the nodes of one level are independent, the per-level work also
 shards across processes: with ``FastODConfig(workers=N)`` (or
 ``REPRO_WORKERS``), partition products and OCD swap scans run on a
-shared-memory :class:`repro.parallel.WorkerPool` while the coordinator
-keeps every candidate-set mutation (``cc``/``cs`` updates, Algorithm 4
-pruning) serial and applies worker verdicts in deterministic mask
-order — so parallel results are byte-identical to ``workers=1``.
-Levels whose partitions hold fewer grouped rows than the serial
-fallback threshold never leave the coordinator.
+shared-memory :class:`repro.parallel.WorkerPool` through the engine's
+:class:`~repro.engine.PoolExecutor`, while the planner keeps every
+candidate-set mutation (``cc``/``cs`` updates, Algorithm 4 pruning)
+serial and applies worker verdicts in deterministic task order — so
+parallel results are byte-identical to ``workers=1``.  Levels whose
+partitions hold fewer grouped rows than the serial fallback threshold
+never leave the coordinator.
 
 Toggles on :class:`FastODConfig` disable the pruning families to
 reproduce the paper's *FASTOD-No Pruning* ablations (Figures 6).
@@ -36,32 +39,16 @@ reproduce the paper's *FASTOD-No Pruning* ablations (Figures 6).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.core.candidates import (
-    LatticeNode,
-    context_names,
-    fill_candidate_sets,
-    prune_empty_nodes,
-)
-from repro.core.lattice import next_level_masks, parents_for_partition
-from repro.core.od import CanonicalFD, CanonicalOCD
-from repro.core.results import DiscoveryResult, LevelStats
-from repro.core.validation import is_compatible_in_classes
-from repro.parallel.pool import (
-    PARALLEL_MIN_GROUPED_ROWS,
-    WorkerPool,
-    resolve_workers,
-)
+from repro.core.results import DiscoveryResult
+from repro.engine.budget import DeadlineBudget
+from repro.engine.executors import make_executor
+from repro.engine.planner import LatticePlanner, PartitionBackend
+from repro.parallel.pool import WorkerPool
 from repro.partitions.cache import PartitionCache
-from repro.partitions.partition import StrippedPartition
-from repro.relation.schema import iter_bits
 from repro.relation.table import Relation
-
-#: An OCD validation unit: ``(node mask, (a, b))`` in apply order.
-OcdTask = Tuple[int, Tuple[int, int]]
 
 
 @dataclass
@@ -83,11 +70,11 @@ class FastODConfig:
         Stop after contexts of this size (``None`` = run to the top).
     timeout_seconds:
         Best-effort wall-clock budget; results so far are returned with
-        ``timed_out=True``.  The deadline is checked between lattice
-        nodes, between the FD and OCD phases of a level, between
-        individual validation scans, and cooperatively inside parallel
-        workers — so one huge node cannot overshoot the budget by a
-        whole level.
+        ``timed_out=True``.  One :class:`~repro.engine.DeadlineBudget`
+        is shared by every layer: it is checked between lattice nodes,
+        between the FD and OCD phases of a level, between individual
+        validation scans, and cooperatively inside parallel workers —
+        so one huge node cannot overshoot the budget by a whole level.
     workers:
         Size of the shared-memory worker pool for level-wise products
         and validation scans.  ``None`` defers to the
@@ -122,17 +109,6 @@ class FastODConfig:
         }
 
 
-def _level_partition_bytes(*levels: Dict[int, LatticeNode]) -> int:
-    """Resident partition bytes across lattice level dicts."""
-    total = 0
-    for nodes in levels:
-        for node in nodes.values():
-            partition = node.partition
-            if partition is not None:
-                total += partition.rows.nbytes + partition.offsets.nbytes
-    return total
-
-
 class FastOD:
     """One discovery run over one relation instance.
 
@@ -144,14 +120,11 @@ class FastOD:
 
     def __init__(self, relation: Relation,
                  config: Optional[FastODConfig] = None,
-                 cache: Optional["PartitionCache"] = None,
+                 cache: Optional[PartitionCache] = None,
                  pool: Optional[WorkerPool] = None):
         self._relation = relation
         self._encoded = relation.encode()
         self._config = config or FastODConfig()
-        self._names = self._encoded.names
-        self._arity = self._encoded.arity
-        self._full_mask = (1 << self._arity) - 1
         if cache is not None and cache.relation is not self._encoded:
             raise ValueError(
                 "the partition cache must wrap this relation's encoding")
@@ -160,351 +133,29 @@ class FastOD:
             raise ValueError(
                 "the worker pool must wrap this relation's encoding")
         self._pool = pool
-        self._owned_pool: Optional[WorkerPool] = None
-        # an explicit config.workers wins (the benchmark's projection
-        # mode drives 4-worker sharding through a 1-process pool);
-        # otherwise an injected pool sets the effective parallelism
-        if self._config.workers is None and pool is not None:
-            self._workers = pool.workers
-        else:
-            self._workers = resolve_workers(self._config.workers)
-        threshold = self._config.parallel_min_grouped_rows
-        self._parallel_threshold = (PARALLEL_MIN_GROUPED_ROWS
-                                    if threshold is None else threshold)
 
     # ------------------------------------------------------------------
-    # public entry point (Algorithm 1)
+    # public entry point (Algorithm 1, via the unified engine)
     # ------------------------------------------------------------------
     def run(self) -> DiscoveryResult:
+        config = self._config
+        budget = DeadlineBudget(config.timeout_seconds)
+        executor = make_executor(
+            self._encoded, workers=config.workers, pool=self._pool,
+            min_grouped_rows=config.parallel_min_grouped_rows)
+        backend = PartitionBackend(self._encoded, config, executor,
+                                   budget, cache=self._cache)
+        planner = LatticePlanner(
+            self._encoded.names, config, backend, budget,
+            algorithm=("FASTOD" if config.minimality_pruning
+                       else "FASTOD-NoPruning"),
+            n_rows=self._encoded.n_rows)
         try:
-            return self._run()
+            return planner.run()
         finally:
-            if self._owned_pool is not None:
-                self._owned_pool.shutdown()
-                self._owned_pool = None
-
-    def _run(self) -> DiscoveryResult:
-        config = self._config
-        started = time.perf_counter()
-        deadline = (started + config.timeout_seconds
-                    if config.timeout_seconds is not None else None)
-
-        result = DiscoveryResult(
-            algorithm="FASTOD" if config.minimality_pruning
-            else "FASTOD-NoPruning",
-            attribute_names=self._names,
-            n_rows=self._encoded.n_rows,
-            minimal=config.minimality_pruning,
-            config=config.to_dict(),
-        )
-
-        n_rows = self._encoded.n_rows
-        level0 = {
-            0: LatticeNode(0, StrippedPartition.single_class(n_rows),
-                           cc=self._full_mask, cs=set())
-        }
-        current: Dict[int, LatticeNode] = {
-            1 << a: LatticeNode(1 << a, self._attribute_partition(a))
-            for a in range(self._arity)
-        }
-        previous = level0
-        before_previous: Dict[int, LatticeNode] = {}
-
-        level = 1
-        while current:
-            if config.max_level is not None and level > config.max_level:
-                break
-            stats = LevelStats(level=level, n_nodes=len(current))
-            level_started = time.perf_counter()
-            stats.peak_partition_bytes = _level_partition_bytes(
-                before_previous, previous, current)
-
-            self._compute_candidate_sets(level, current, previous)
-            timed_out = self._compute_ods(
-                level, current, previous, before_previous, result, stats,
-                deadline)
-            # Π* two levels down were consumed for the last time by this
-            # level's OCD contexts — release them before the next
-            # level's products allocate, so at most three levels of
-            # partitions are ever resident
-            self._release_level(before_previous)
-            before_previous = {}
-            stats.n_nodes_pruned = self._prune_level(level, current)
-            stats.seconds = time.perf_counter() - level_started
-            result.level_stats.append(stats)
-            if timed_out:
-                result.timed_out = True
-                break
-
-            next_nodes = self._calculate_next_level(current, deadline)
-            if next_nodes is None:     # deadline hit during products
-                result.timed_out = True
-                break
-            before_previous = previous
-            previous = current
-            current = next_nodes
-            level += 1
-
-        result.elapsed_seconds = time.perf_counter() - started
-        if self._cache is not None:
-            result.cache_stats = self._cache.stats()
-        return result
-
-    # ------------------------------------------------------------------
-    # partition sourcing (optionally through a shared PartitionCache)
-    # ------------------------------------------------------------------
-    def _attribute_partition(self, attribute: int) -> StrippedPartition:
-        if self._cache is not None:
-            return self._cache.get(1 << attribute)
-        return StrippedPartition.for_attribute(self._encoded, attribute)
-
-    def _release_level(self, nodes: Dict[int, LatticeNode]) -> None:
-        """Drop a spent level's partitions (and, for bounded caches,
-        their composite cache entries — unbounded caches keep retaining
-        everything by contract)."""
-        if not nodes:
-            return
-        if self._cache is not None and self._cache.max_entries is not None:
-            self._cache.invalidate(
-                [mask for mask in nodes if mask & (mask - 1)])
-        for node in nodes.values():
-            node.partition = None
-
-    # ------------------------------------------------------------------
-    # worker pool (lazy; only spun up when a level crosses the
-    # serial-fallback threshold)
-    # ------------------------------------------------------------------
-    def _pool_for(self, n_tasks: int, grouped_rows: int
-                  ) -> Optional[WorkerPool]:
-        if self._workers < 2 or n_tasks < 2:
-            return None
-        if grouped_rows < self._parallel_threshold:
-            return None
-        if self._pool is not None:
-            return self._pool
-        if self._owned_pool is None:
-            self._owned_pool = WorkerPool(self._encoded, self._workers)
-        return self._owned_pool
-
-    # ------------------------------------------------------------------
-    # candidate sets (Algorithm 3, lines 1-8)
-    # ------------------------------------------------------------------
-    def _compute_candidate_sets(self, level: int,
-                                current: Dict[int, LatticeNode],
-                                previous: Dict[int, LatticeNode]) -> None:
-        fill_candidate_sets(level, current, previous, self._full_mask,
-                            self._config.minimality_pruning)
-
-    # ------------------------------------------------------------------
-    # dependency checks (Algorithm 3, lines 9-25)
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _deadline_hit(deadline: Optional[float]) -> bool:
-        return deadline is not None and time.perf_counter() > deadline
-
-    def _compute_ods(self, level: int, current: Dict[int, LatticeNode],
-                     previous: Dict[int, LatticeNode],
-                     before_previous: Dict[int, LatticeNode],
-                     result: DiscoveryResult, stats: LevelStats,
-                     deadline: Optional[float]) -> bool:
-        """Returns True when the deadline was hit mid-level.
-
-        Runs in four phases so the scan work can shard across the pool
-        while all candidate-set mutations stay serial:
-
-        1. constancy ODs for every node (O(1) partition error tests);
-        2. enumerate the level's OCD candidates (minimality pre-checks
-           against the *previous* level's ``C_c+``, which this level
-           never mutates — so enumeration order cannot matter);
-        3. swap-scan verdicts, parallel or serial;
-        4. apply verdicts in the serial engine's node/pair order
-           (emission order and ``cs`` mutations byte-identical to
-           ``workers=1``).
-        """
-        config = self._config
-        minimal = config.minimality_pruning
-        for mask, node in current.items():
-            if self._deadline_hit(deadline):
-                return True
-            # --- constancy ODs  X \ A: [] -> A -------------------------
-            for attribute in list(iter_bits(mask & node.cc)):
-                bit = 1 << attribute
-                context_node = previous[mask ^ bit]
-                stats.n_fd_candidates += 1
-                if self._fd_valid(context_node, node):
-                    result.fds.append(CanonicalFD(
-                        context_names(mask ^ bit, self._names),
-                        self._names[attribute]))
-                    stats.n_fds_found += 1
-                    if minimal:
-                        node.cc &= ~bit          # remove A
-                        node.cc &= mask          # remove all B in R \ X
-        if level < 2:
-            return False
-        # one huge FD phase must not push the OCD scans past the
-        # budget: re-check before any swap scanning starts
-        if self._deadline_hit(deadline):
-            return True
-
-        # --- order compatibility ODs  X \ {A,B}: A ~ B ----------------
-        tasks: List[OcdTask] = []
-        for mask, node in current.items():
-            for pair in sorted(node.cs):
-                a, b = pair
-                if minimal:
-                    # Algorithm 3 line 18: minimality via C_c+ of
-                    # parents (fixed since the previous level).
-                    if (not previous[mask ^ (1 << b)].cc & (1 << a)
-                            or not previous[mask ^ (1 << a)].cc & (1 << b)):
-                        node.cs.discard(pair)
-                        continue
-                stats.n_ocd_candidates += 1
-                tasks.append((mask, pair))
-
-        verdicts, timed_out = self._ocd_verdicts(
-            level, tasks, before_previous, deadline)
-
-        for mask, pair in tasks:
-            verdict = verdicts.get((mask, pair))
-            if verdict is None:
-                continue   # the deadline cut this scan; keep the rest
-            if verdict:
-                a, b = pair
-                result.ocds.append(CanonicalOCD(
-                    context_names(mask ^ (1 << a) ^ (1 << b),
-                                  self._names),
-                    self._names[a], self._names[b]))
-                stats.n_ocds_found += 1
-                if minimal:
-                    current[mask].cs.discard(pair)
-        return timed_out
-
-    def _ocd_verdicts(self, level: int, tasks: List[OcdTask],
-                      before_previous: Dict[int, LatticeNode],
-                      deadline: Optional[float]
-                      ) -> Tuple[Dict[OcdTask, bool], bool]:
-        """Swap-scan verdicts for one level's OCD candidates.
-
-        Superkey contexts resolve O(1) on the coordinator (Lemma 13);
-        the rest shard across the worker pool when the level is big
-        enough, and fall back to the serial kernel otherwise.
-        """
-        verdicts: Dict[OcdTask, bool] = {}
-        contexts: Dict[int, StrippedPartition] = {}
-        scan_tasks: List[Tuple[OcdTask, int, str, int, int]] = []
-        key_pruning = self._config.key_pruning
-        grouped_rows = 0
-        for task in tasks:
-            mask, (a, b) = task
-            context_mask = mask ^ (1 << a) ^ (1 << b)
-            context = self._ocd_context_partition(
-                level, mask, 1 << a, 1 << b, before_previous)
-            if key_pruning and context.is_superkey():
-                verdicts[task] = True
-                continue
-            if context_mask not in contexts:
-                contexts[context_mask] = context
-                grouped_rows += len(context.rows)
-            scan_tasks.append((task, context_mask, "swap", a, b))
-        if not scan_tasks:
-            return verdicts, False
-
-        pool = self._pool_for(len(scan_tasks), grouped_rows)
-        if pool is not None:
-            scanned, timed_out = pool.run_scans(contexts, scan_tasks,
-                                                deadline)
-            verdicts.update(scanned)
-            return verdicts, timed_out
-
-        for task, context_mask, _mode, a, b in scan_tasks:
-            if self._deadline_hit(deadline):
-                return verdicts, True
-            verdicts[task] = is_compatible_in_classes(
-                self._encoded.column(a), self._encoded.column(b),
-                contexts[context_mask])
-        return verdicts, False
-
-    def _fd_valid(self, context_node: LatticeNode,
-                  node: LatticeNode) -> bool:
-        """``X \\ A: [] ↦ A`` via the partition error test: the FD holds
-        iff refining the context by ``A`` merges nothing, i.e.
-        ``e(Π_{X\\A}) == e(Π_X)`` (Section 4.6).  A superkey context has
-        error 0 on both sides, which is exactly Lemma 12's shortcut."""
-        if self._config.key_pruning and context_node.partition.is_superkey():
-            return True
-        return context_node.partition.error == node.partition.error
-
-    def _ocd_context_partition(self, level: int, mask: int, bit_a: int,
-                               bit_b: int,
-                               before_previous: Dict[int, LatticeNode]
-                               ) -> StrippedPartition:
-        """Π* of the context ``X \\ {A,B}`` — two levels down the
-        lattice (the empty context at level 2)."""
-        if level == 2:
-            return StrippedPartition.single_class(self._encoded.n_rows)
-        return before_previous[mask ^ bit_a ^ bit_b].partition
-
-    # ------------------------------------------------------------------
-    # level pruning (Algorithm 4)
-    # ------------------------------------------------------------------
-    def _prune_level(self, level: int,
-                     current: Dict[int, LatticeNode]) -> int:
-        config = self._config
-        if (not config.level_pruning or not config.minimality_pruning
-                or level < 2):
-            return 0
-        return prune_empty_nodes(current)
-
-    # ------------------------------------------------------------------
-    # next level (Algorithm 2 + partition products)
-    # ------------------------------------------------------------------
-    def _calculate_next_level(self, current: Dict[int, LatticeNode],
-                              deadline: Optional[float] = None
-                              ) -> Optional[Dict[int, LatticeNode]]:
-        """Algorithm 2 plus the partition products, pooled for big
-        levels.  Returns ``None`` when the deadline expired before the
-        level's partitions were all built (the caller flags the run
-        timed out; a half-built level is never traversed)."""
-        cache = self._cache
-        partitions: Dict[int, Optional[StrippedPartition]] = {}
-        pending: List[Tuple[int, int, int]] = []
-        grouped_rows = 0
-        parent_masks = set()
-        for mask in next_level_masks(current.keys()):
-            partition = cache.peek(mask) if cache is not None else None
-            if partition is None:
-                left, right = parents_for_partition(mask)
-                pending.append((mask, left, right))
-                parent_masks.add(left)
-                parent_masks.add(right)
-            partitions[mask] = partition
-        for parent in parent_masks:
-            grouped_rows += len(current[parent].partition.rows)
-
-        if pending:
-            pool = self._pool_for(len(pending), grouped_rows)
-            if pool is not None:
-                parents = {mask: current[mask].partition
-                           for mask in parent_masks}
-                computed, timed_out = pool.run_products(
-                    parents, pending, deadline)
-                if timed_out:
-                    return None
-            else:
-                computed = {}
-                for mask, left, right in pending:
-                    if self._deadline_hit(deadline):
-                        return None
-                    computed[mask] = current[left].partition.product(
-                        current[right].partition)
-            for mask, _left, _right in pending:
-                partition = computed[mask]
-                partitions[mask] = partition
-                if cache is not None:
-                    cache.put(mask, partition)
-
-        return {mask: LatticeNode(mask, partition)
-                for mask, partition in partitions.items()}
+            # an owned pool dies with the run; injected pools belong
+            # to the caller and survive for the next run
+            executor.close()
 
 
 def discover_ods(relation: Relation, **config_kwargs) -> DiscoveryResult:

@@ -64,6 +64,11 @@ class DiscoveryResult:
     #: populated when the run was wired to a PartitionCache
     #: (hits/misses/evictions/residency, see PartitionCache.stats())
     cache_stats: Optional[Dict[str, object]] = None
+    #: per-phase executor telemetry (tasks dispatched, serial-vs-pool
+    #: split, peak partition residency) — populated by every entry
+    #: point that routes through :mod:`repro.engine`; see
+    #: :meth:`repro.engine.ExecutorTelemetry.snapshot`
+    executor_stats: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # views
@@ -150,6 +155,8 @@ class DiscoveryResult:
         }
         if self.cache_stats is not None:
             rendered["cache"] = dict(self.cache_stats)
+        if self.executor_stats is not None:
+            rendered["executor"] = dict(self.executor_stats)
         return rendered
 
     def same_ods(self, other: "DiscoveryResult") -> bool:

@@ -33,6 +33,7 @@ from repro.partitions.partition import (
     StrippedPartition,
 )
 from repro.relation.encoding import EncodedRelation
+from repro.relation.schema import iter_bits
 from repro.relation.table import Relation
 
 
@@ -237,6 +238,79 @@ def _scan_is_swap_free(pairs: Sequence[Tuple[int, int]]) -> bool:
     return True
 
 
+def dominance_holds_ranks(columns: Sequence[np.ndarray], lhs_mask: int,
+                          target: int) -> bool:
+    """Pointwise-OD dominance on rank columns: ``X ↪ {B}`` holds when
+    every pair dominated on the ``lhs_mask`` attributes is ordered on
+    ``B`` (Ginsburg & Hull semantics, §2.1 of the paper).
+
+    The scan-mode kernel behind ``"pointwise"`` executor tasks — rank
+    columns are exactly what the worker pool publishes, so pointwise
+    sweeps shard like any other scan.  Quadratic in rows with an early
+    exit; an empty LHS requires a constant target, and a
+    single-attribute LHS takes a sorted O(n log n) fast path.
+    """
+    right = columns[target]
+    n = len(right)
+    if n <= 1:
+        return True
+    lhs_indices = list(iter_bits(lhs_mask))
+    if not lhs_indices:
+        return bool((right == right[0]).all())
+    if len(lhs_indices) == 1:
+        return _single_lhs_dominance(columns[lhs_indices[0]], right)
+    left = np.stack([columns[i] for i in lhs_indices], axis=1)
+    for s in range(n):
+        dominated = (left >= left[s]).all(axis=1)
+        if (right[np.flatnonzero(dominated)] < right[s]).any():
+            return False
+    return True
+
+
+def _single_lhs_dominance(left: np.ndarray, right: np.ndarray) -> bool:
+    """|X| = 1: sort by X; the target must be constant within X ties
+    and non-decreasing across strictly increasing X."""
+    order = np.argsort(left, kind="stable")
+    sorted_left = left[order]
+    sorted_right = right[order]
+    n = len(order)
+    start = 0
+    previous_max = None
+    for stop in range(1, n + 1):
+        if stop == n or sorted_left[stop] != sorted_left[start]:
+            block = sorted_right[start:stop]
+            if (block != block[0]).any():
+                return False      # ties on X must agree on the target
+            if previous_max is not None and block[0] < previous_max:
+                return False
+            previous_max = block[0]
+            start = stop
+    return True
+
+
+def scan_verdict(mode: str, columns: Sequence[np.ndarray], a: int,
+                 b: int, context: Optional[StrippedPartition]) -> bool:
+    """One executor scan-task verdict — the single mode dispatch shared
+    by the coordinator-side kernels (:mod:`repro.engine.executors`)
+    and the worker-side handler (:mod:`repro.parallel.pool`), so a new
+    or mistyped mode fails loudly on *both* paths instead of silently
+    resolving differently per worker count.
+
+    Modes: ``"swap"``, ``"const"``, ``"swap_desc"`` (descending right
+    column under rank encoding), ``"pointwise"`` (``a`` is an LHS
+    bitmask, ``b`` a target attribute; ``context`` is ignored).
+    """
+    if mode == "swap":
+        return is_compatible_in_classes(columns[a], columns[b], context)
+    if mode == "swap_desc":
+        return is_compatible_in_classes(columns[a], -columns[b], context)
+    if mode == "const":
+        return is_constant_in_classes(columns[a], context)
+    if mode == "pointwise":
+        return dominance_holds_ranks(columns, a, b)
+    raise ValueError(f"unknown scan mode {mode!r}")
+
+
 def find_swap(column_a: np.ndarray, column_b: np.ndarray,
               context: StrippedPartition, left: str,
               right: str) -> Optional[Swap]:
@@ -308,9 +382,10 @@ class CanonicalValidator:
     validators checking many ad-hoc contexts; ``None`` (default) keeps
     every partition, the historical behavior.
 
-    ``workers`` > 1 (or ``REPRO_WORKERS``) shards big validation scans
-    by context class over a shared-memory worker pool
-    (:meth:`repro.parallel.WorkerPool.run_class_scan`) — worthwhile for
+    ``workers`` > 1 (or ``REPRO_WORKERS``) routes big validation scans
+    through the unified engine's pooled executor
+    (:class:`repro.engine.PoolExecutor`), which shards them by context
+    class over a shared-memory worker pool — worthwhile for
     single-dependency checks on tall relations, where one scan is the
     whole workload.  Verdicts are identical at any worker count; the
     pool spins up lazily and only for scans past the size threshold.
@@ -327,8 +402,8 @@ class CanonicalValidator:
             relation, max_entries=max_cached_partitions)
         self._name_to_index = {
             name: i for i, name in enumerate(relation.names)}
-        from repro.parallel.pool import ClassScanPool
-        self._scanner = ClassScanPool(relation, workers)
+        from repro.engine.executors import make_executor
+        self._executor = make_executor(relation, workers=workers)
 
     @property
     def relation(self) -> EncodedRelation:
@@ -338,9 +413,14 @@ class CanonicalValidator:
     def cache(self) -> PartitionCache:
         return self._cache
 
+    def executor_stats(self) -> dict:
+        """Per-phase executor telemetry (the ``executor_stats``
+        currency every engine entry point exposes)."""
+        return self._executor.telemetry.snapshot()
+
     def close(self) -> None:
         """Shut down the worker pool, if one was started."""
-        self._scanner.close()
+        self._executor.close()
 
     def _index(self, name: str) -> int:
         try:
@@ -365,14 +445,14 @@ class CanonicalValidator:
     def fd_holds(self, fd: CanonicalFD) -> bool:
         if fd.is_trivial:
             return True
-        return self._scanner.scan(
+        return self._executor.scan_partition(
             "const", self._index(fd.attribute), 0,
             self._context_partition(fd.context))
 
     def ocd_holds(self, ocd: CanonicalOCD) -> bool:
         if ocd.is_trivial:
             return True
-        return self._scanner.scan(
+        return self._executor.scan_partition(
             "swap", self._index(ocd.left), self._index(ocd.right),
             self._context_partition(ocd.context))
 

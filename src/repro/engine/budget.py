@@ -1,0 +1,69 @@
+"""One wall-clock budget shared by every layer of a discovery run.
+
+Before the unified engine, each traversal carried its own deadline
+arithmetic: :class:`~repro.core.fastod.FastOD` kept a raw
+``perf_counter`` deadline and a ``_deadline_hit`` static method, the
+hybrid escalation loop had none (a budget could only die *inside* a
+wave, and was noticed one full wave later), and the incremental batch
+loop re-implemented the "no timeouts here" rule ad hoc.
+:class:`DeadlineBudget` replaces all three: the coordinator creates one
+per run, every planner/executor layer consults the same instance, and
+worker pools receive :attr:`deadline` for their cooperative in-task
+checks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class DeadlineBudget:
+    """A best-effort wall-clock budget for one discovery run.
+
+    ``perf_counter`` currency throughout — the same clock
+    :class:`repro.parallel.WorkerPool` translates into wall time for
+    its cooperative worker-side checks.  An unlimited budget
+    (``timeout_seconds=None``) never hits; :meth:`hit` is a cheap
+    attribute test so hot loops can consult it per task.
+    """
+
+    __slots__ = ("started", "deadline")
+
+    def __init__(self, timeout_seconds: Optional[float] = None):
+        self.started = time.perf_counter()
+        self.deadline: Optional[float] = (
+            None if timeout_seconds is None
+            else self.started + timeout_seconds)
+
+    @classmethod
+    def unlimited(cls) -> "DeadlineBudget":
+        """A budget that never expires (incremental traversals, which
+        must run to completion to keep their snapshots consistent)."""
+        return cls(None)
+
+    @property
+    def bounded(self) -> bool:
+        return self.deadline is not None
+
+    def hit(self) -> bool:
+        """True once the budget is exhausted (always False when
+        unbounded)."""
+        return (self.deadline is not None
+                and time.perf_counter() > self.deadline)
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or ``None`` when unbounded.  Never negative —
+        an exhausted budget reports 0.0, so it can be handed to a
+        sub-run's ``timeout_seconds`` directly."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.perf_counter())
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.deadline is None:
+            return "DeadlineBudget(unlimited)"
+        return f"DeadlineBudget(remaining={self.remaining():.3f}s)"

@@ -1,0 +1,337 @@
+"""Pluggable executors: where planner-emitted tasks actually run.
+
+An :class:`Executor` resolves the typed work units of
+:mod:`repro.engine.tasks` plus the two ad-hoc scan shapes the rest of
+the library needs (mask-derived validations for the hybrid escalation
+waves and bidirectional/pointwise sweeps; single class-sharded scans
+for the validator/detector/incremental append paths).  Two
+implementations ship:
+
+* :class:`SerialExecutor` runs every kernel inline on the coordinator,
+  consulting the :class:`~repro.engine.budget.DeadlineBudget` between
+  tasks — the exact cadence the pre-engine serial fallbacks used.
+* :class:`PoolExecutor` wraps a shared-memory
+  :class:`~repro.parallel.WorkerPool` and keeps the historical
+  serial-fallback policy in one place: a dispatch only leaves the
+  coordinator when it has at least two tasks and enough grouped rows
+  (or relation rows, for mask-derived validations) to amortize process
+  dispatch.  Sub-threshold batches fall through to an internal
+  :class:`SerialExecutor` that shares the same telemetry.
+
+Every future backend (async, distributed) is a third implementation of
+this protocol — not another traversal fork.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Protocol, Sequence, Tuple
+
+import repro.parallel.pool as pool_module
+from repro.engine.budget import DeadlineBudget
+from repro.engine.tasks import ProductTask
+from repro.engine.telemetry import ExecutorTelemetry
+from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.partitions.cache import PartitionCache
+from repro.partitions.partition import StrippedPartition
+from repro.relation.encoding import EncodedRelation
+
+#: ``(key, context_key, mode, a, b)`` — a scan against a published
+#: context partition.  Modes: ``"swap"``, ``"const"``, ``"swap_desc"``
+#: (descending right column), ``"pointwise"`` (``a`` is an LHS bitmask,
+#: ``b`` a target attribute; the context is ignored).
+ScanTask = Tuple[Hashable, Hashable, str, int, int]
+
+#: ``(key, context_mask, mode, a, b)`` — a scan whose context partition
+#: the executor derives itself (worker-local caches on the pool path).
+ValidationTask = Tuple[Hashable, int, str, int, int]
+
+
+def _kernel_verdict(mode: str, columns, a: int, b: int,
+                    context: Optional[StrippedPartition]) -> bool:
+    """One scan verdict on the coordinator (lazy import: validation
+    imports this package's siblings indirectly)."""
+    from repro.core.validation import scan_verdict
+
+    return scan_verdict(mode, columns, a, b, context)
+
+
+class SerialExecutor:
+    """Runs every task inline on the coordinator."""
+
+    name = "serial"
+
+    def __init__(self, relation: EncodedRelation,
+                 telemetry: Optional[ExecutorTelemetry] = None):
+        self._relation = relation
+        self._cache: Optional[PartitionCache] = None
+        self.telemetry = telemetry or ExecutorTelemetry("serial", 1)
+
+    @property
+    def relation(self) -> EncodedRelation:
+        return self._relation
+
+    def rebase(self, relation: EncodedRelation) -> None:
+        """Follow a grown relation (the incremental append path)."""
+        if relation is self._relation:
+            return
+        self._relation = relation
+        self._cache = None
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- task batches ---------------------------------------------------
+    def run_products(self, parents: Dict[int, StrippedPartition],
+                     tasks: Sequence[ProductTask],
+                     budget: DeadlineBudget
+                     ) -> Tuple[Dict[int, StrippedPartition], bool]:
+        products: Dict[int, StrippedPartition] = {}
+        for task in tasks:
+            if budget.hit():
+                self.telemetry.record("products", len(products), False)
+                return products, True
+            products[task.child] = parents[task.left].product(
+                parents[task.right])
+        self.telemetry.record("products", len(products), False)
+        return products, False
+
+    def run_scans(self, contexts: Dict[Hashable, StrippedPartition],
+                  tasks: Sequence[ScanTask], budget: DeadlineBudget,
+                  phase: str = "scans"
+                  ) -> Tuple[Dict[Hashable, bool], bool]:
+        columns = self._relation.ranks
+        verdicts: Dict[Hashable, bool] = {}
+        for key, context_key, mode, a, b in tasks:
+            if budget.hit():
+                self.telemetry.record(phase, len(verdicts), False)
+                return verdicts, True
+            verdicts[key] = _kernel_verdict(
+                mode, columns, a, b, contexts.get(context_key))
+        self.telemetry.record(phase, len(verdicts), False)
+        return verdicts, False
+
+    def run_validations(self, tasks: Sequence[ValidationTask],
+                        budget: DeadlineBudget, phase: str = "wave"
+                        ) -> Tuple[Dict[Hashable, bool], bool]:
+        if self._cache is None:
+            self._cache = PartitionCache(self._relation)
+        columns = self._relation.ranks
+        verdicts: Dict[Hashable, bool] = {}
+        for key, mask, mode, a, b in tasks:
+            if budget.hit():
+                self.telemetry.record(phase, len(verdicts), False)
+                return verdicts, True
+            context = (None if mode == "pointwise"
+                       else self._cache.get(mask))
+            verdicts[key] = _kernel_verdict(mode, columns, a, b, context)
+        self.telemetry.record(phase, len(verdicts), False)
+        return verdicts, False
+
+    def scan_partition(self, mode: str, a: int, b: int,
+                       partition: StrippedPartition) -> bool:
+        """One whole-partition scan (validator/detector/incremental)."""
+        self.telemetry.record("class-scan", 1, False)
+        return _kernel_verdict(mode, self._relation.ranks, a, b,
+                               partition)
+
+
+class PoolExecutor:
+    """Shards big task batches over a shared-memory worker pool.
+
+    The pool starts lazily on the first dispatch that crosses the
+    serial-fallback thresholds; ``min_grouped_rows`` / ``min_rows``
+    default to the package thresholds *read at dispatch time* (so tests
+    and benchmarks can retune :mod:`repro.parallel.pool` globals).  An
+    injected ``pool`` is reused and never shut down by :meth:`close`;
+    an owned pool is torn down there (and rebuilt on the next dispatch
+    after a crash-path shutdown).
+    """
+
+    name = "pool"
+
+    def __init__(self, relation: EncodedRelation, workers: int,
+                 pool: Optional[WorkerPool] = None,
+                 min_grouped_rows: Optional[int] = None,
+                 min_rows: Optional[int] = None):
+        if workers < 2:
+            raise ValueError("PoolExecutor needs workers >= 2; use "
+                             "SerialExecutor for serial runs")
+        self._relation = relation
+        self.workers = workers
+        self._injected = pool
+        self._owned: Optional[WorkerPool] = None
+        self._min_grouped_rows = min_grouped_rows
+        self._min_rows = min_rows
+        self.telemetry = ExecutorTelemetry("pool", workers)
+        self._serial = SerialExecutor(relation, telemetry=self.telemetry)
+
+    @property
+    def relation(self) -> EncodedRelation:
+        return self._relation
+
+    @property
+    def grouped_rows_threshold(self) -> int:
+        if self._min_grouped_rows is not None:
+            return self._min_grouped_rows
+        return pool_module.PARALLEL_MIN_GROUPED_ROWS
+
+    @property
+    def rows_threshold(self) -> int:
+        if self._min_rows is not None:
+            return self._min_rows
+        return pool_module.PARALLEL_MIN_ROWS
+
+    def rebase(self, relation: EncodedRelation) -> None:
+        if relation is self._relation:
+            return
+        self._relation = relation
+        self._serial.rebase(relation)
+        if self._injected is not None and not self._injected.closed:
+            self._injected.rebase(relation)
+        if self._owned is not None and not self._owned.closed:
+            self._owned.rebase(relation)
+
+    def close(self) -> None:
+        """Shut down the owned pool, if one was started; injected pools
+        belong to the caller."""
+        if self._owned is not None:
+            self._owned.shutdown()
+            self._owned = None
+
+    def __enter__(self) -> "PoolExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _pool(self) -> WorkerPool:
+        if self._injected is not None:
+            return self._injected
+        if self._owned is not None and self._owned.closed:
+            self._owned = None          # crashed earlier: rebuild
+        if self._owned is None:
+            self._owned = WorkerPool(self._relation, self.workers)
+        return self._owned
+
+    # -- task batches ---------------------------------------------------
+    def run_products(self, parents: Dict[int, StrippedPartition],
+                     tasks: Sequence[ProductTask],
+                     budget: DeadlineBudget
+                     ) -> Tuple[Dict[int, StrippedPartition], bool]:
+        grouped_rows = sum(len(p.rows) for p in parents.values())
+        if len(tasks) < 2 or grouped_rows < self.grouped_rows_threshold:
+            return self._serial.run_products(parents, tasks, budget)
+        products, timed_out = self._pool().run_products(
+            parents, [(t.child, t.left, t.right) for t in tasks],
+            budget.deadline)
+        self.telemetry.record("products", len(products), True)
+        return products, timed_out
+
+    def run_scans(self, contexts: Dict[Hashable, StrippedPartition],
+                  tasks: Sequence[ScanTask], budget: DeadlineBudget,
+                  phase: str = "scans"
+                  ) -> Tuple[Dict[Hashable, bool], bool]:
+        grouped_rows = sum(len(p.rows) for p in contexts.values())
+        if len(tasks) < 2 or grouped_rows < self.grouped_rows_threshold:
+            return self._serial.run_scans(contexts, tasks, budget, phase)
+        verdicts, timed_out = self._pool().run_scans(
+            contexts, tasks, budget.deadline)
+        self.telemetry.record(phase, len(verdicts), True)
+        return verdicts, timed_out
+
+    def run_validations(self, tasks: Sequence[ValidationTask],
+                        budget: DeadlineBudget, phase: str = "wave"
+                        ) -> Tuple[Dict[Hashable, bool], bool]:
+        if (len(tasks) < 2
+                or self._relation.n_rows < self.rows_threshold):
+            return self._serial.run_validations(tasks, budget, phase)
+        verdicts, timed_out = self._pool().run_validations(
+            tasks, budget.deadline)
+        self.telemetry.record(phase, len(verdicts), True)
+        return verdicts, timed_out
+
+    def scan_partition(self, mode: str, a: int, b: int,
+                       partition: StrippedPartition) -> bool:
+        if (partition.n_classes < 2
+                or len(partition.rows) < self.grouped_rows_threshold
+                or mode == "pointwise"):
+            return self._serial.scan_partition(mode, a, b, partition)
+        verdict, _ = self._pool().run_class_scan(mode, a, b, partition)
+        self.telemetry.record("class-scan", 1, True)
+        return verdict
+
+
+class Executor(Protocol):
+    """The executor contract planners and backends program to.
+
+    Structural (``typing.Protocol``): :class:`SerialExecutor` and
+    :class:`PoolExecutor` satisfy it without inheriting, and a future
+    backend (async, distributed) only needs these methods."""
+
+    telemetry: ExecutorTelemetry
+
+    @property
+    def relation(self) -> EncodedRelation: ...
+
+    def run_products(self, parents: Dict[int, StrippedPartition],
+                     tasks: Sequence[ProductTask],
+                     budget: DeadlineBudget
+                     ) -> Tuple[Dict[int, StrippedPartition], bool]: ...
+
+    def run_scans(self, contexts: Dict[Hashable, StrippedPartition],
+                  tasks: Sequence[ScanTask], budget: DeadlineBudget,
+                  phase: str = "scans"
+                  ) -> Tuple[Dict[Hashable, bool], bool]: ...
+
+    def run_validations(self, tasks: Sequence[ValidationTask],
+                        budget: DeadlineBudget, phase: str = "wave"
+                        ) -> Tuple[Dict[Hashable, bool], bool]: ...
+
+    def scan_partition(self, mode: str, a: int, b: int,
+                       partition: StrippedPartition) -> bool: ...
+
+    def rebase(self, relation: EncodedRelation) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def make_executor(relation: EncodedRelation,
+                  workers: Optional[int] = None,
+                  pool: Optional[WorkerPool] = None,
+                  min_grouped_rows: Optional[int] = None,
+                  min_rows: Optional[int] = None):
+    """The one place the serial-vs-pool decision is made.
+
+    An explicit ``workers`` wins (the benchmark's projection mode
+    drives 4-worker sharding through an injected 1-process pool);
+    otherwise an injected pool sets the effective parallelism;
+    otherwise ``REPRO_WORKERS`` / serial via
+    :func:`repro.parallel.resolve_workers`.  Fewer than two effective
+    workers yields a :class:`SerialExecutor` even when a pool was
+    injected — mirroring the historical ``FastOD`` gate.
+    """
+    if workers is None and pool is not None:
+        effective = pool.workers
+    else:
+        effective = resolve_workers(workers)
+    if effective < 2:
+        return SerialExecutor(relation)
+    return PoolExecutor(relation, effective, pool=pool,
+                        min_grouped_rows=min_grouped_rows,
+                        min_rows=min_rows)
+
+
+__all__ = [
+    "Executor",
+    "PoolExecutor",
+    "ScanTask",
+    "SerialExecutor",
+    "ValidationTask",
+    "make_executor",
+]

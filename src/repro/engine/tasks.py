@@ -1,0 +1,57 @@
+"""Typed work units emitted by the planner and run by executors.
+
+The planner/executor contract is deliberately narrow: a
+:class:`LatticePlanner` (which owns all candidate-set state) emits
+immutable task records in a deterministic order, and an executor
+resolves them — serially, across a worker pool, or against a verdict
+cache — returning results keyed by the task objects themselves.
+Because the records are frozen and hashable, the *apply* step can walk
+the original emission order and look verdicts up by task, which is what
+keeps pooled runs byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ProductTask:
+    """Build Π*_child as ``Π*_left · Π*_right`` (Algorithm 2 +
+    Section 4.6 partition products)."""
+
+    child: int
+    left: int
+    right: int
+
+
+@dataclass(frozen=True)
+class FdCheckTask:
+    """Check the constancy OD ``X \\ A: [] ↦ A`` at node ``X``
+    (Algorithm 3 lines 9-14)."""
+
+    node_mask: int
+    attribute: int
+
+    @property
+    def context_mask(self) -> int:
+        return self.node_mask ^ (1 << self.attribute)
+
+
+@dataclass(frozen=True)
+class OcdScanTask:
+    """Check the order compatibility OD ``X \\ {A,B}: A ~ B`` at node
+    ``X`` (Algorithm 3 lines 15-25); ``a < b`` by construction."""
+
+    node_mask: int
+    a: int
+    b: int
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return (self.a, self.b)
+
+    @property
+    def context_mask(self) -> int:
+        return self.node_mask ^ (1 << self.a) ^ (1 << self.b)

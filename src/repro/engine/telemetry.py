@@ -1,0 +1,56 @@
+"""Per-phase executor telemetry.
+
+Every executor carries one :class:`ExecutorTelemetry` and records, per
+planner phase (``products``, ``fd-check``, ``ocd-scan``, ``wave``,
+``class-scan``, ...), how many typed tasks it resolved and whether each
+batch ran on the coordinator or on the worker pool.  The snapshot is a
+plain JSON-ready dict so every entry point can expose it uniformly —
+``DiscoveryResult.executor_stats``, ``repro-od ... --json``, and the
+validator/detector accessors all serve the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ExecutorTelemetry:
+    """Counters for one executor's lifetime (cheap, always on)."""
+
+    __slots__ = ("backend", "workers", "phases", "peak_residency_bytes")
+
+    def __init__(self, backend: str, workers: int):
+        self.backend = backend
+        self.workers = workers
+        #: phase -> {"tasks", "serial_tasks", "pool_tasks", "dispatches"}
+        self.phases: Dict[str, Dict[str, int]] = {}
+        #: largest resident partition footprint observed (bytes); fed by
+        #: the planner's per-level residency accounting
+        self.peak_residency_bytes = 0
+
+    def record(self, phase: str, n_tasks: int, pooled: bool) -> None:
+        """Bill one batch of ``n_tasks`` resolved tasks to ``phase``."""
+        if n_tasks <= 0:
+            return
+        stats = self.phases.get(phase)
+        if stats is None:
+            stats = {"tasks": 0, "serial_tasks": 0, "pool_tasks": 0,
+                     "dispatches": 0}
+            self.phases[phase] = stats
+        stats["tasks"] += n_tasks
+        stats["pool_tasks" if pooled else "serial_tasks"] += n_tasks
+        stats["dispatches"] += 1
+
+    def observe_residency(self, n_bytes: int) -> None:
+        if n_bytes > self.peak_residency_bytes:
+            self.peak_residency_bytes = n_bytes
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready copy (the ``executor_stats`` currency)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "peak_residency_bytes": self.peak_residency_bytes,
+            "phases": {phase: dict(stats)
+                       for phase, stats in self.phases.items()},
+        }

@@ -7,7 +7,13 @@ building blocks:
 * directed order specifications (``salary DESC, tax ASC``),
 * a validator for bidirectional list ODs (Definition 2 generalized),
 * contextual bidirectional order compatibility ``X: A↑ ~ B↓`` and a
-  small minimal-discovery sweep over bounded context sizes.
+  minimal-discovery sweep over bounded context sizes, run level-wise
+  through the unified engine (:mod:`repro.engine`): each level's
+  constancy and polarity checks are independent, so they batch into
+  executor validations — serial by default, sharded over a
+  shared-memory worker pool with ``workers`` (the ``"swap_desc"``
+  scan mode), and bounded by a shared
+  :class:`~repro.engine.DeadlineBudget` via ``timeout_seconds``.
 
 Under rank encoding, descending order is ascending order of the
 negated ranks, so every unidirectional algorithm piece is reused.
@@ -21,12 +27,10 @@ from enum import Enum
 from itertools import combinations
 from typing import List, Optional, Sequence, Tuple, Union
 
-import numpy as np
 
-from repro.core.validation import (
-    is_compatible_in_classes,
-    is_constant_in_classes,
-)
+from repro.core.validation import is_compatible_in_classes
+from repro.engine.budget import DeadlineBudget
+from repro.engine.executors import make_executor
 from repro.errors import DependencyError
 from repro.partitions.cache import PartitionCache
 from repro.relation.schema import bit_count, iter_bits
@@ -174,6 +178,9 @@ class BidirectionalDiscoveryResult:
 
     ocds: List[BidirectionalOCD] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    #: per-phase executor telemetry (the engine's uniform currency)
+    executor_stats: Optional[dict] = None
 
     @property
     def opposite_only(self) -> List[BidirectionalOCD]:
@@ -187,17 +194,27 @@ class BidirectionalDiscoveryResult:
 
 
 def discover_bidirectional_ocds(relation: Relation,
-                                max_context: int = 1
+                                max_context: int = 1, *,
+                                workers: Optional[int] = None,
+                                timeout_seconds: Optional[float] = None
                                 ) -> BidirectionalDiscoveryResult:
     """Minimal directed OCDs with contexts up to ``max_context``.
 
     Both polarities are checked per pair; minimality mirrors the
     unidirectional rules (subset contexts and Propagate through
     constancy), applied per polarity.
+
+    The sweep is level-wise over context sizes.  Within one level no
+    context can cover another (covers are strict subsets, hence
+    strictly smaller), so a level's constancy checks batch into one
+    executor validation and its polarity checks into another —
+    identical output at any worker count.  A ``timeout_seconds``
+    budget returns the OCDs confirmed so far with ``timed_out=True``.
     """
     started = time.perf_counter()
+    budget = DeadlineBudget(timeout_seconds)
     encoded = relation.encode()
-    cache = PartitionCache(encoded)
+    executor = make_executor(encoded, workers=workers)
     names = encoded.names
     arity = encoded.arity
     result = BidirectionalDiscoveryResult()
@@ -208,32 +225,63 @@ def discover_bidirectional_ocds(relation: Relation,
         return any(prior & context_mask == prior
                    for prior in store.get(key, []))
 
-    for context_mask in sorted(range(1 << arity), key=bit_count):
-        if bit_count(context_mask) > max_context:
-            break
-        partition = cache.get(context_mask)
-        context = frozenset(names[i] for i in iter_bits(context_mask))
-        outside = [a for a in range(arity)
-                   if not context_mask & (1 << a)]
-        for attribute in outside:
-            if covered(constant_at, attribute, context_mask):
-                continue
-            column = encoded.column(attribute)
-            if is_constant_in_classes(column, partition):
-                constant_at.setdefault(attribute, []).append(context_mask)
-        for a, b in combinations(outside, 2):
-            if covered(constant_at, a, context_mask) \
-                    or covered(constant_at, b, context_mask):
-                continue
-            for same in (True, False):
-                key = (a, b, same)
-                if covered(emitted, key, context_mask):
+    try:
+        for level in range(min(max_context, arity) + 1):
+            masks = [mask for mask in range(1 << arity)
+                     if bit_count(mask) == level]
+            if budget.hit():
+                result.timed_out = True
+                break
+
+            # -- constancy: which outside attributes are constant here
+            const_tasks = []
+            for mask in masks:
+                for attribute in range(arity):
+                    if mask & (1 << attribute):
+                        continue
+                    if covered(constant_at, attribute, mask):
+                        continue
+                    const_tasks.append(((mask, attribute), mask,
+                                        "const", attribute, 0))
+            verdicts, cut = executor.run_validations(
+                const_tasks, budget, phase="bidirectional-const")
+            for key, mask, _mode, attribute, _b in const_tasks:
+                if verdicts.get(key):
+                    constant_at.setdefault(attribute, []).append(mask)
+            if cut:
+                result.timed_out = True
+                break
+
+            # -- polarity checks for the non-constant outside pairs
+            pair_tasks = []
+            for mask in masks:
+                outside = [a for a in range(arity)
+                           if not mask & (1 << a)]
+                for a, b in combinations(outside, 2):
+                    if covered(constant_at, a, mask) \
+                            or covered(constant_at, b, mask):
+                        continue
+                    for same in (True, False):
+                        if covered(emitted, (a, b, same), mask):
+                            continue
+                        pair_tasks.append((
+                            (mask, a, b, same), mask,
+                            "swap" if same else "swap_desc", a, b))
+            verdicts, cut = executor.run_validations(
+                pair_tasks, budget, phase="bidirectional-pairs")
+            for key, mask, _mode, a, b in pair_tasks:
+                if not verdicts.get(key):
                     continue
-                column_b = encoded.column(b) if same else -encoded.column(b)
-                if is_compatible_in_classes(encoded.column(a), column_b,
-                                            partition):
-                    result.ocds.append(BidirectionalOCD(
-                        context, names[a], names[b], same))
-                    emitted.setdefault(key, []).append(context_mask)
+                _mask, _a, _b, same = key
+                result.ocds.append(BidirectionalOCD(
+                    frozenset(names[i] for i in iter_bits(mask)),
+                    names[a], names[b], same))
+                emitted.setdefault((a, b, same), []).append(mask)
+            if cut:
+                result.timed_out = True
+                break
+    finally:
+        result.executor_stats = executor.telemetry.snapshot()
+        executor.close()
     result.elapsed_seconds = time.perf_counter() - started
     return result

@@ -29,6 +29,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.fastod import FastOD, FastODConfig
 from repro.core.od import CanonicalFD, CanonicalOCD
 from repro.core.validation import CanonicalValidator
+import repro.parallel.pool as pool_module
+from repro.engine.budget import DeadlineBudget
+from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.relation.table import Relation
 
 CanonicalOD = Union[CanonicalFD, CanonicalOCD]
@@ -61,6 +64,10 @@ class ConditionalDiscoveryResult:
     ods: List[ConditionalOD] = field(default_factory=list)
     n_fragments_examined: int = 0
     elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    #: per-phase executor telemetry of the global validator (fragment
+    #: runs carry their own in their DiscoveryResults)
+    executor_stats: Optional[Dict[str, object]] = None
 
     def for_condition(self, condition: Condition) -> List[ConditionalOD]:
         return [c for c in self.ods if c.condition == condition]
@@ -101,9 +108,20 @@ def discover_conditional_ods(relation: Relation, *,
                              min_support: float = 0.1,
                              max_conjuncts: int = 1,
                              max_condition_domain: int = 12,
-                             max_level: Optional[int] = 3
+                             max_level: Optional[int] = 3,
+                             workers: Optional[int] = None,
+                             timeout_seconds: Optional[float] = None
                              ) -> ConditionalDiscoveryResult:
     """Find canonical ODs that hold conditionally but not globally.
+
+    Per-fragment discovery and the global redundancy filter both route
+    through the unified engine, so ``workers`` shards big fragments'
+    level work and the global validator's scans over one worker pool
+    policy, and ``timeout_seconds`` is one
+    :class:`~repro.engine.DeadlineBudget` shared across fragments
+    (each fragment run receives the remaining budget; a timed-out
+    sweep returns the conditionals confirmed so far flagged
+    ``timed_out``).
 
     Parameters
     ----------
@@ -118,27 +136,71 @@ def discover_conditional_ods(relation: Relation, *,
         Lattice cap for the per-fragment FASTOD runs; conditional ODs
         with huge contexts are rarely interesting and fragments are
         many.
+    workers:
+        Worker-pool size for fragment discovery and global validation
+        (``None`` defers to ``REPRO_WORKERS``; 1 = serial).
+    timeout_seconds:
+        Best-effort wall-clock budget for the whole sweep.
     """
     started = time.perf_counter()
+    budget = DeadlineBudget(timeout_seconds)
     result = ConditionalDiscoveryResult()
-    global_validator = CanonicalValidator(relation.encode())
+    global_validator = CanonicalValidator(relation.encode(),
+                                          workers=workers)
     attributes = _condition_attributes(relation, max_condition_domain)
-    for condition, rows in _fragments(relation, attributes,
-                                      max_conjuncts, min_support):
-        result.n_fragments_examined += 1
-        condition_attrs = {attr for attr, _ in condition}
-        fragment = relation.select_rows(rows)
-        fragment_ods = FastOD(
-            fragment, FastODConfig(max_level=max_level)).run()
-        support = len(rows) / max(relation.n_rows, 1)
-        for od in fragment_ods.all_ods:
-            if _mentions(od, condition_attrs):
-                # On the fragment a condition attribute is constant, so
-                # ODs about it are artifacts of the selection.
-                continue
-            if global_validator.holds(od):
-                continue        # not conditional: already true globally
-            result.ods.append(ConditionalOD(condition, od, support))
+    n_workers = resolve_workers(workers)
+    # one worker pool for every fragment run, rebased per fragment
+    # (a fresh fork+teardown per qualifying fragment would dominate a
+    # many-fragment sweep); workers start lazily, so small fragments
+    # that never cross the dispatch thresholds cost nothing
+    shared_pool: Optional[WorkerPool] = None
+    try:
+        for condition, rows in _fragments(relation, attributes,
+                                          max_conjuncts, min_support):
+            if budget.hit():
+                result.timed_out = True
+                break
+            result.n_fragments_examined += 1
+            condition_attrs = {attr for attr, _ in condition}
+            fragment = relation.select_rows(rows)
+            pool = None
+            # grouped rows never exceed fragment rows, so fragments
+            # below the dispatch threshold can never engage the pool —
+            # don't pay a per-fragment column publish for them
+            if (n_workers >= 2 and len(rows)
+                    >= pool_module.PARALLEL_MIN_GROUPED_ROWS):
+                encoded_fragment = fragment.encode()
+                if shared_pool is not None and shared_pool.closed:
+                    shared_pool = None    # crashed earlier: rebuild
+                if shared_pool is None:
+                    shared_pool = WorkerPool(encoded_fragment,
+                                             n_workers)
+                else:
+                    shared_pool.rebase(encoded_fragment)
+                pool = shared_pool
+            fragment_ods = FastOD(
+                fragment, FastODConfig(
+                    max_level=max_level, workers=workers,
+                    timeout_seconds=budget.remaining()),
+                pool=pool).run()
+            if fragment_ods.timed_out:
+                result.timed_out = True
+                break
+            support = len(rows) / max(relation.n_rows, 1)
+            for od in fragment_ods.all_ods:
+                if _mentions(od, condition_attrs):
+                    # On the fragment a condition attribute is
+                    # constant, so ODs about it are artifacts of the
+                    # selection.
+                    continue
+                if global_validator.holds(od):
+                    continue    # not conditional: already true globally
+                result.ods.append(ConditionalOD(condition, od, support))
+    finally:
+        result.executor_stats = global_validator.executor_stats()
+        global_validator.close()
+        if shared_pool is not None:
+            shared_pool.shutdown()
     result.ods.sort(key=lambda c: (-c.support, str(c)))
     result.elapsed_seconds = time.perf_counter() - started
     return result

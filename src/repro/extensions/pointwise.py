@@ -20,6 +20,10 @@ from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.validation import dominance_holds_ranks
+from repro.engine.budget import DeadlineBudget
+from repro.engine.executors import make_executor
+from repro.relation.schema import mask_of_indices
 from repro.relation.table import Relation
 
 
@@ -49,50 +53,19 @@ def pointwise_od_holds(relation: Relation,
                        od: PointwiseOD) -> bool:
     """Validity by the dominance definition.
 
-    Quadratic in tuples with an early exit; a sorted single-attribute
-    fast path covers the common ``|X| = 1`` case in O(n log n).
-    An empty LHS dominates everything both ways, so the RHS must be
-    constant columns.
+    A multi-attribute RHS is a conjunction of single-target dominance
+    requirements (the ∀-over-Y distributes), so this delegates per
+    target to the shared rank kernel
+    :func:`repro.core.validation.dominance_holds_ranks` — the same
+    code path the discovery sweep's ``"pointwise"`` executor tasks
+    run, so the public validator and discovery can never drift.
     """
-    lhs = sorted(od.lhs)
-    rhs = sorted(od.rhs)
-    left = _rank_matrix(relation, lhs)
-    right = _rank_matrix(relation, rhs)
-    n = relation.n_rows
-    if n <= 1 or not rhs:
-        return True
-    if not lhs:
-        return all((right[:, j] == right[0, j]).all()
-                   for j in range(right.shape[1]))
-    if len(lhs) == 1:
-        return _single_lhs_holds(left[:, 0], right)
-    for s in range(n):
-        dominated = (left >= left[s]).all(axis=1)
-        dominated_rows = np.flatnonzero(dominated)
-        if ((right[dominated_rows] < right[s]).any()):
-            return False
-    return True
-
-
-def _single_lhs_holds(left: np.ndarray, right: np.ndarray) -> bool:
-    """|X| = 1: sort by X; every RHS column must be non-decreasing
-    across strictly increasing X and constant within X ties."""
-    order = np.argsort(left, kind="stable")
-    sorted_left = left[order]
-    sorted_right = right[order]
-    n = len(order)
-    start = 0
-    previous_max = None
-    for stop in range(1, n + 1):
-        if stop == n or sorted_left[stop] != sorted_left[start]:
-            block = sorted_right[start:stop]
-            if (block != block[0]).any():
-                return False          # ties on X must agree on all of Y
-            if previous_max is not None and (block[0] < previous_max).any():
-                return False
-            previous_max = block[0]
-            start = stop
-    return True
+    encoded = relation.encode()
+    index = {name: i for i, name in enumerate(encoded.names)}
+    lhs_mask = mask_of_indices(index[name] for name in od.lhs)
+    return all(
+        dominance_holds_ranks(encoded.ranks, lhs_mask, index[target])
+        for target in sorted(od.rhs))
 
 
 def find_dominance_violation(relation: Relation, od: PointwiseOD
@@ -119,10 +92,15 @@ class PointwiseDiscoveryResult:
 
     ods: List[PointwiseOD] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    #: per-phase executor telemetry (the engine's uniform currency)
+    executor_stats: Optional[dict] = None
 
 
 def discover_pointwise_ods(relation: Relation, *,
-                           max_lhs: int = 2
+                           max_lhs: int = 2,
+                           workers: Optional[int] = None,
+                           timeout_seconds: Optional[float] = None
                            ) -> PointwiseDiscoveryResult:
     """Pointwise ODs with single-attribute consequents.
 
@@ -131,23 +109,56 @@ def discover_pointwise_ods(relation: Relation, *,
     contexts — a *smaller* LHS makes a *stronger* pointwise OD (fewer
     dominance premises... in fact more pairs are X-dominated), so a
     result is pruned when some subset LHS already yields the OD.
+
+    The sweep is level-wise over LHS sizes through the unified engine:
+    subset pruning only ever consults strictly smaller LHSs, so one
+    level's candidates are independent and batch into a single
+    executor validation (the ``"pointwise"`` scan mode runs the
+    dominance kernel on the shared rank columns — serial by default,
+    pooled with ``workers``).  ``timeout_seconds`` bounds the run; a
+    partial result comes back flagged ``timed_out``.
     """
     started = time.perf_counter()
+    budget = DeadlineBudget(timeout_seconds)
     names = relation.names
+    index = {name: i for i, name in enumerate(names)}
+    encoded = relation.encode()
+    executor = make_executor(encoded, workers=workers)
     result = PointwiseDiscoveryResult()
     found: List[PointwiseOD] = []
-    for size in range(1, min(max_lhs, len(names)) + 1):
-        for lhs in combinations(names, size):
-            for target in names:
-                if target in lhs:
-                    continue
-                if any(prior.rhs == frozenset({target})
-                       and prior.lhs < frozenset(lhs)
-                       for prior in found):
-                    continue
-                od = PointwiseOD(frozenset(lhs), frozenset({target}))
-                if pointwise_od_holds(relation, od):
-                    found.append(od)
+    try:
+        for size in range(1, min(max_lhs, len(names)) + 1):
+            if budget.hit():
+                result.timed_out = True
+                break
+            candidates: List[Tuple[Tuple[str, ...], str]] = []
+            for lhs in combinations(names, size):
+                for target in names:
+                    if target in lhs:
+                        continue
+                    if any(prior.rhs == frozenset({target})
+                           and prior.lhs < frozenset(lhs)
+                           for prior in found):
+                        continue
+                    candidates.append((lhs, target))
+            tasks = [
+                (key, 0, "pointwise",
+                 mask_of_indices(index[name] for name in lhs),
+                 index[target])
+                for key, (lhs, target) in enumerate(candidates)
+            ]
+            verdicts, cut = executor.run_validations(
+                tasks, budget, phase="pointwise")
+            for key, (lhs, target) in enumerate(candidates):
+                if verdicts.get(key):
+                    found.append(PointwiseOD(frozenset(lhs),
+                                             frozenset({target})))
+            if cut:
+                result.timed_out = True
+                break
+    finally:
+        result.executor_stats = executor.telemetry.snapshot()
+        executor.close()
     result.ods = found
     result.elapsed_seconds = time.perf_counter() - started
     return result

@@ -21,8 +21,10 @@ valid ODs (a violating tuple pair, once present, never goes away).
   later traversal actually consults it;
 * the lattice **traversal re-runs only when a verdict flipped**: if a
   batch invalidated nothing, the previous result is carried over
-  verbatim; otherwise the level-wise sweep re-runs against the verdict
-  caches, paying full validation only for candidates that became
+  verbatim; otherwise the shared
+  :class:`~repro.engine.LatticePlanner` re-runs the level-wise sweep
+  against the verdict caches (a :class:`_CacheBackend` answers its
+  typed tasks), paying full validation only for candidates that became
   reachable because an invalidated OD stopped pruning them.
 
 After every batch the engine's FD/OCD sets are identical to what a
@@ -39,20 +41,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.core.candidates import (
-    LatticeNode,
-    context_names,
-    fill_candidate_sets,
-    prune_empty_nodes,
-)
+from repro.core.candidates import LatticeNode
 from repro.core.fastod import FastOD, FastODConfig
-from repro.core.lattice import next_level_masks
-from repro.core.od import CanonicalFD, CanonicalOCD
-from repro.core.results import DiscoveryResult, LevelStats, diff_results
+from repro.core.results import DiscoveryResult, diff_results
+from repro.engine.budget import DeadlineBudget
+from repro.engine.executors import make_executor
+from repro.engine.planner import LatticePlanner, TraversalBackend
+from repro.engine.tasks import FdCheckTask, OcdScanTask
 from repro.errors import DataError
 from repro.incremental.delta import BatchEffect, DeltaPartition, GroupTracker
 from repro.relation.encoding import sort_key
-from repro.relation.schema import bit_count, iter_bits
+from repro.relation.schema import bit_count
 from repro.relation.table import Relation
 from repro.violations.monitor import OcdClassState
 
@@ -146,10 +145,9 @@ class IncrementalFastOD:
         self._batch_effects: Dict[int, BatchEffect] = {}
         self._sort_key_cols: Dict[int, List[tuple]] = {}
         self._n_batches = 0
-        from repro.parallel.pool import ClassScanPool
-        self._scanner = ClassScanPool(
-            self._encoded, config.workers,
-            threshold=config.parallel_min_grouped_rows)
+        self._executor = make_executor(
+            self._encoded, workers=config.workers,
+            min_grouped_rows=config.parallel_min_grouped_rows)
         self._result = self._traverse()
         if self._verify:
             self._check_against_oracle(self._result)
@@ -173,16 +171,20 @@ class IncrementalFastOD:
 
     def close(self) -> None:
         """Shut down the append-path worker pool, if one was started."""
-        self._scanner.close()
+        self._executor.close()
+
+    def executor_stats(self) -> Dict[str, object]:
+        """Cumulative per-phase executor telemetry across batches."""
+        return self._executor.telemetry.snapshot()
 
     def _scan_compatible(self, a: int, b: int, partition) -> bool:
-        """One full swap scan, class-sharded over the worker pool when
-        the context is big enough (``FastODConfig.workers`` /
-        ``REPRO_WORKERS``); the pool persists across batches, following
-        each grown relation via
-        :meth:`repro.parallel.ClassScanPool.rebase`."""
-        self._scanner.rebase(self._encoded)
-        return self._scanner.scan("swap", a, b, partition)
+        """One full swap scan through the engine executor —
+        class-sharded over the worker pool when the context is big
+        enough (``FastODConfig.workers`` / ``REPRO_WORKERS``); the pool
+        persists across batches, following each grown relation via
+        :meth:`repro.engine.PoolExecutor.rebase`."""
+        self._executor.rebase(self._encoded)
+        return self._executor.scan_partition("swap", a, b, partition)
 
     def append(self, batch: Union[Relation, Iterable[Sequence]]
                ) -> BatchReport:
@@ -496,49 +498,19 @@ class IncrementalFastOD:
         return valid
 
     # ------------------------------------------------------------------
-    # the level-wise sweep (Algorithms 1-4 against the caches)
+    # the level-wise sweep (the shared planner against the caches)
     # ------------------------------------------------------------------
     def _traverse(self) -> DiscoveryResult:
         config = self._config
-        started = time.perf_counter()
-        result = DiscoveryResult(
-            algorithm="FASTOD-Incremental" if config.minimality_pruning
-            else "FASTOD-Incremental-NoPruning",
-            attribute_names=self._names,
-            n_rows=self._encoded.n_rows,
-            minimal=config.minimality_pruning,
-            config=config.to_dict(),
-        )
         emitted_fds: Set[FdKey] = set()
         self._live_ocds = set()
-
-        level0 = {0: LatticeNode(0, None, cc=self._full_mask, cs=set())}
-        current: Dict[int, LatticeNode] = {
-            1 << a: LatticeNode(1 << a, None)
-            for a in range(self._arity)
-        }
-        previous = level0
-
-        level = 1
-        while current:
-            if config.max_level is not None and level > config.max_level:
-                break
-            stats = LevelStats(level=level, n_nodes=len(current))
-            level_started = time.perf_counter()
-            self._compute_candidate_sets(level, current, previous)
-            self._compute_ods(level, current, previous, result, stats,
-                              emitted_fds)
-            stats.n_nodes_pruned = self._prune_level(level, current)
-            stats.seconds = time.perf_counter() - level_started
-            result.level_stats.append(stats)
-
-            next_nodes = {
-                mask: LatticeNode(mask, None)
-                for mask in next_level_masks(current.keys())
-            }
-            previous = current
-            current = next_nodes
-            level += 1
+        planner = LatticePlanner(
+            self._names, config, _CacheBackend(self, emitted_fds),
+            DeadlineBudget.unlimited(),
+            algorithm=("FASTOD-Incremental" if config.minimality_pruning
+                       else "FASTOD-Incremental-NoPruning"),
+            n_rows=self._encoded.n_rows)
+        result = planner.run()
 
         # verdicts the sweep no longer consults stop being maintained;
         # if invalidations ever re-open that part of the lattice, they
@@ -549,60 +521,7 @@ class IncrementalFastOD:
             if key in self._live_ocds
         }
         self._rebuild_schedule()
-        result.elapsed_seconds = time.perf_counter() - started
         return result
-
-    def _compute_candidate_sets(self, level: int,
-                                current: Dict[int, LatticeNode],
-                                previous: Dict[int, LatticeNode]) -> None:
-        fill_candidate_sets(level, current, previous, self._full_mask,
-                            self._config.minimality_pruning)
-
-    def _compute_ods(self, level: int, current: Dict[int, LatticeNode],
-                     previous: Dict[int, LatticeNode],
-                     result: DiscoveryResult, stats: LevelStats,
-                     emitted_fds: Set[FdKey]) -> None:
-        config = self._config
-        minimal = config.minimality_pruning
-        for mask, node in current.items():
-            for attribute in list(iter_bits(mask & node.cc)):
-                bit = 1 << attribute
-                stats.n_fd_candidates += 1
-                if self._fd_valid(mask ^ bit, mask):
-                    result.fds.append(CanonicalFD(
-                        context_names(mask ^ bit, self._names),
-                        self._names[attribute]))
-                    emitted_fds.add((mask ^ bit, mask))
-                    stats.n_fds_found += 1
-                    if minimal:
-                        node.cc &= ~bit
-                        node.cc &= mask
-            if level < 2:
-                continue
-            for pair in sorted(node.cs):
-                a, b = pair
-                bit_a, bit_b = 1 << a, 1 << b
-                if minimal:
-                    if (not previous[mask ^ bit_b].cc & bit_a
-                            or not previous[mask ^ bit_a].cc & bit_b):
-                        node.cs.discard(pair)
-                        continue
-                stats.n_ocd_candidates += 1
-                if self._ocd_valid(mask ^ bit_a ^ bit_b, a, b):
-                    result.ocds.append(CanonicalOCD(
-                        context_names(mask ^ bit_a ^ bit_b, self._names),
-                        self._names[a], self._names[b]))
-                    stats.n_ocds_found += 1
-                    if minimal:
-                        node.cs.discard(pair)
-
-    def _prune_level(self, level: int,
-                     current: Dict[int, LatticeNode]) -> int:
-        config = self._config
-        if (not config.level_pruning or not config.minimality_pruning
-                or level < 2):
-            return 0
-        return prune_empty_nodes(current)
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -632,3 +551,56 @@ class IncrementalFastOD:
             raise AssertionError(
                 "incremental result diverged from the from-scratch "
                 "oracle:\n" + (diff_results(result, oracle) or ""))
+
+
+class _CacheBackend(TraversalBackend):
+    """Answers the shared planner's typed tasks from the incremental
+    engine's verdict caches.
+
+    Nodes carry no partitions (``partition=None`` everywhere): truth
+    comes from :meth:`IncrementalFastOD._fd_valid` /
+    :meth:`IncrementalFastOD._ocd_valid`, which consult the permanent
+    False caches, the maintained True state, and — only for
+    never-seen candidates — the delta-maintained partitions.  The
+    planner still owns every candidate-set mutation and the emission
+    order, so the per-batch re-traversal is byte-identical to what the
+    old inlined sweep produced.
+    """
+
+    def __init__(self, engine: IncrementalFastOD,
+                 emitted_fds: Set[FdKey]):
+        self._engine = engine
+        self._emitted = emitted_fds
+
+    def root_node(self) -> LatticeNode:
+        return LatticeNode(0, None, cc=self._engine._full_mask, cs=set())
+
+    def first_level(self) -> Dict[int, LatticeNode]:
+        return {1 << a: LatticeNode(1 << a, None)
+                for a in range(self._engine._arity)}
+
+    def fd_verdict(self, task: FdCheckTask, node: LatticeNode,
+                   previous: Dict[int, LatticeNode]) -> bool:
+        return self._engine._fd_valid(task.context_mask, task.node_mask)
+
+    def fd_emitted(self, task: FdCheckTask) -> None:
+        self._emitted.add((task.context_mask, task.node_mask))
+
+    def fd_phase_complete(self, level: int, n_candidates: int) -> None:
+        self._engine._executor.telemetry.record(
+            "fd-check", n_candidates, False)
+
+    def ocd_verdicts(self, level: int, tasks: List[OcdScanTask],
+                     before_previous: Dict[int, LatticeNode]):
+        self._engine._executor.telemetry.record(
+            "ocd-scan", len(tasks), False)
+        return {task: self._engine._ocd_valid(task.context_mask,
+                                              task.a, task.b)
+                for task in tasks}, False
+
+    def build_level(self, masks, current) -> Dict[int, LatticeNode]:
+        return {mask: LatticeNode(mask, None) for mask in masks}
+
+    def finish(self, result: DiscoveryResult) -> None:
+        result.executor_stats = \
+            self._engine._executor.telemetry.snapshot()

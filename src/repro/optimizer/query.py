@@ -9,7 +9,7 @@ the straightforward join or by a rewritten surrogate-key range scan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.relation.table import Relation
 

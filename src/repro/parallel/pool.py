@@ -240,15 +240,12 @@ def _handle_products(state: _WorkerState, payload: dict) -> dict:
 
 
 def _scan_verdict(mode: str, columns: List[np.ndarray], a: int, b: int,
-                  context: StrippedPartition) -> bool:
-    from repro.core.validation import (
-        is_compatible_in_classes,
-        is_constant_in_classes,
-    )
+                  context: Optional[StrippedPartition]) -> bool:
+    """Worker-side twin of the coordinator kernels: one shared mode
+    dispatch, so unknown modes fail loudly at any worker count."""
+    from repro.core.validation import scan_verdict
 
-    if mode == "swap":
-        return is_compatible_in_classes(columns[a], columns[b], context)
-    return is_constant_in_classes(columns[a], context)
+    return scan_verdict(mode, columns, a, b, context)
 
 
 def _handle_scans(state: _WorkerState, payload: dict) -> dict:
@@ -284,7 +281,7 @@ def _handle_validations(state: _WorkerState, payload: dict) -> dict:
         if _past(deadline):
             timed_out = True
             break
-        context = cache.get(mask)
+        context = None if mode == "pointwise" else cache.get(mask)
         verdicts.append((key, _scan_verdict(mode, columns, a, b, context)))
     return {"verdicts": verdicts, "timed_out": timed_out}
 
@@ -751,68 +748,42 @@ class WorkerPool:
 
 
 class ClassScanPool:
-    """The lazy "one big scan, sharded by context class" gate shared by
-    :class:`repro.core.validation.CanonicalValidator`, the violation
-    detector, and the incremental engine's append path.
+    """Legacy shim over the engine executors' class-sharded scan gate.
 
-    Encapsulates the whole decision in one place: serial kernel below
-    the thresholds (``workers`` < 2, fewer than two classes, or fewer
-    grouped rows than ``threshold`` — ``None`` reads the package
-    default at call time), otherwise a lazily created
-    :class:`WorkerPool` running :meth:`WorkerPool.run_class_scan`.  A
-    pool that died (crash-path :meth:`WorkerPool.shutdown`) is dropped
-    and rebuilt on the next big scan instead of poisoning every later
-    call.
+    Historically this class owned the "serial kernel below the
+    thresholds, lazily pooled :meth:`WorkerPool.run_class_scan`
+    above" decision for :class:`repro.core.validation
+    .CanonicalValidator`, the violation detector, and the incremental
+    append path.  Those consumers now build an executor via
+    :func:`repro.engine.make_executor`; this wrapper delegates to the
+    same code so the policy (including crashed-pool rebuild) exists
+    exactly once.  New code should use the executor directly.
     """
 
     def __init__(self, relation: EncodedRelation,
                  workers: Optional[int],
                  threshold: Optional[int] = None):
-        self._relation = relation
+        from repro.engine.executors import make_executor
+
         self.workers = resolve_workers(workers)
-        self._threshold = threshold
-        self._pool: Optional[WorkerPool] = None
+        self._executor = make_executor(relation, workers=workers,
+                                       min_grouped_rows=threshold)
 
     @property
     def relation(self) -> EncodedRelation:
-        return self._relation
+        return self._executor.relation
 
     def rebase(self, relation: EncodedRelation) -> None:
         """Follow a grown relation (incremental appends)."""
-        if relation is self._relation:
-            return
-        self._relation = relation
-        if self._pool is not None and not self._pool.closed:
-            self._pool.rebase(relation)
+        self._executor.rebase(relation)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        self._executor.close()
 
     def scan(self, mode: str, a: int, b: int,
              partition: StrippedPartition) -> bool:
         """Verdict of one ``"swap"``/``"const"`` scan over
         ``partition`` — pooled when big enough, serial otherwise."""
-        from repro.core.validation import (
-            is_compatible_in_classes,
-            is_constant_in_classes,
-        )
-
-        threshold = (PARALLEL_MIN_GROUPED_ROWS if self._threshold is None
-                     else self._threshold)
-        if (self.workers >= 2 and partition.n_classes >= 2
-                and len(partition.rows) >= threshold):
-            if self._pool is not None and self._pool.closed:
-                self._pool = None          # crashed earlier: rebuild
-            if self._pool is None:
-                self._pool = WorkerPool(self._relation, self.workers)
-            verdict, _ = self._pool.run_class_scan(mode, a, b, partition)
-            return verdict
-        if mode == "swap":
-            return is_compatible_in_classes(
-                self._relation.column(a), self._relation.column(b),
-                partition)
-        return is_constant_in_classes(self._relation.column(a), partition)
+        return self._executor.scan_partition(mode, a, b, partition)
 
 

@@ -10,7 +10,7 @@ canonical image.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -171,7 +171,8 @@ class ViolationDetector:
     (LRU) for detectors that outlive one query — e.g. monitoring many
     rules against a large relation; default is unbounded.
 
-    ``workers`` shards big hold-checks by context class across a
+    ``workers`` routes big hold-checks through the unified engine's
+    pooled executor, which shards them by context class across a
     shared-memory worker pool (see
     :class:`repro.core.validation.CanonicalValidator`); witness
     extraction and pair counting stay on the coordinator.
@@ -191,6 +192,11 @@ class ViolationDetector:
     def close(self) -> None:
         """Release the validator's worker pool, if one was started."""
         self._validator.close()
+
+    def executor_stats(self) -> dict:
+        """Per-phase executor telemetry of the underlying validator
+        (tasks dispatched, serial-vs-pool split, peak residency)."""
+        return self._validator.executor_stats()
 
     def check(self, dependency: Dependency, *, max_witnesses: int = 3,
               count_pairs: bool = True) -> ViolationReport:

@@ -15,11 +15,11 @@ Two strategies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Union
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.od import CanonicalFD, CanonicalOCD, ListOD
+from repro.core.od import CanonicalFD
 from repro.relation.table import Relation
 from repro.violations.detect import Dependency, ViolationDetector
 

@@ -8,7 +8,7 @@ from repro.baselines import (
     all_valid_list_ods,
     minimal_canonical_ods,
 )
-from repro.core.od import CanonicalFD, CanonicalOCD, ListOD
+from repro.core.od import CanonicalFD, CanonicalOCD
 from tests.conftest import make_relation
 
 

@@ -3,7 +3,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 
 from repro import discover_ods, list_od_holds

@@ -19,7 +19,7 @@ from repro.core.axioms_list import (
     transitivity,
     union,
 )
-from repro.core.od import ListOD, OrderCompatibility, OrderSpec
+from repro.core.od import ListOD, OrderCompatibility
 from repro.core.validation import (
     list_od_holds,
     order_compatible,

@@ -8,7 +8,7 @@ from repro import discover_ods
 from repro.core.axioms_set import InferenceEngine
 from repro.core.derivation import Explainer, explain
 from repro.core.od import CanonicalFD, CanonicalOCD
-from tests.conftest import make_relation, small_relations
+from tests.conftest import small_relations
 
 
 class TestFdDerivations:

@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import FastOD, FastODConfig, discover_ods
 from repro.baselines import (
@@ -13,7 +12,7 @@ from repro.baselines import (
     minimal_canonical_ods,
     validate_result_is_sound,
 )
-from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.od import CanonicalFD
 from repro.core.results import diff_results
 from tests.conftest import make_relation, random_relation, small_relations
 

@@ -65,8 +65,13 @@ class TestEdgeCases:
         relation = make_relation(2, [(1, 2), (2, 3)])
         hybrid = hybrid_discover(relation, sample_size=7, seed=3)
         assert hybrid.algorithm == "FASTOD-Hybrid"
-        assert hybrid.config == {"sample_size": 7, "seed": 3}
+        assert hybrid.config == {"sample_size": 7, "seed": 3,
+                                 "workers": None,
+                                 "timeout_seconds": None}
         assert hybrid.elapsed_seconds > 0
+        assert hybrid.executor_stats is not None
+        # backend follows $REPRO_WORKERS (serial by default)
+        assert hybrid.executor_stats["backend"] in ("serial", "pool")
 
 
 class TestSampleMisleading:

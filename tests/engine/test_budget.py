@@ -1,0 +1,108 @@
+"""DeadlineBudget: the one deadline shared by every engine layer."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import DeadlineBudget
+
+
+class TestBudgetSemantics:
+    def test_unlimited_never_hits(self):
+        budget = DeadlineBudget.unlimited()
+        assert not budget.bounded
+        assert not budget.hit()
+        assert budget.remaining() is None
+
+    def test_none_timeout_is_unlimited(self):
+        assert not DeadlineBudget(None).bounded
+
+    def test_zero_timeout_hits_immediately(self):
+        budget = DeadlineBudget(0.0)
+        assert budget.bounded
+        assert budget.hit()
+        assert budget.remaining() == 0.0
+
+    def test_generous_timeout_does_not_hit(self):
+        budget = DeadlineBudget(3600.0)
+        assert not budget.hit()
+        assert budget.remaining() > 3000.0
+
+    def test_remaining_never_negative(self):
+        budget = DeadlineBudget(0.0)
+        time.sleep(0.01)
+        assert budget.remaining() == 0.0
+
+    def test_elapsed_monotone(self):
+        budget = DeadlineBudget(10.0)
+        first = budget.elapsed()
+        second = budget.elapsed()
+        assert 0 <= first <= second
+
+    def test_deadline_is_perf_counter_currency(self):
+        """WorkerPool translates perf_counter deadlines to wall time;
+        the budget's deadline must be in that clock."""
+        budget = DeadlineBudget(5.0)
+        assert budget.deadline == pytest.approx(
+            time.perf_counter() + 5.0, abs=1.0)
+
+
+class TestBudgetInEntryPoints:
+    def test_fastod_zero_budget_flags_timeout(self):
+        from repro.core.fastod import discover_ods
+        from repro.datasets import employees
+
+        result = discover_ods(employees(), timeout_seconds=0.0)
+        assert result.timed_out
+
+    def test_hybrid_zero_budget_flags_timeout(self):
+        from repro.core.hybrid import hybrid_discover
+        from repro.datasets import employees
+
+        result = hybrid_discover(employees(), timeout_seconds=0.0)
+        assert result.timed_out
+
+    def test_hybrid_unbounded_is_exact(self):
+        from repro.core.fastod import discover_ods
+        from repro.core.hybrid import hybrid_discover
+        from repro.datasets import employees
+
+        exact = discover_ods(employees())
+        hybrid = hybrid_discover(employees(), timeout_seconds=None)
+        assert exact.same_ods(hybrid)
+        assert not hybrid.timed_out
+
+    def test_bidirectional_zero_budget_flags_timeout(self):
+        from repro.datasets import employees
+        from repro.extensions import discover_bidirectional_ocds
+
+        result = discover_bidirectional_ocds(employees(),
+                                             timeout_seconds=0.0)
+        assert result.timed_out
+
+    def test_pointwise_zero_budget_flags_timeout(self):
+        from repro.datasets import employees
+        from repro.extensions import discover_pointwise_ods
+
+        result = discover_pointwise_ods(employees(),
+                                        timeout_seconds=0.0)
+        assert result.timed_out
+
+    def test_conditional_zero_budget_flags_timeout(self):
+        from repro.datasets import employees
+        from repro.extensions import discover_conditional_ods
+
+        result = discover_conditional_ods(employees(),
+                                          timeout_seconds=0.0)
+        assert result.timed_out
+
+    def test_incremental_still_rejects_timeouts(self):
+        from repro.core.fastod import FastODConfig
+        from repro.datasets import employees
+        from repro.incremental import IncrementalFastOD
+
+        with pytest.raises(ValueError):
+            IncrementalFastOD(employees(),
+                              FastODConfig(timeout_seconds=1.0))

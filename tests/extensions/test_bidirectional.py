@@ -117,10 +117,11 @@ class TestDiscovery:
         assert len(seen) == len(set(seen))
         # if a pair holds with empty context it must not reappear with
         # a larger one for the same polarity
-        empties = {(l, r, s) for l, r, s, ctx in seen if not ctx}
-        for l, r, s, ctx in seen:
+        empties = {(left, right, same)
+                   for left, right, same, ctx in seen if not ctx}
+        for left, right, same, ctx in seen:
             if ctx:
-                assert (l, r, s) not in empties
+                assert (left, right, same) not in empties
 
     def test_ncvoter_age_birth_year(self):
         from repro.datasets import ncvoter_like

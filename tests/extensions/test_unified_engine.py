@@ -1,0 +1,187 @@
+"""Extensions on the unified engine == their pre-engine standalones.
+
+The bidirectional/conditional/pointwise sweeps were ported onto the
+planner/executor engine (candidate batches per level, resolved through
+``run_validations``).  These property tests pin the port to reference
+implementations that replicate the pre-refactor standalone algorithms
+verbatim (direct per-candidate kernel calls, no batching), and assert
+the ported code matches them — including under ``workers=2``, where
+the same batches shard over the worker pool.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.validation import (
+    is_compatible_in_classes,
+    is_constant_in_classes,
+)
+from repro.extensions import (
+    PointwiseOD,
+    discover_bidirectional_ocds,
+    discover_conditional_ods,
+    discover_pointwise_ods,
+    pointwise_od_holds,
+)
+from repro.partitions.cache import PartitionCache
+from repro.relation.schema import bit_count, iter_bits
+from tests.conftest import make_relation, random_relation, small_relations
+
+WORKER_COUNTS = [None, 2]
+
+
+# ----------------------------------------------------------------------
+# reference implementations (the pre-engine standalone algorithms)
+# ----------------------------------------------------------------------
+def reference_bidirectional(relation, max_context):
+    encoded = relation.encode()
+    cache = PartitionCache(encoded)
+    names = encoded.names
+    arity = encoded.arity
+    found = []
+    emitted = {}
+    constant_at = {}
+
+    def covered(store, key, context_mask):
+        return any(prior & context_mask == prior
+                   for prior in store.get(key, []))
+
+    for context_mask in sorted(range(1 << arity), key=bit_count):
+        if bit_count(context_mask) > max_context:
+            break
+        partition = cache.get(context_mask)
+        context = frozenset(names[i] for i in iter_bits(context_mask))
+        outside = [a for a in range(arity)
+                   if not context_mask & (1 << a)]
+        for attribute in outside:
+            if covered(constant_at, attribute, context_mask):
+                continue
+            if is_constant_in_classes(encoded.column(attribute),
+                                      partition):
+                constant_at.setdefault(attribute, []).append(
+                    context_mask)
+        for a, b in combinations(outside, 2):
+            if covered(constant_at, a, context_mask) \
+                    or covered(constant_at, b, context_mask):
+                continue
+            for same in (True, False):
+                key = (a, b, same)
+                if covered(emitted, key, context_mask):
+                    continue
+                column_b = (encoded.column(b) if same
+                            else -encoded.column(b))
+                if is_compatible_in_classes(encoded.column(a),
+                                            column_b, partition):
+                    found.append((context, names[a], names[b], same))
+                    emitted.setdefault(key, []).append(context_mask)
+    return found
+
+
+def reference_pointwise(relation, max_lhs):
+    names = relation.names
+    found = []
+    for size in range(1, min(max_lhs, len(names)) + 1):
+        for lhs in combinations(names, size):
+            for target in names:
+                if target in lhs:
+                    continue
+                if any(prior.rhs == frozenset({target})
+                       and prior.lhs < frozenset(lhs)
+                       for prior in found):
+                    continue
+                od = PointwiseOD(frozenset(lhs), frozenset({target}))
+                if pointwise_od_holds(relation, od):
+                    found.append(od)
+    return found
+
+
+# ----------------------------------------------------------------------
+# equivalence properties
+# ----------------------------------------------------------------------
+class TestBidirectionalEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=3))
+    def test_matches_reference(self, relation):
+        expected = reference_bidirectional(relation, max_context=1)
+        result = discover_bidirectional_ocds(relation, max_context=1)
+        got = [(o.context, o.left, o.right, o.same_direction)
+               for o in result.ocds]
+        assert got == expected
+        assert not result.timed_out
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_workers_match_reference(self, seed, workers):
+        relation = random_relation(seed + 40, n_cols=4, n_rows=60,
+                                   domain=3)
+        expected = reference_bidirectional(relation, max_context=2)
+        result = discover_bidirectional_ocds(relation, max_context=2,
+                                             workers=workers)
+        got = [(o.context, o.left, o.right, o.same_direction)
+               for o in result.ocds]
+        assert got == expected
+
+    def test_exposes_executor_stats(self):
+        relation = random_relation(7, n_cols=3, n_rows=20, domain=2)
+        result = discover_bidirectional_ocds(relation, max_context=1)
+        assert result.executor_stats is not None
+        # backend follows $REPRO_WORKERS (serial by default)
+        assert result.executor_stats["backend"] in ("serial", "pool")
+
+
+class TestPointwiseEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(small_relations(max_cols=4, max_rows=10, max_domain=3))
+    def test_matches_reference(self, relation):
+        expected = reference_pointwise(relation, max_lhs=2)
+        result = discover_pointwise_ods(relation, max_lhs=2)
+        assert result.ods == expected
+        assert not result.timed_out
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_workers_match_reference(self, seed, workers):
+        relation = random_relation(seed + 50, n_cols=5, n_rows=40,
+                                   domain=3)
+        expected = reference_pointwise(relation, max_lhs=2)
+        result = discover_pointwise_ods(relation, max_lhs=2,
+                                        workers=workers)
+        assert result.ods == expected
+
+    def test_every_emitted_od_holds(self):
+        relation = random_relation(9, n_cols=4, n_rows=30, domain=2)
+        result = discover_pointwise_ods(relation, max_lhs=2, workers=2)
+        for od in result.ods:
+            assert pointwise_od_holds(relation, od), str(od)
+
+
+class TestConditionalEquivalence:
+    """Conditional discovery re-runs FASTOD per fragment; on the
+    engine, its outputs must be invariant to the worker count and its
+    conditionals must still verify."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_workers_invariant(self, workers):
+        rows = [(0, i, i + 100) for i in range(25)]
+        rows += [(1, i, -i) for i in range(25)]
+        relation = make_relation(3, rows)
+        serial = discover_conditional_ods(relation, min_support=0.2)
+        ported = discover_conditional_ods(relation, min_support=0.2,
+                                          workers=workers)
+        assert [str(c) for c in ported.ods] == \
+            [str(c) for c in serial.ods]
+        assert ported.n_fragments_examined == \
+            serial.n_fragments_examined
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_relations(max_cols=3, max_rows=10, max_domain=2))
+    def test_workers2_matches_serial(self, relation):
+        serial = discover_conditional_ods(relation, min_support=0.2)
+        pooled = discover_conditional_ods(relation, min_support=0.2,
+                                          workers=2)
+        assert [str(c) for c in pooled.ods] == \
+            [str(c) for c in serial.ods]

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import pytest
 
-import repro.core.hybrid as hybrid_module
 from repro.core.fastod import FastOD, FastODConfig
 from repro.core.hybrid import hybrid_discover
 from repro.core.results import DiscoveryResult
@@ -116,7 +115,9 @@ class TestHybridIdentity:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_matches_serial_hybrid_and_fastod(self, workers,
                                               monkeypatch):
-        monkeypatch.setattr(hybrid_module, "PARALLEL_MIN_ROWS", 0)
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module, "PARALLEL_MIN_ROWS", 0)
         relation = make_dataset("flight", n_rows=600, n_attrs=6, seed=3)
         baseline = FastOD(relation).run()
         serial = hybrid_discover(relation, workers=1)
@@ -171,10 +172,11 @@ class TestTimeoutPrecision:
         """When the budget dies with the FD phase, the OCD scans of the
         level must not start: FDs found so far are kept, no OCD is
         emitted, and the run is flagged timed out."""
+        from repro.engine import DeadlineBudget
+
         relation = employees()
-        probe = None
         calls = {"n": 0}
-        # deadline checks before level 2's FD/OCD phase boundary:
+        # budget checks before level 2's FD/OCD phase boundary:
         # level 1 FD phase (one per node = arity), the serial products
         # building level 2 (one per pair), then level 2's FD phase
         # (one per node = pairs); the next check is the boundary one —
@@ -183,13 +185,11 @@ class TestTimeoutPrecision:
         level2_nodes = arity * (arity - 1) // 2
         boundary_call = arity + 2 * level2_nodes + 1
 
-        def fake_deadline_hit(deadline):
+        def fake_hit(self):
             calls["n"] += 1
             return calls["n"] >= boundary_call
 
-        monkeypatch.setattr(FastOD, "_deadline_hit",
-                            staticmethod(fake_deadline_hit))
-        del probe
+        monkeypatch.setattr(DeadlineBudget, "hit", fake_hit)
         result = FastOD(relation,
                         FastODConfig(timeout_seconds=1e9)).run()
         assert result.timed_out

@@ -188,12 +188,16 @@ class TestShutdownHygiene:
 
     def test_class_scan_pool_recovers_from_crash(self, encoded,
                                                  monkeypatch):
+        """Crash recovery lives in the engine's PoolExecutor now; the
+        ClassScanPool shim (and every scan_partition consumer) must
+        still rebuild a pool whose workers died mid-session."""
         import repro.parallel.pool as pool_module
 
         monkeypatch.setattr(pool_module, "PARALLEL_MIN_GROUPED_ROWS", 0)
         from repro.parallel.pool import ClassScanPool
 
         scanner = ClassScanPool(encoded, workers=2)
+        executor = scanner._executor
         # a context with at least two stripped classes, so the gate
         # actually routes through the pool
         context = next(
@@ -204,10 +208,10 @@ class TestShutdownHygiene:
             encoded.column(1), encoded.column(2), context)
         try:
             assert scanner.scan("swap", 1, 2, context) == expected
-            scanner._pool.shutdown()        # simulate a crash teardown
+            executor._owned.shutdown()      # simulate a crash teardown
             # next scan must rebuild the pool, not die on stale state
             assert scanner.scan("swap", 1, 2, context) == expected
-            assert not scanner._pool.closed
+            assert not executor._owned.closed
         finally:
             scanner.close()
 

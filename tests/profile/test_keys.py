@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from itertools import combinations
 
-import pytest
 from hypothesis import given, settings
 
 from repro.profile import discover_keys

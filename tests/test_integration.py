@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro import Relation, discover_ods, parse
 from repro.cli import main

@@ -13,13 +13,12 @@ Transformations with a *known* effect on the set of ODs:
 
 from __future__ import annotations
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import discover_ods
-from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.od import CanonicalFD
 from repro.core.validation import CanonicalValidator
 from repro.relation.table import Relation
 from tests.conftest import small_relations

@@ -14,7 +14,7 @@ from repro import (
     order_compatible,
     parse,
 )
-from repro.core.validation import find_split, find_swap
+from repro.core.validation import find_swap
 from repro.datasets import date_dim, date_dim_planted, employees
 from repro.partitions import SortedPartition, StrippedPartition
 from repro.relation.table import Relation

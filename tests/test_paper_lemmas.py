@@ -125,8 +125,6 @@ class TestLemma14:
     @settings(max_examples=60, deadline=None)
     @given(relations, st.data())
     def test_on_data(self, relation, data):
-        import numpy as np
-
         from repro.core.validation import (
             is_compatible_in_classes,
             is_constant_in_classes,

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.od import CanonicalFD, CanonicalOCD
+from repro.core.od import CanonicalFD
 from repro.core.parser import parse
 from repro.core.validation import CanonicalValidator
 from repro.relation.table import Relation
