@@ -1,0 +1,180 @@
+"""Throughput gate for the discovery service layer.
+
+Boots an in-process :class:`~repro.server.ODService` (real HTTP over
+``ThreadingHTTPServer``) and drives it with N concurrent
+:class:`~repro.server.ServiceClient` threads on the flight dataset,
+asserting the two claims the service makes:
+
+1. **Correctness under concurrency** — every client's discover
+   response (cold or cached) is byte-identical to a direct in-process
+   ``FastOD`` run, string for string; N clients hammering one server
+   process cannot perturb results.
+2. **The result store earns its keep** — a cached-hit round trip
+   (HTTP included) is >= 20x faster than the cold discovery that
+   populated the store, and cached hits report zero-task executor
+   telemetry (no re-traversal, verified, not inferred).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_server.py``.
+Emits ``BENCH_server.json`` at the repo root and the table to
+``benchmarks/results/server_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import Reporter, dataset, write_bench_json
+from repro.core.fastod import FastOD, FastODConfig
+from repro.engine.telemetry import total_tasks
+from repro.server import ODService, ServiceClient
+
+DATASET = "flight"
+N_ROWS = 80_000
+N_ATTRS = 8
+N_CLIENTS = 8
+CACHED_REQUESTS_PER_CLIENT = 12
+MIN_CACHED_SPEEDUP = 20.0
+
+
+def main() -> int:
+    relation = dataset(DATASET, N_ROWS, N_ATTRS)
+    print(f"direct FastOD on {DATASET} {N_ROWS}x{N_ATTRS} (oracle) ...")
+    direct = FastOD(relation, FastODConfig()).run().to_dict()
+
+    failures: List[str] = []
+    records: List[Dict[str, object]] = []
+    reporter = Reporter(
+        "server_throughput",
+        f"Service throughput: {N_CLIENTS} concurrent clients, "
+        f"{DATASET} {N_ROWS}x{N_ATTRS}",
+        ["phase", "requests", "median_ms", "p max_ms", "identical"])
+
+    with ODService(port=0, workers=1) as service:
+        clients = [ServiceClient(service.url)
+                   for _ in range(N_CLIENTS)]
+        fp = clients[0].register_dataset(
+            DATASET, n_rows=N_ROWS, n_attrs=N_ATTRS,
+            seed=42)["fingerprint"]
+
+        # -- phase 1: all clients race the cold discover ---------------
+        latencies: List[float] = [0.0] * N_CLIENTS
+        responses: List[Dict] = [{}] * N_CLIENTS
+        barrier = threading.Barrier(N_CLIENTS)
+
+        def cold_worker(index: int) -> None:
+            barrier.wait()
+            started = time.perf_counter()
+            responses[index] = clients[index].discover(fp)
+            latencies[index] = time.perf_counter() - started
+
+        threads = [threading.Thread(target=cold_worker, args=(i,))
+                   for i in range(N_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        cold_jobs = [r for r in responses if not r.get("cached")]
+        if len(cold_jobs) != 1:
+            # the store re-check in the runner makes every racer but
+            # the first a cache hit — more than one cold run means the
+            # store failed its job
+            failures.append(
+                f"expected exactly 1 cold run, saw {len(cold_jobs)}")
+        for response in responses:
+            if (response["result"]["fds"] != direct["fds"]
+                    or response["result"]["ocds"] != direct["ocds"]):
+                failures.append(
+                    "a concurrent response diverged from the direct "
+                    "FastOD output")
+                break
+        cold_seconds = max(latencies)
+        reporter.add(phase="cold (racing x8)", requests=N_CLIENTS,
+                     median_ms=f"{statistics.median(latencies) * 1e3:.1f}",
+                     **{"p max_ms": f"{cold_seconds * 1e3:.1f}"},
+                     identical="yes")
+
+        # -- phase 2: steady-state cached hits -------------------------
+        cached_latencies: List[List[float]] = [
+            [] for _ in range(N_CLIENTS)]
+        barrier = threading.Barrier(N_CLIENTS)
+
+        def cached_worker(index: int) -> None:
+            barrier.wait()
+            for _ in range(CACHED_REQUESTS_PER_CLIENT):
+                started = time.perf_counter()
+                response = clients[index].discover(fp)
+                cached_latencies[index].append(
+                    time.perf_counter() - started)
+                if not response["cached"]:
+                    failures.append("steady-state request missed "
+                                    "the store")
+                if total_tasks(response.get("executor")):
+                    failures.append("cached hit reported executor "
+                                    "tasks (re-traversal happened)")
+                if response["result"]["fds"] != direct["fds"]:
+                    failures.append("cached result diverged")
+
+        started = time.perf_counter()
+        threads = [threading.Thread(target=cached_worker, args=(i,))
+                   for i in range(N_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+
+        flat = [lat for per_client in cached_latencies
+                for lat in per_client]
+        cached_median = statistics.median(flat)
+        throughput = len(flat) / wall
+        reporter.add(phase="cached (steady)", requests=len(flat),
+                     median_ms=f"{cached_median * 1e3:.2f}",
+                     **{"p max_ms": f"{max(flat) * 1e3:.2f}"},
+                     identical="yes" if not failures else "NO")
+
+    speedup = cold_seconds / cached_median
+    reporter.finish()
+    print(f"cold discovery:     {cold_seconds * 1e3:8.1f} ms")
+    print(f"cached hit median:  {cached_median * 1e3:8.2f} ms")
+    print(f"cached-hit speedup: {speedup:8.1f}x  "
+          f"(gate: >= {MIN_CACHED_SPEEDUP:.0f}x)")
+    print(f"throughput:         {throughput:8.0f} cached req/s "
+          f"({N_CLIENTS} clients)")
+
+    if speedup < MIN_CACHED_SPEEDUP:
+        failures.append(
+            f"cached-hit speedup {speedup:.1f}x below the "
+            f"{MIN_CACHED_SPEEDUP:.0f}x gate")
+
+    records.append({
+        "dataset": DATASET, "n_rows": N_ROWS, "n_attrs": N_ATTRS,
+        "n_clients": N_CLIENTS,
+        "cached_requests": N_CLIENTS * CACHED_REQUESTS_PER_CLIENT,
+        "cold_seconds": cold_seconds,
+        "cached_median_seconds": cached_median,
+        "cached_speedup": speedup,
+        "cached_throughput_rps": throughput,
+        "min_cached_speedup": MIN_CACHED_SPEEDUP,
+        "byte_identical": not any("diverged" in f for f in failures),
+        "passed": not failures,
+    })
+    write_bench_json("server", records, section="throughput_gate")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("server gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

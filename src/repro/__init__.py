@@ -46,7 +46,13 @@ from repro.errors import (
 from repro.incremental import BatchReport, IncrementalFastOD
 from repro.parallel import WorkerPool, resolve_workers
 from repro.profile import discover_keys, profile_relation
-from repro.relation import Relation, Schema, read_csv, read_csv_text
+from repro.relation import (
+    Relation,
+    Schema,
+    fingerprint,
+    read_csv,
+    read_csv_text,
+)
 
 __version__ = "1.0.0"
 
@@ -77,6 +83,7 @@ __all__ = [
     "SchemaError",
     "WorkerPool",
     "discover_keys",
+    "fingerprint",
     "discover_ods",
     "list_od_holds",
     "make_executor",

@@ -5,12 +5,19 @@ Subcommands::
     repro-od discover data.csv [--max-level N] [--no-minimal] [--json]
     repro-od append base.csv batch1.csv batch2.csv [--verify] [--json]
     repro-od watch data.csv [--interval S] [--idle-exit N] [--json]
+    repro-od serve [--port P] [--workers N] [--store-dir DIR]
     repro-od check data.csv "{month}: [] -> quarter"
     repro-od violations data.csv "[salary] -> [tax]" [--witnesses N]
     repro-od generate flight out.csv --rows 1000 --cols 10 --seed 42
     repro-od datasets
 
 Run ``repro-od <subcommand> --help`` for details.
+
+Long-running commands (``watch``, ``serve``) exit cleanly on SIGINT:
+worker pools and shared-memory segments are torn down in the command's
+``finally`` path and the process exits with code 130 (the
+conventional 128+SIGINT), never leaving orphan workers or leaked
+segments behind.
 """
 
 from __future__ import annotations
@@ -92,6 +99,35 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--json", action="store_true",
                        help="emit one JSON object per line (NDJSON)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the OD profiling service (HTTP API over the "
+             "catalog/store/job scheduler)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks an ephemeral port and "
+                            "prints it; default 8765)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="size of the ONE shared worker pool every "
+                            "job runs on (default: $REPRO_WORKERS or "
+                            "1 = serial)")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="persist discovery results here (served "
+                            "across restarts); default: memory only")
+    serve.add_argument("--catalog-bytes", type=int, default=None,
+                       metavar="N",
+                       help="LRU byte budget for resident encoded "
+                            "relations (default: unbounded)")
+    serve.add_argument("--cache-max-entries", type=int, default=64,
+                       metavar="N",
+                       help="per-dataset partition cache bound "
+                            "(default 64)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default wall-clock budget in seconds for "
+                            "discover jobs (the budget-consulting "
+                            "kind; validate/violations/append run to "
+                            "completion)")
+
     check = sub.add_parser(
         "check", help="check whether one dependency holds")
     check.add_argument("csv")
@@ -134,6 +170,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "g3 threshold")
     profile.add_argument("--markdown", action="store_true",
                          help="render the report as markdown")
+    profile.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON (includes "
+                              "the relation's content fingerprint, "
+                              "the service catalog/result-store key)")
     profile.add_argument("--top", type=int, default=10,
                          help="entries per report section")
 
@@ -276,6 +316,28 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import ODService
+
+    service = ODService(
+        host=args.host, port=args.port, workers=args.workers,
+        store_dir=args.store_dir,
+        max_resident_bytes=args.catalog_bytes,
+        max_cached_partitions=args.cache_max_entries,
+        default_timeout=args.timeout)
+    # the bound port is printed (flushed) before serving so wrappers
+    # spawning `--port 0` can scrape the ephemeral port
+    print(f"repro-od serve: listening on {service.url}", flush=True)
+    try:
+        service.serve_forever()
+    finally:
+        # runs on SIGINT too (KeyboardInterrupt propagates through
+        # serve_forever): drain jobs, shut the shared pool down,
+        # unlink every shm segment
+        service.close()
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     relation = read_csv(args.csv, limit=args.limit)
     detector = ViolationDetector(
@@ -323,7 +385,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     profile = profile_relation(
         relation, max_level=args.max_level,
         approximate_error=args.approx)
-    if args.markdown:
+    if args.json:
+        print(json.dumps(profile.to_dict(top=args.top), indent=2))
+    elif args.markdown:
         print(profile.render_markdown(top=args.top))
     else:
         print(profile.render_text(top=args.top))
@@ -373,6 +437,7 @@ _COMMANDS = {
     "discover": _cmd_discover,
     "append": _cmd_append,
     "watch": _cmd_watch,
+    "serve": _cmd_serve,
     "check": _cmd_check,
     "violations": _cmd_violations,
     "generate": _cmd_generate,
@@ -391,6 +456,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # one SIGINT contract for every long-running command: the
+        # interrupted command's finally blocks have already torn down
+        # engines/pools/servers (no orphan workers, no leaked shm),
+        # so all that is left is the conventional exit status
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

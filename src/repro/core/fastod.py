@@ -108,6 +108,40 @@ class FastODConfig:
             "parallel_min_grouped_rows": self.parallel_min_grouped_rows,
         }
 
+    def canonical_dict(self) -> Dict[str, object]:
+        """Only the knobs that can change a *completed* run's output.
+
+        ``key_pruning``, ``workers``, ``parallel_min_grouped_rows``
+        never alter results (they are work-shaping knobs; parallel runs
+        are byte-identical by construction), and ``timeout_seconds``
+        only matters for runs that actually time out — which the
+        result store refuses to cache.  ``level_pruning`` is
+        normalised to False when minimality pruning is off, where it
+        has no effect.
+        """
+        return {
+            "minimality_pruning": self.minimality_pruning,
+            "level_pruning": (self.level_pruning
+                              and self.minimality_pruning),
+            "max_level": self.max_level,
+        }
+
+    def canonical_key(self) -> str:
+        """A short stable slug of :meth:`canonical_dict` — the second
+        half of the service result store's ``(fingerprint, config)``
+        cache key, and a safe filename component.
+
+        >>> FastODConfig().canonical_key()
+        'min1-lvl1-maxall'
+        >>> FastODConfig(workers=4).canonical_key()   # work-shaping only
+        'min1-lvl1-maxall'
+        """
+        canonical = self.canonical_dict()
+        max_level = canonical["max_level"]
+        return (f"min{int(bool(canonical['minimality_pruning']))}"
+                f"-lvl{int(bool(canonical['level_pruning']))}"
+                f"-max{'all' if max_level is None else int(max_level)}")
+
 
 class FastOD:
     """One discovery run over one relation instance.
@@ -137,9 +171,15 @@ class FastOD:
     # ------------------------------------------------------------------
     # public entry point (Algorithm 1, via the unified engine)
     # ------------------------------------------------------------------
-    def run(self) -> DiscoveryResult:
+    def run(self, budget: Optional[DeadlineBudget] = None
+            ) -> DiscoveryResult:
+        """Run discovery.  ``budget`` injects an externally owned
+        :class:`~repro.engine.DeadlineBudget` (the service job
+        scheduler's cancellation handle); by default one is built from
+        ``config.timeout_seconds``."""
         config = self._config
-        budget = DeadlineBudget(config.timeout_seconds)
+        if budget is None:
+            budget = DeadlineBudget(config.timeout_seconds)
         executor = make_executor(
             self._encoded, workers=config.workers, pool=self._pool,
             min_grouped_rows=config.parallel_min_grouped_rows)

@@ -394,16 +394,28 @@ class CanonicalValidator:
 
     def __init__(self, relation: Union[Relation, EncodedRelation],
                  max_cached_partitions: Optional[int] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 cache: Optional[PartitionCache] = None,
+                 pool=None):
         if isinstance(relation, Relation):
             relation = relation.encode()
         self._relation = relation
-        self._cache = PartitionCache(
-            relation, max_entries=max_cached_partitions)
+        # an injected cache (the service catalog's warm per-dataset
+        # cache) is shared across validators; an owned one dies here
+        if cache is not None:
+            if cache.relation is not relation:
+                raise ValueError(
+                    "the partition cache must wrap this relation's "
+                    "encoding")
+            self._cache = cache
+        else:
+            self._cache = PartitionCache(
+                relation, max_entries=max_cached_partitions)
         self._name_to_index = {
             name: i for i, name in enumerate(relation.names)}
         from repro.engine.executors import make_executor
-        self._executor = make_executor(relation, workers=workers)
+        self._executor = make_executor(relation, workers=workers,
+                                       pool=pool)
 
     @property
     def relation(self) -> EncodedRelation:

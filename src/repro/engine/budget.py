@@ -26,15 +26,27 @@ class DeadlineBudget:
     its cooperative worker-side checks.  An unlimited budget
     (``timeout_seconds=None``) never hits; :meth:`hit` is a cheap
     attribute test so hot loops can consult it per task.
+
+    A budget can also be revoked early: :meth:`cancel` (thread-safe —
+    it only sets a flag) makes every subsequent :meth:`hit` return
+    True, so a traversal handed a shared budget stops at its next
+    check exactly as if the wall clock had expired.  This is how the
+    service layer's job scheduler cancels a *running* job: the HTTP
+    thread cancels the budget, the planner notices between tasks, and
+    the run returns its partial result flagged ``timed_out``.
+    Worker-side cooperative checks key off :attr:`deadline` only, so a
+    cancelled dispatch drains at the next coordinator check rather
+    than mid-chunk.
     """
 
-    __slots__ = ("started", "deadline")
+    __slots__ = ("started", "deadline", "cancelled")
 
     def __init__(self, timeout_seconds: Optional[float] = None):
         self.started = time.perf_counter()
         self.deadline: Optional[float] = (
             None if timeout_seconds is None
             else self.started + timeout_seconds)
+        self.cancelled = False
 
     @classmethod
     def unlimited(cls) -> "DeadlineBudget":
@@ -46,16 +58,24 @@ class DeadlineBudget:
     def bounded(self) -> bool:
         return self.deadline is not None
 
+    def cancel(self) -> None:
+        """Revoke the budget: every later :meth:`hit` returns True."""
+        self.cancelled = True
+
     def hit(self) -> bool:
-        """True once the budget is exhausted (always False when
-        unbounded)."""
+        """True once the budget is exhausted or cancelled (always
+        False when unbounded and not cancelled)."""
+        if self.cancelled:
+            return True
         return (self.deadline is not None
                 and time.perf_counter() > self.deadline)
 
     def remaining(self) -> Optional[float]:
         """Seconds left, or ``None`` when unbounded.  Never negative —
-        an exhausted budget reports 0.0, so it can be handed to a
-        sub-run's ``timeout_seconds`` directly."""
+        an exhausted (or cancelled) budget reports 0.0, so it can be
+        handed to a sub-run's ``timeout_seconds`` directly."""
+        if self.cancelled:
+            return 0.0
         if self.deadline is None:
             return None
         return max(0.0, self.deadline - time.perf_counter())

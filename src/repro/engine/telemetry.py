@@ -54,3 +54,12 @@ class ExecutorTelemetry:
             "phases": {phase: dict(stats)
                        for phase, stats in self.phases.items()},
         }
+
+
+def total_tasks(snapshot: Dict) -> int:
+    """Total resolved tasks in an ``executor_stats`` snapshot — the
+    one place the snapshot's phase/task shape is interpreted (the
+    service smoke suite and benchmark gate "zero new tasks on cache
+    hits" through this)."""
+    return sum(phase.get("tasks", 0)
+               for phase in (snapshot or {}).get("phases", {}).values())

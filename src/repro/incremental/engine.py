@@ -111,7 +111,8 @@ class IncrementalFastOD:
 
     def __init__(self, relation: Relation,
                  config: Optional[FastODConfig] = None,
-                 verify_with_oracle: bool = False):
+                 verify_with_oracle: bool = False,
+                 pool=None):
         config = config or FastODConfig()
         if config.timeout_seconds is not None:
             raise ValueError(
@@ -145,8 +146,11 @@ class IncrementalFastOD:
         self._batch_effects: Dict[int, BatchEffect] = {}
         self._sort_key_cols: Dict[int, List[tuple]] = {}
         self._n_batches = 0
+        # an injected WorkerPool is shared with other engines (the
+        # service job scheduler runs every job's scans on one pool) and
+        # survives close(); an owned pool dies with this engine
         self._executor = make_executor(
-            self._encoded, workers=config.workers,
+            self._encoded, workers=config.workers, pool=pool,
             min_grouped_rows=config.parallel_min_grouped_rows)
         self._result = self._traverse()
         if self._verify:
@@ -159,6 +163,13 @@ class IncrementalFastOD:
     def relation(self) -> Relation:
         """The relation as of the last append."""
         return self._relation
+
+    @property
+    def config(self) -> FastODConfig:
+        """The config every maintained traversal runs under (fixed at
+        construction — it is part of the maintained result's cache
+        identity)."""
+        return self._config
 
     @property
     def result(self) -> DiscoveryResult:

@@ -16,6 +16,7 @@ from repro.core.fastod import FastOD, FastODConfig
 from repro.core.results import DiscoveryResult
 from repro.profile.keys import KeyDiscoveryResult, discover_keys
 from repro.profile.ranking import RankedOD, rank_ods
+from repro.relation.fingerprint import fingerprint as relation_fingerprint
 from repro.relation.table import Relation
 from repro.violations.approximate import (
     ApproximateDiscoveryResult,
@@ -34,6 +35,9 @@ class DataProfile:
     ranked: List[RankedOD] = field(default_factory=list)
     approximate: Optional[ApproximateDiscoveryResult] = None
     elapsed_seconds: float = 0.0
+    #: content digest of the profiled relation — the key the service
+    #: catalog/result store use (:func:`repro.relation.fingerprint`)
+    fingerprint: str = ""
 
     # ------------------------------------------------------------------
     # convenience views
@@ -74,6 +78,33 @@ class DataProfile:
                       if str(a.od) not in exact]
             lines.extend(f"  {a}" for a in nearly[:top])
         return "\n".join(lines)
+
+    def to_dict(self, top: Optional[int] = None) -> dict:
+        """A JSON-ready rendering (``repro-od profile --json``).
+
+        ``top`` truncates the keys/ranked sections like the text
+        renderings do; ``None`` keeps everything.
+        """
+        payload: dict = {
+            "fingerprint": self.fingerprint,
+            "attributes": list(self.relation_names),
+            "n_rows": self.n_rows,
+            "elapsed_seconds": self.elapsed_seconds,
+            "keys": self.keys.rendered()[:top],
+            "constants": list(self.constants),
+            "ods": self.ods.to_dict(),
+            "ranked": [
+                {"od": str(r.od), "coverage": r.coverage,
+                 "context_size": r.context_size}
+                for r in self.ranked[:top]
+            ],
+        }
+        if self.approximate is not None:
+            payload["approximate"] = {
+                "max_error": self.approximate.max_error,
+                "ods": [str(a.od) for a in self.approximate.ods],
+            }
+        return payload
 
     def render_markdown(self, top: int = 10) -> str:
         """The same report with markdown headers and tables."""
@@ -128,6 +159,7 @@ def profile_relation(relation: Relation, *,
         ods=ods,
         ranked=ranked,
         approximate=approximate,
+        fingerprint=relation_fingerprint(relation),
     )
     profile.elapsed_seconds = time.perf_counter() - started
     return profile

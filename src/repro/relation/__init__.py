@@ -2,6 +2,7 @@
 
 from repro.relation.csvio import read_csv, read_csv_text, write_csv
 from repro.relation.encoding import EncodedRelation, rank_encode_column
+from repro.relation.fingerprint import fingerprint
 from repro.relation.schema import (
     Schema,
     bit_count,
@@ -15,6 +16,7 @@ __all__ = [
     "Relation",
     "Schema",
     "bit_count",
+    "fingerprint",
     "iter_bits",
     "mask_of_indices",
     "rank_encode_column",

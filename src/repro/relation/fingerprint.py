@@ -1,0 +1,72 @@
+"""Content fingerprints for relation instances.
+
+Discovery output is a pure function of the *rank structure* of a
+relation: FASTOD, the validators, and the violation detector consume
+only the dense rank columns of
+:class:`~repro.relation.encoding.EncodedRelation` (Section 4.6 of the
+paper) plus the attribute names.  :func:`fingerprint` hashes exactly
+that — the schema and the encoded rank columns — into a hex digest
+that is
+
+* **stable across process restarts** (SHA-256 over raw little-endian
+  ``int64`` bytes; no ``PYTHONHASHSEED`` or dict-order dependence), and
+* **canonical for discovery**: two relations with equal fingerprints
+  produce byte-identical FD/OCD sets, even when their raw cell values
+  differ (``[1, 2]`` and ``[10, 20]`` rank-encode identically, and the
+  algorithms cannot tell them apart).
+
+The service layer's dataset catalog keys resident relations by this
+fingerprint, and the result store keys cached
+:class:`~repro.core.results.DiscoveryResult` payloads by
+``(fingerprint, canonical config)`` — so the digest doubles as the
+cache key contract of ``repro-od serve`` and is surfaced by
+``repro-od profile --json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+from repro.relation.encoding import EncodedRelation
+from repro.relation.table import Relation
+
+#: Bumped whenever the hashed byte layout changes, so digests from
+#: different library versions can never collide silently.
+_FINGERPRINT_VERSION = b"repro-relation-fingerprint-v1"
+
+
+def fingerprint(relation: Union[Relation, EncodedRelation]) -> str:
+    """A stable content digest of one relation's discovery-relevant state.
+
+    Accepts a raw :class:`Relation` (encoded on demand — the encoding
+    is cached on the instance) or an already-encoded relation.  Covers
+    the schema (attribute names, in order), the row count, and every
+    rank column's exact bytes; anything that could change a discovery
+    verdict changes the digest, and nothing else does.
+
+    >>> from repro.relation.table import Relation
+    >>> a = Relation.from_rows(["x", "y"], [(1, 10), (2, 20)])
+    >>> b = Relation.from_rows(["x", "y"], [(5, 100), (7, 300)])
+    >>> fingerprint(a) == fingerprint(b)   # identical rank structure
+    True
+    >>> fingerprint(a) == fingerprint(a.append_rows([(3, 30)]))
+    False
+    """
+    if isinstance(relation, Relation):
+        relation = relation.encode()
+    digest = hashlib.sha256()
+    digest.update(_FINGERPRINT_VERSION)
+    digest.update(str(relation.n_rows).encode("utf-8"))
+    for name in relation.names:
+        digest.update(b"\x00")
+        digest.update(name.encode("utf-8"))
+    for column in relation.ranks:
+        digest.update(b"\x01")
+        digest.update(np.ascontiguousarray(column, dtype="<i8").tobytes())
+    return digest.hexdigest()
+
+
+__all__ = ["fingerprint"]

@@ -1,0 +1,179 @@
+"""A thin typed client for the OD profiling service.
+
+Stdlib :mod:`urllib.request` only — the client mirrors the HTTP API
+one method per route, decodes JSON, and raises
+:class:`ServiceClientError` (with the server's error message and
+status) for non-2xx responses.  It is what the smoke suite, the
+benchmark's concurrent clients, and the tests drive; applications can
+use it directly or treat it as reference code for their own stack.
+
+>>> client = ServiceClient("http://127.0.0.1:8765")   # doctest: +SKIP
+>>> fp = client.register_dataset("flight", n_rows=1000)["fingerprint"]
+...                                                   # doctest: +SKIP
+>>> client.discover(fp)["result"]["n_fds"]            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """A non-2xx response; carries the HTTP status code."""
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://host:8765")``.
+
+    ``timeout`` is the per-request socket timeout; blocking calls
+    (``wait=True``) are bounded server-side by ``wait_seconds``.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 630.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        data = (None if body is None
+                else json.dumps(body).encode("utf-8"))
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+                detail = payload.get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServiceClientError(
+                f"{method} {path} -> {error.code}"
+                + (f": {detail}" if detail else ""),
+                status=error.code) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                f"{method} {path} failed: {error.reason}") from None
+
+    def _get(self, path: str) -> Dict:
+        return self._request("GET", path)
+
+    def _post(self, path: str, body: Dict) -> Dict:
+        return self._request("POST", path, body)
+
+    # ------------------------------------------------------------------
+    # service surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._get("/health")
+
+    def datasets(self) -> List[Dict]:
+        return self._get("/datasets")["datasets"]
+
+    def dataset(self, fingerprint: str) -> Dict:
+        return self._get(f"/datasets/{fingerprint}")
+
+    def register_csv(self, csv: Union[str, Path],
+                     name: Optional[str] = None) -> Dict:
+        """Register CSV content; a :class:`~pathlib.Path` is read
+        first, a plain string is taken as the file's text."""
+        if isinstance(csv, Path):
+            csv = csv.read_text(encoding="utf-8")
+        return self._post("/datasets", {"csv": csv, "name": name})
+
+    def register_rows(self, columns: List[str], rows: List[List],
+                      name: Optional[str] = None) -> Dict:
+        return self._post("/datasets", {"columns": columns,
+                                        "rows": rows, "name": name})
+
+    def register_dataset(self, family: str, n_rows: int = 1000,
+                         n_attrs: int = 10, seed: int = 42,
+                         name: Optional[str] = None) -> Dict:
+        """Register one of the server's synthetic dataset families."""
+        return self._post("/datasets", {
+            "dataset": family, "n_rows": n_rows, "n_attrs": n_attrs,
+            "seed": seed, "name": name})
+
+    # -- jobs ----------------------------------------------------------
+    def submit(self, kind: str, fingerprint: str, wait: bool = False,
+               **params) -> Dict:
+        body = {"kind": kind, "fingerprint": fingerprint,
+                "wait": wait, **params}
+        return self._post("/jobs", body)
+
+    def discover(self, fingerprint: str,
+                 config: Optional[Dict] = None, wait: bool = True,
+                 **params) -> Dict:
+        """Run (or fetch the cached) discovery for one dataset."""
+        if config is not None:
+            params["config"] = config
+        return self.submit("discover", fingerprint, wait=wait, **params)
+
+    def validate(self, fingerprint: str, dependency: str,
+                 wait: bool = True, **params) -> Dict:
+        return self.submit("validate", fingerprint, wait=wait,
+                           dependency=dependency, **params)
+
+    def violations(self, fingerprint: str, dependency: str,
+                   witnesses: int = 5, wait: bool = True,
+                   **params) -> Dict:
+        return self.submit("violations", fingerprint, wait=wait,
+                           dependency=dependency, witnesses=witnesses,
+                           **params)
+
+    def append(self, fingerprint: str, rows: List[List],
+               wait: bool = True, **params) -> Dict:
+        """Append rows to a registered dataset; the response carries
+        the grown content's new fingerprint."""
+        return self._post(f"/datasets/{fingerprint}/append",
+                          {"rows": rows, "wait": wait, **params})
+
+    def jobs(self) -> List[Dict]:
+        return self._get("/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict:
+        return self._get(f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def poll(self, job_id: str, interval: float = 0.05,
+             timeout: float = 60.0) -> Dict:
+        """Poll a job until it reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() > deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still {job['status']} after "
+                    f"{timeout}s")
+            time.sleep(interval)
+
+    # -- results -------------------------------------------------------
+    def results(self, fingerprint: Optional[str] = None) -> List[Dict]:
+        path = ("/results" if fingerprint is None
+                else f"/results/{fingerprint}")
+        return self._get(path)["results"]
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

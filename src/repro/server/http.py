@@ -1,0 +1,321 @@
+"""The HTTP surface: stdlib-only JSON API over catalog/store/jobs.
+
+``ThreadingHTTPServer`` (one thread per connection, no external
+dependencies) fronting the service triple.  Handlers only parse JSON,
+call the scheduler/catalog/store, and render JSON back — every
+decision lives in :mod:`repro.server.jobs` and
+:mod:`repro.server.catalog`, so the API layer stays replaceable.
+
+Routes::
+
+    GET    /health                     liveness + component stats
+    GET    /datasets                   catalog listing
+    POST   /datasets                   register (csv | rows | dataset)
+    GET    /datasets/{fp}              one entry
+    POST   /datasets/{fp}/append       append rows (streaming tenants)
+    GET    /jobs                       all jobs, oldest first
+    POST   /jobs                       submit {kind, fingerprint, ...}
+    GET    /jobs/{id}                  poll one job
+    DELETE /jobs/{id}                  cancel
+    GET    /results                    result-store index
+    GET    /results/{fp}               stored results for one dataset
+
+``POST`` bodies are JSON.  Registration accepts one of ``csv`` (the
+file's text), ``columns`` + ``rows``, or ``dataset`` (a
+:mod:`repro.datasets` family name with ``n_rows``/``n_attrs``/
+``seed``).  Blocking submits (``"wait": true``, the default for
+append and available for every job kind) hold the connection until
+the job finishes — each request has its own thread, so polling
+clients and waiting clients coexist.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.datasets.registry import make_dataset
+from repro.errors import ReproError
+from repro.relation.csvio import read_csv_text
+from repro.relation.table import Relation
+from repro.server.catalog import DatasetCatalog, UnknownFingerprintError
+from repro.server.jobs import JobScheduler, UnknownJobError
+from repro.server.store import ResultStore
+
+#: ceiling on blocking waits, so an abandoned connection cannot pin a
+#: handler thread forever; pollers use GET /jobs/{id} past this
+MAX_WAIT_SECONDS = 600.0
+
+
+class ServiceError(ReproError):
+    """A request the service rejects; carries the HTTP status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class ODService:
+    """The service triple plus the HTTP server wiring.
+
+    >>> service = ODService(port=0)          # ephemeral port
+    >>> service.start()
+    >>> service.port > 0
+    True
+    >>> service.close()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 workers: Optional[int] = None,
+                 store_dir: Optional[str] = None,
+                 max_resident_bytes: Optional[int] = None,
+                 max_cached_partitions: Optional[int] = 64,
+                 default_timeout: Optional[float] = None):
+        self.catalog = DatasetCatalog(
+            max_resident_bytes=max_resident_bytes,
+            max_cached_partitions=max_cached_partitions)
+        self.store = ResultStore(store_dir)
+        self.scheduler = JobScheduler(
+            self.catalog, self.store, workers=workers,
+            default_timeout=default_timeout)
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after construction, so ``port=0``
+        requests an ephemeral port usable in tests and CI)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve in a background thread (in-process embedding)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-od-http",
+            daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI foreground path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting requests, drain the scheduler, free pools."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.scheduler.close()
+        self.catalog.close()
+
+    def __enter__(self) -> "ODService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request-level operations (called from handler threads)
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "catalog": self.catalog.stats(),
+            "store": self.store.stats(),
+            "scheduler": self.scheduler.stats(),
+        }
+
+    def register(self, body: Dict) -> Tuple[int, Dict[str, object]]:
+        relation = self._relation_from_body(body)
+        entry, created = self.catalog.register_entry(
+            relation, name=body.get("name"))
+        return (201 if created else 200), entry.to_dict()
+
+    def _relation_from_body(self, body: Dict) -> Relation:
+        sources = [key for key in ("csv", "rows", "dataset")
+                   if body.get(key) is not None]
+        if len(sources) != 1:
+            raise ServiceError(
+                "registration needs exactly one of 'csv', "
+                "'rows' (+'columns'), or 'dataset'")
+        if body.get("csv") is not None:
+            return read_csv_text(body["csv"])
+        if body.get("rows") is not None:
+            columns = body.get("columns")
+            if not columns:
+                raise ServiceError(
+                    "'rows' registration needs a 'columns' name list")
+            return Relation.from_rows(columns, body["rows"])
+        return make_dataset(
+            body["dataset"],
+            n_rows=int(body.get("n_rows", 1000)),
+            n_attrs=int(body.get("n_attrs", 10)),
+            seed=int(body.get("seed", 42)))
+
+    def submit(self, body: Dict) -> Dict[str, object]:
+        kind = body.get("kind")
+        fingerprint = body.get("fingerprint")
+        if not kind or not fingerprint:
+            raise ServiceError("job submission needs 'kind' and "
+                               "'fingerprint'")
+        params = {key: value for key, value in body.items()
+                  if key not in ("kind", "fingerprint", "wait",
+                                 "wait_seconds")}
+        job = self.scheduler.submit(kind, fingerprint, params)
+        if body.get("wait", kind == "append"):
+            wait = min(float(body.get("wait_seconds",
+                                      MAX_WAIT_SECONDS)),
+                       MAX_WAIT_SECONDS)
+            self.scheduler.wait(job.id, timeout=wait)
+        return job.to_dict()
+
+    def append(self, fingerprint: str, body: Dict) -> Dict[str, object]:
+        body = dict(body)
+        body["kind"] = "append"
+        body["fingerprint"] = fingerprint
+        return self.submit(body)
+
+
+def _make_handler(service: ODService):
+    """A handler class closed over the service (stdlib handlers are
+    classes, not instances)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-od"
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing --------------------------------------------------
+        def log_message(self, fmt, *args):   # noqa: ARG002 — quiet
+            pass
+
+        def _send(self, status: int, payload: Dict) -> None:
+            body = json.dumps(payload, indent=1).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _body(self) -> Dict:
+            if self._body_error is not None:
+                raise ServiceError(self._body_error)
+            return self._parsed_body
+
+        def _read_body(self) -> None:
+            """Drain and parse the request body up front — even a
+            request that 404s must consume its body, or a keep-alive
+            connection desyncs on the unread bytes."""
+            self._parsed_body: Dict = {}
+            self._body_error = None
+            length = int(self.headers.get("Content-Length") or 0)
+            if length == 0:
+                return
+            raw = self.rfile.read(length)
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                self._body_error = "request body is not valid JSON"
+                return
+            if not isinstance(parsed, dict):
+                self._body_error = "request body must be a JSON object"
+                return
+            self._parsed_body = parsed
+
+        def _route(self, method: str) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            try:
+                self._read_body()
+                status, payload = self._dispatch(method, parts)
+            except ServiceError as error:
+                status, payload = error.status, {"error": str(error)}
+            except (UnknownFingerprintError, UnknownJobError) as error:
+                status, payload = 404, {"error": str(error)}
+            except ReproError as error:
+                # every other library rejection (bad config, bad
+                # dependency syntax, schema mismatch) is the
+                # client's request, not a missing resource
+                status, payload = 400, {"error": str(error)}
+            except Exception as error:   # noqa: BLE001 — API boundary
+                status = 500
+                payload = {"error":
+                           f"{type(error).__name__}: {error}"}
+            self._send(status, payload)
+
+        # -- routing ---------------------------------------------------
+        def _dispatch(self, method: str, parts) -> Tuple[int, Dict]:
+            if not parts:
+                raise ServiceError("not found", status=404)
+            head = parts[0]
+            if method == "GET" and parts == ["health"]:
+                return 200, service.health()
+            if head == "datasets":
+                return self._dispatch_datasets(method, parts[1:])
+            if head == "jobs":
+                return self._dispatch_jobs(method, parts[1:])
+            if (head == "results" and method == "GET"
+                    and len(parts) <= 2):
+                entries = service.store.entries()
+                if len(parts) == 2:
+                    entries = [e for e in entries
+                               if e["fingerprint"] == parts[1]]
+                return 200, {"results": entries}
+            raise ServiceError("not found", status=404)
+
+        def _dispatch_datasets(self, method: str, rest) -> Tuple[int, Dict]:
+            if method == "GET" and not rest:
+                return 200, {"datasets": [
+                    entry.to_dict()
+                    for entry in service.catalog.entries()]}
+            if method == "POST" and not rest:
+                return service.register(self._body())
+            if method == "GET" and len(rest) == 1:
+                return 200, service.catalog.get(rest[0]).to_dict()
+            if (method == "POST" and len(rest) == 2
+                    and rest[1] == "append"):
+                return 200, service.append(rest[0], self._body())
+            raise ServiceError("not found", status=404)
+
+        def _dispatch_jobs(self, method: str, rest) -> Tuple[int, Dict]:
+            if method == "GET" and not rest:
+                return 200, {"jobs": [
+                    job.to_dict()
+                    for job in service.scheduler.jobs()]}
+            if method == "POST" and not rest:
+                return 202, service.submit(self._body())
+            if method == "GET" and len(rest) == 1:
+                return 200, service.scheduler.job(rest[0]).to_dict()
+            if method == "DELETE" and len(rest) == 1:
+                cancelled = service.scheduler.cancel(rest[0])
+                return 200, {"id": rest[0], "cancelled": cancelled}
+            raise ServiceError("not found", status=404)
+
+        # -- verbs -----------------------------------------------------
+        def do_GET(self) -> None:       # noqa: N802 — stdlib contract
+            self._route("GET")
+
+        def do_POST(self) -> None:      # noqa: N802
+            self._route("POST")
+
+        def do_DELETE(self) -> None:    # noqa: N802
+            self._route("DELETE")
+
+    return Handler
+
+
+__all__ = ["MAX_WAIT_SECONDS", "ODService", "ServiceError"]

@@ -1,0 +1,465 @@
+"""The job scheduler: concurrent submission, serialised execution.
+
+The service accepts jobs from many HTTP threads at once but runs them
+one at a time on a single runner thread.  That is a deliberate trade,
+not a limitation:
+
+* **one shared** :class:`~repro.parallel.WorkerPool` serves every job
+  (discover products/scans, append-path re-scans, big validate
+  checks).  A pool is bound to one encoded relation at a time, so the
+  runner rebases it per job — safe precisely because execution is
+  serialised — and process workers, published columns, and shared
+  segments are paid for once per server instead of once per request;
+* intra-job parallelism (the level-wise sharding of PR 3/4) already
+  uses every core; running two discoveries concurrently would only
+  interleave their pool dispatches;
+* serialised execution keeps the byte-identical guarantee trivially:
+  an interleaved job stream produces exactly the results of running
+  each job alone (``tests/parallel/test_shared_pool_jobs.py`` asserts
+  this against direct-API runs).
+
+Job lifecycle: ``queued → running → done | failed | cancelled``.
+Every job carries its own :class:`~repro.engine.DeadlineBudget`;
+**only discover traversals consult it** — ``timeout`` bounds a
+discover run, and :meth:`JobScheduler.cancel` revokes a *running*
+discover's budget cooperatively (the planner stops at its next
+check).  Queued jobs of any kind cancel instantly; a running
+validate/violations/append has no cooperative check inside its
+kernels, so cancelling it returns False and the job completes.
+Executor telemetry is surfaced per job — a store-served repeat
+request reports a zero-task snapshot, which is how callers (and the
+smoke suite) verify no re-traversal happened.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional
+
+from repro.core.fastod import FastOD, FastODConfig
+from repro.engine.budget import DeadlineBudget
+from repro.errors import ReproError
+from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.relation.table import Relation
+from repro.server.catalog import DatasetCatalog
+from repro.server.store import ResultStore
+from repro.violations.detect import ViolationDetector
+
+JOB_KINDS = ("discover", "validate", "violations", "append")
+
+#: telemetry reported for store-served requests: no executor ran, so
+#: every phase counter is absent — "zero new tasks" by construction
+CACHED_EXECUTOR_STATS = {
+    "backend": "store",
+    "workers": 0,
+    "peak_residency_bytes": 0,
+    "phases": {},
+}
+
+#: Terminal jobs retained in the ledger.  A long-lived server must
+#: not pin every historical result payload in memory; the oldest
+#: finished jobs (and their payloads) are pruned past this bound,
+#: queued/running jobs are always kept.
+MAX_FINISHED_JOBS = 512
+
+#: FastODConfig fields a job request may set.  Everything else
+#: (timeout) has a dedicated job parameter.
+_CONFIG_FIELDS = (
+    "minimality_pruning", "level_pruning", "key_pruning", "max_level",
+    "workers", "parallel_min_grouped_rows",
+)
+
+
+class JobError(ReproError):
+    """Malformed job parameters or an unusable scheduler."""
+
+
+class UnknownJobError(JobError):
+    """No job answers to this id (HTTP 404)."""
+
+
+def cached_executor_stats() -> Dict[str, object]:
+    """A fresh zero-task telemetry dict per store-served job (jobs
+    must never alias one shared mutable ``phases``)."""
+    return {**CACHED_EXECUTOR_STATS, "phases": {}}
+
+
+def config_from_params(params: Optional[Dict]) -> FastODConfig:
+    """Build a :class:`FastODConfig` from a request's config dict,
+    rejecting unknown knobs (a typo must not silently change the
+    result-store key)."""
+    params = dict(params or {})
+    unknown = set(params) - set(_CONFIG_FIELDS)
+    if unknown:
+        raise JobError(
+            f"unknown config field(s) {sorted(unknown)}; "
+            f"supported: {list(_CONFIG_FIELDS)}")
+    return FastODConfig(**params)
+
+
+class Job:
+    """One unit of service work and its observable state."""
+
+    __slots__ = ("id", "kind", "fingerprint", "params", "status",
+                 "cached", "error", "payload", "executor_stats",
+                 "submitted_at", "started_at", "finished_at", "budget",
+                 "cancel_requested", "_done")
+
+    def __init__(self, job_id: str, kind: str, fingerprint: str,
+                 params: Dict):
+        self.id = job_id
+        self.kind = kind
+        self.fingerprint = fingerprint
+        self.params = params
+        self.status = "queued"
+        self.cached = False
+        self.error: Optional[str] = None
+        self.payload: Optional[Dict] = None
+        self.executor_stats: Optional[Dict] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.budget: Optional[DeadlineBudget] = None
+        self.cancel_requested = False
+        self._done = threading.Event()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    def _finish(self, status: str) -> None:
+        self.status = status
+        self.finished_at = time.time()
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "cached": self.cached,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.started_at is not None and self.finished_at is not None:
+            payload["seconds"] = self.finished_at - self.started_at
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.payload is not None:
+            payload.update(self.payload)
+        if self.executor_stats is not None:
+            payload["executor"] = self.executor_stats
+        return payload
+
+
+class JobScheduler:
+    """Runs service jobs FIFO on one runner thread and one pool.
+
+    ``workers`` sizes the shared pool (``None`` defers to
+    ``REPRO_WORKERS``; 1 = everything serial, no pool is ever
+    created).  ``default_timeout`` bounds jobs that do not bring their
+    own ``timeout`` parameter.
+    """
+
+    def __init__(self, catalog: DatasetCatalog, store: ResultStore,
+                 workers: Optional[int] = None,
+                 default_timeout: Optional[float] = None):
+        self._catalog = catalog
+        self._store = store
+        self._workers = resolve_workers(workers)
+        self._default_timeout = default_timeout
+        self._pool: Optional[WorkerPool] = None
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        self._runner = threading.Thread(
+            target=self._run_loop, name="repro-od-jobs", daemon=True)
+        self._runner.start()
+
+    # ------------------------------------------------------------------
+    # submission / polling surface (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, fingerprint: str,
+               params: Optional[Dict] = None) -> Job:
+        """Queue a job; returns immediately with the job record.
+
+        A ``discover`` whose ``(fingerprint, config)`` is already in
+        the result store completes *at submission*: status ``done``,
+        ``cached=True``, zero-task executor telemetry, no queue trip.
+        """
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"unknown job kind {kind!r}; supported: {list(JOB_KINDS)}")
+        if self._closed:
+            raise JobError("the scheduler is shut down")
+        params = dict(params or {})
+        # validate parameters before the job record exists, so a typo
+        # fails the request instead of stranding a queued/failed job
+        config = (config_from_params(params.get("config"))
+                  if kind in ("discover", "append") else None)
+        if kind in ("validate", "violations"):
+            dependency = params.get("dependency")
+            if not dependency or not isinstance(dependency, str):
+                raise JobError(
+                    f"{kind} jobs need a 'dependency' string")
+        if kind == "violations":
+            try:
+                params["witnesses"] = int(params.get("witnesses", 5))
+            except (TypeError, ValueError):
+                raise JobError("'witnesses' must be an integer") \
+                    from None
+        if kind == "append":
+            rows = params.get("rows")
+            if not isinstance(rows, (list, tuple)) or not rows:
+                raise JobError(
+                    "append jobs need a non-empty 'rows' list")
+        # resolve forwards now so the job is pinned to live content
+        entry = self._catalog.get(fingerprint)
+        with self._lock:
+            self._next_id += 1
+            job = Job(f"job-{self._next_id}", kind, entry.fingerprint,
+                      params)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self._prune_finished()
+        if kind == "discover":
+            cached = self._store.get(entry.fingerprint, config)
+            if cached is not None:
+                job.cached = True
+                job.started_at = time.time()
+                job.payload = {"result": cached.to_dict()}
+                job.executor_stats = cached_executor_stats()
+                job._finish("done")
+                return job
+        self._queue.put(job)
+        return job
+
+    def _prune_finished(self) -> None:
+        """Drop the oldest terminal jobs past ``MAX_FINISHED_JOBS``
+        (caller holds the lock).  Live jobs are never dropped."""
+        finished = [job_id for job_id in self._order
+                    if self._jobs[job_id].finished]
+        for job_id in finished[:max(0, len(finished)
+                                    - MAX_FINISHED_JOBS)]:
+            del self._jobs[job_id]
+            self._order.remove(job_id)
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            found = self._jobs.get(job_id)
+        if found is None:
+            raise UnknownJobError(f"unknown job id {job_id!r}")
+        return found
+
+    def jobs(self) -> List[Job]:
+        """All jobs, oldest first."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job.  Queued jobs cancel instantly; a *running*
+        discover has its deadline budget revoked and stops at the
+        traversal's next budget check.  Returns False when the cancel
+        cannot take effect — the job already finished, or it is a
+        running validate/violations/append (those kernels have no
+        cooperative budget checks and will complete)."""
+        job = self.job(job_id)
+        with self._lock:
+            if job.finished:
+                return False
+            job.cancel_requested = True
+            if job.status == "queued":
+                job._finish("cancelled")
+                return True
+            if job.kind != "discover":
+                # already running without a budget-consulting kernel:
+                # be honest that this request changes nothing
+                job.cancel_requested = False
+                return False
+        if job.budget is not None:
+            job.budget.cancel()
+        return True
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until a job finishes (or ``timeout`` elapses)."""
+        job = self.job(job_id)
+        job.wait(timeout)
+        return job
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "jobs": by_status,
+            "queued": self._queue.qsize(),
+            "workers": self._workers,
+            "pool_started": self._pool is not None,
+        }
+
+    def close(self) -> None:
+        """Stop the runner thread and shut the shared pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._runner.join(timeout=30.0)
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution (the runner thread only)
+    # ------------------------------------------------------------------
+    def _shared_pool(self, encoded) -> Optional[WorkerPool]:
+        """The one pool every job shares, rebased onto this job's
+        relation.  ``None`` when the server runs serial."""
+        if self._workers < 2:
+            return None
+        if self._pool is not None and self._pool.closed:
+            self._pool = None           # a crashed dispatch tore it down
+        if self._pool is None:
+            self._pool = WorkerPool(encoded, self._workers)
+        elif self._pool.relation is not encoded:
+            self._pool.rebase(encoded)
+        return self._pool
+
+    def _run_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if job.finished:        # cancelled while queued
+                    continue
+                job.status = "running"
+                job.started_at = time.time()
+                timeout = job.params.get(
+                    "timeout", self._default_timeout)
+                job.budget = DeadlineBudget(timeout)
+                if job.cancel_requested:
+                    job.budget.cancel()
+            pinned = None
+            try:
+                # pin the entry for the job's whole run: catalog
+                # eviction fires on HTTP handler threads and must not
+                # close this entry's engines while we use them
+                pinned = self._catalog.get(job.fingerprint)
+                self._catalog.pin(pinned)
+                handler = getattr(self, f"_run_{job.kind}")
+                handler(job)
+            except Exception as error:   # noqa: BLE001 — job isolation
+                job.error = (
+                    f"{type(error).__name__}: {error}\n"
+                    + traceback.format_exc(limit=5))
+                job._finish("failed")
+            finally:
+                if pinned is not None:
+                    self._catalog.unpin(pinned)
+
+    def _finish_ok(self, job: Job, interrupted: bool = False) -> None:
+        """``cancelled`` only when the work actually stopped early —
+        a cancel that arrives after a job's last budget check still
+        yields the completed result as ``done``."""
+        if job.cancel_requested and interrupted:
+            job._finish("cancelled")
+        else:
+            job._finish("done")
+
+    def _run_discover(self, job: Job) -> None:
+        entry = self._catalog.get(job.fingerprint)
+        config = config_from_params(job.params.get("config"))
+        result = self._store.get(entry.fingerprint, config)
+        if result is not None:          # stored while we were queued
+            job.cached = True
+            job.payload = {"result": result.to_dict()}
+            job.executor_stats = cached_executor_stats()
+            self._finish_ok(job)
+            return
+        pool = self._shared_pool(entry.encoded)
+        result = FastOD(entry.relation, config, cache=entry.cache,
+                        pool=pool).run(budget=job.budget)
+        stored = self._store.put(entry.fingerprint, config, result)
+        job.payload = {"result": result.to_dict(), "stored": stored}
+        job.executor_stats = result.executor_stats
+        self._finish_ok(job, interrupted=result.timed_out)
+
+    def _check(self, job: Job, max_witnesses: int, count_pairs: bool
+               ) -> None:
+        entry = self._catalog.get(job.fingerprint)
+        dependency = job.params.get("dependency")
+        if not dependency:
+            raise JobError(f"{job.kind} jobs need a 'dependency'")
+        pool = self._shared_pool(entry.encoded)
+        detector = ViolationDetector(
+            entry.relation, cache=entry.cache,
+            workers=self._workers, pool=pool)
+        try:
+            report = detector.check(
+                dependency, max_witnesses=max_witnesses,
+                count_pairs=count_pairs)
+            job.payload = {"report": report.to_dict()}
+            job.executor_stats = detector.executor_stats()
+        finally:
+            detector.close()
+        self._finish_ok(job)
+
+    def _run_validate(self, job: Job) -> None:
+        self._check(job, max_witnesses=0, count_pairs=False)
+
+    def _run_violations(self, job: Job) -> None:
+        self._check(job,
+                    max_witnesses=int(job.params.get("witnesses", 5)),
+                    count_pairs=True)
+
+    def _run_append(self, job: Job) -> None:
+        rows = job.params.get("rows")
+        if not rows:
+            raise JobError("append jobs need non-empty 'rows'")
+        entry = self._catalog.get(job.fingerprint)
+        config = config_from_params(job.params.get("config"))
+        pool = self._shared_pool(entry.encoded)
+        engine = self._catalog.ensure_incremental(
+            entry.fingerprint, config, pool=pool)
+        batch = Relation.from_rows(entry.relation.names, rows)
+        report = engine.append(batch)
+        new_fp = self._catalog.rekey_after_append(entry)
+        self._store.put(new_fp, engine.config, engine.result)
+        job.payload = {
+            "report": report.to_dict(),
+            "fingerprint": new_fp,
+            "result": engine.result.to_dict(),
+        }
+        job.executor_stats = engine.executor_stats()
+        self._finish_ok(job)
+
+
+__all__ = [
+    "CACHED_EXECUTOR_STATS",
+    "JOB_KINDS",
+    "Job",
+    "JobError",
+    "JobScheduler",
+    "UnknownJobError",
+    "cached_executor_stats",
+    "config_from_params",
+]

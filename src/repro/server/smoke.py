@@ -1,0 +1,186 @@
+"""The server smoke suite: ``python -m repro.server.smoke``.
+
+Boots a real ``repro-od serve`` subprocess on an ephemeral port and
+drives the documented tenant flow end to end through the typed
+client:
+
+1. register a dataset,
+2. cold discover — byte-identical to a direct in-process
+   :class:`~repro.core.fastod.FastOD` run,
+3. cached re-discover — ``cached=True`` with *zero-task* executor
+   telemetry (no re-traversal happened),
+4. append a batch — the response re-keys the dataset and the grown
+   content's discover is again a pure store hit,
+5. poll the job list, then
+
+interrupt the server with SIGINT and assert the hygiene contract:
+exit code 130, **no leaked shared-memory segments**, and **no orphan
+worker processes** (every child alive during the run must be gone).
+
+This is the CI gate for the service layer; it runs with
+``REPRO_WORKERS=2`` so the shared pool really exists and really gets
+torn down.  Exit status 0 = green.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Set
+
+from repro.core.fastod import FastOD, FastODConfig
+from repro.datasets import make_dataset
+from repro.engine.telemetry import total_tasks
+from repro.server.client import ServiceClient
+
+DATASET = dict(family="flight", n_rows=2000, n_attrs=6, seed=17)
+
+
+def shm_segments() -> Set[str]:
+    shm = Path("/dev/shm")
+    if not shm.is_dir():
+        return set()
+    return {p.name for p in shm.iterdir()}
+
+
+def child_pids(parent: int) -> List[int]:
+    """PIDs whose direct parent is ``parent`` (Linux /proc scan)."""
+    children = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue
+        # field 4 (after the parenthesised comm, which may hold
+        # spaces) is ppid
+        ppid = int(stat.rsplit(")", 1)[-1].split()[1])
+        if ppid == parent:
+            children.append(int(entry.name))
+    return children
+
+
+def pid_alive(pid: int) -> bool:
+    """True for a live, non-zombie process (a zombie is dead — it
+    merely awaits reaping by init)."""
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text()
+    except OSError:
+        return False
+    return stat.rsplit(")", 1)[-1].split()[0] != "Z"
+
+
+def wait_for_exit(pids: List[int], timeout: float = 10.0) -> List[int]:
+    """PIDs still alive after ``timeout`` (dying workers get a bounded
+    grace period — process teardown is asynchronous)."""
+    deadline = time.monotonic() + timeout
+    remaining = list(pids)
+    while remaining and time.monotonic() < deadline:
+        remaining = [pid for pid in remaining if pid_alive(pid)]
+        if remaining:
+            time.sleep(0.1)
+    return remaining
+
+
+def check(condition: bool, label: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {label}")
+    if not condition:
+        raise SystemExit(f"smoke check failed: {label}")
+
+
+def main() -> int:
+    shm_before = shm_segments()
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", str(
+        Path(__file__).resolve().parents[2]))
+    env["REPRO_WORKERS"] = env.get("REPRO_WORKERS", "2")
+    env["PYTHONUNBUFFERED"] = "1"
+
+    print("booting repro-od serve on an ephemeral port ...")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+    workers: List[int] = []
+    try:
+        ready = server.stdout.readline()
+        check("listening on" in ready, f"server ready ({ready.strip()})")
+        client = ServiceClient(ready.strip().rsplit(" ", 1)[-1])
+
+        check(client.health()["status"] == "ok", "GET /health")
+
+        entry = client.register_dataset(**DATASET)
+        fp = entry["fingerprint"]
+        check(len(fp) == 64, f"registered {DATASET['family']} as "
+                             f"{fp[:12]}…")
+
+        cold = client.discover(fp)
+        check(cold["status"] == "done" and not cold["cached"],
+              "cold discover completed")
+        relation = make_dataset(
+            DATASET["family"], n_rows=DATASET["n_rows"],
+            n_attrs=DATASET["n_attrs"], seed=DATASET["seed"])
+        direct = FastOD(relation, FastODConfig()).run().to_dict()
+        check(cold["result"]["fds"] == direct["fds"]
+              and cold["result"]["ocds"] == direct["ocds"],
+              "cold result byte-identical to direct FastOD "
+              f"({direct['n_fds']} FDs + {direct['n_ocds']} OCDs)")
+
+        warm = client.discover(fp)
+        check(warm["cached"] is True, "re-discover served from store")
+        check(total_tasks(warm.get("executor")) == 0,
+              "cached hit ran zero executor tasks")
+        check(warm["result"]["fds"] == direct["fds"],
+              "cached result identical")
+
+        # the pool exists now — remember the worker pids for the
+        # orphan check
+        workers = child_pids(server.pid)
+
+        batch = [[int(v) for v in relation.row(i)] for i in range(20)]
+        appended = client.append(fp, batch)
+        check(appended["status"] == "done", "append folded a batch in")
+        new_fp = appended["fingerprint"]
+        check(new_fp != fp, "append re-keyed the dataset")
+        post = client.discover(new_fp)
+        check(post["cached"] is True,
+              "post-append discover is a store hit")
+        grown = relation.append_rows(batch)
+        grown_direct = FastOD(grown, FastODConfig()).run().to_dict()
+        check(post["result"]["fds"] == grown_direct["fds"]
+              and post["result"]["ocds"] == grown_direct["ocds"],
+              "appended result byte-identical to direct FastOD on "
+              "the grown relation")
+
+        jobs = client.jobs()
+        check(len(jobs) >= 4 and all(
+            job["status"] == "done" for job in jobs),
+            f"job ledger consistent ({len(jobs)} jobs, all done)")
+        check(len(client.results()) >= 2, "result store populated")
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGINT)
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+
+    check(server.returncode == 130,
+          f"SIGINT exit code 130 (got {server.returncode})")
+    leaked = shm_segments() - shm_before
+    check(not leaked, f"no leaked shm segments {sorted(leaked) or ''}")
+    orphans = wait_for_exit(workers)
+    check(not orphans, f"no orphan worker processes {orphans or ''}")
+    print("smoke suite green")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""The result store: discovery output keyed by content + config.
+
+A discovery result is a pure function of ``(rank structure, config)``:
+the fingerprint (:func:`repro.relation.fingerprint`) captures the
+first, :meth:`~repro.core.fastod.FastODConfig.canonical_key` the
+second (work-shaping knobs — workers, key pruning, thresholds — are
+excluded because they never change output).  :class:`ResultStore`
+memoizes :class:`~repro.core.results.DiscoveryResult` objects under
+that pair, so a repeat request is served without re-traversal.
+
+Persistence rides the existing :mod:`repro.core.serialize` round-trip:
+every stored result is written as
+``<directory>/<fingerprint>/<config-key>.json`` (the same
+human-readable format ``save_result`` emits), and a store pointed at a
+populated directory indexes it lazily on first lookup — a restarted
+server keeps serving yesterday's cache.
+
+Two classes of result are refused:
+
+* ``timed_out`` results — they are partial, and which candidates
+  finished depends on the machine's clock, not the key;
+* results whose config was not canonically complete (the store trusts
+  :meth:`canonical_key`, so callers must pass the config the run used).
+
+Thread safety: one lock around the index; the JSON write itself goes
+through a temp-file rename so a crashed writer never leaves a torn
+file for the lazy loader.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.fastod import FastODConfig
+from repro.core.results import DiscoveryResult
+from repro.core.serialize import result_from_dict, result_to_dict
+from repro.errors import ReproError
+
+StoreKey = Tuple[str, str]
+
+
+class ResultStore:
+    """Fingerprint + canonical-config keyed cache of discovery results.
+
+    ``directory=None`` keeps the store purely in memory (tests, or
+    ephemeral servers); otherwise results land on disk and survive
+    restarts.
+
+    >>> store = ResultStore()
+    >>> store.get("fp", FastODConfig()) is None
+    True
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None):
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._results: Dict[StoreKey, DiscoveryResult] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(fingerprint: str, config: FastODConfig) -> StoreKey:
+        """The ``(fingerprint, canonical config)`` cache key."""
+        return (fingerprint, config.canonical_key())
+
+    def _path(self, key: StoreKey) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        return self._directory / key[0] / f"{key[1]}.json"
+
+    # ------------------------------------------------------------------
+    # lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str,
+            config: FastODConfig) -> Optional[DiscoveryResult]:
+        """The cached result for this content + config, or ``None``.
+
+        Disk entries written by an earlier process are loaded lazily
+        and kept resident afterwards."""
+        key = self.key(fingerprint, config)
+        with self._lock:
+            result = self._results.get(key)
+            if result is not None:
+                self.hits += 1
+                return result
+            path = self._path(key)
+            if path is not None and path.exists():
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                    result = result_from_dict(payload)
+                except (OSError, ValueError, ReproError):
+                    result = None       # torn/stale file: recompute
+                if result is not None:
+                    self._results[key] = result
+                    self.hits += 1
+                    return result
+            self.misses += 1
+            return None
+
+    def put(self, fingerprint: str, config: FastODConfig,
+            result: DiscoveryResult) -> bool:
+        """Cache a completed result; returns False (and stores
+        nothing) for ``timed_out`` partials."""
+        if result.timed_out:
+            return False
+        key = self.key(fingerprint, config)
+        with self._lock:
+            self._results[key] = result
+        # serialize + write OUTSIDE the lock: the submission fast path
+        # (store.get from HTTP threads) must not stall behind a large
+        # result's JSON dump.  Only the runner thread writes, and the
+        # temp-file rename keeps readers from ever seeing a torn file.
+        path = self._path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(result_to_dict(result), indent=2),
+                encoding="utf-8")
+            os.replace(tmp, path)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Every stored result (resident and on-disk), summarised."""
+        with self._lock:
+            index: Dict[StoreKey, Dict[str, object]] = {}
+            for (fp, ckey), result in self._results.items():
+                index[(fp, ckey)] = {
+                    "fingerprint": fp,
+                    "config_key": ckey,
+                    "n_ods": result.n_ods,
+                    "n_rows": result.n_rows,
+                    "resident": True,
+                }
+            if self._directory is not None and self._directory.exists():
+                for fp_dir in sorted(self._directory.iterdir()):
+                    if not fp_dir.is_dir():
+                        continue
+                    for path in sorted(fp_dir.glob("*.json")):
+                        key = (fp_dir.name, path.stem)
+                        if key not in index:
+                            index[key] = {
+                                "fingerprint": key[0],
+                                "config_key": key[1],
+                                "resident": False,
+                            }
+            return list(index.values())
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "resident": len(self._results),
+                "hits": self.hits,
+                "misses": self.misses,
+                "directory": (str(self._directory)
+                              if self._directory else None),
+            }
+
+
+__all__ = ["ResultStore", "StoreKey"]

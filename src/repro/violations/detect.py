@@ -59,6 +59,19 @@ class ViolationReport:
                 lines.append("  via " + str(part).replace("\n", "\n  "))
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """A JSON-ready rendering (the service API's validate /
+        violations job payload)."""
+        payload: dict = {
+            "dependency": self.dependency,
+            "holds": self.holds,
+            "n_violating_pairs": self.n_violating_pairs,
+            "witnesses": [str(witness) for witness in self.witnesses],
+        }
+        if self.parts:
+            payload["parts"] = [part.to_dict() for part in self.parts]
+        return payload
+
 
 # ----------------------------------------------------------------------
 # exact pair counting
@@ -180,12 +193,13 @@ class ViolationDetector:
 
     def __init__(self, relation: Relation,
                  max_cached_partitions: Optional[int] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 cache=None, pool=None):
         self._relation = relation
         self._validator = CanonicalValidator(
             relation.encode(),
             max_cached_partitions=max_cached_partitions,
-            workers=workers)
+            workers=workers, cache=cache, pool=pool)
         self._encoded = self._validator.relation
         self._index = {name: i for i, name in enumerate(self._encoded.names)}
 

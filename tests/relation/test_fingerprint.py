@@ -1,0 +1,95 @@
+"""relation.fingerprint: the service layer's content-identity contract."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.datasets import make_dataset
+from repro.relation.fingerprint import fingerprint
+from repro.relation.table import Relation
+from tests.conftest import make_relation
+
+
+class TestDeterminism:
+    def test_same_content_same_digest(self):
+        a = make_relation(3, [(1, 10, 5), (2, 20, 5), (3, 30, 5)])
+        b = make_relation(3, [(1, 10, 5), (2, 20, 5), (3, 30, 5)])
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_constructor_independent(self):
+        rows = [(1, "x"), (2, "y")]
+        from_rows = Relation.from_rows(["a", "b"], rows)
+        from_cols = Relation.from_columns(
+            {"a": [1, 2], "b": ["x", "y"]})
+        assert fingerprint(from_rows) == fingerprint(from_cols)
+
+    def test_encoded_relation_accepted(self):
+        relation = make_relation(2, [(1, 2), (3, 4)])
+        assert fingerprint(relation) == fingerprint(relation.encode())
+
+    def test_hex_digest_shape(self):
+        digest = fingerprint(make_relation(1, [(1,)]))
+        assert len(digest) == 64
+        int(digest, 16)     # hex
+
+
+class TestDiscoveryCanonicality:
+    """Equal rank structure <=> equal fingerprint: the digest names a
+    discovery-equivalence class, not raw bytes."""
+
+    def test_rank_equivalent_values_collide_by_design(self):
+        a = make_relation(2, [(1, 10), (2, 20)])
+        b = make_relation(2, [(5, 100), (7, 300)])
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_value_order_matters(self):
+        ascending = make_relation(2, [(1, 1), (2, 2)])
+        swapped = make_relation(2, [(1, 2), (2, 1)])
+        assert fingerprint(ascending) != fingerprint(swapped)
+
+    def test_schema_names_matter(self):
+        rows = [(1, 2), (3, 4)]
+        assert (fingerprint(Relation.from_rows(["a", "b"], rows))
+                != fingerprint(Relation.from_rows(["a", "c"], rows)))
+
+    def test_column_order_matters(self):
+        a = Relation.from_columns({"a": [1, 2], "b": [2, 1]})
+        b = Relation.from_columns({"b": [2, 1], "a": [1, 2]})
+        # same name set, different attribute order -> different digest
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_rows_matter(self):
+        base = make_relation(2, [(1, 2), (3, 4)])
+        assert fingerprint(base) != fingerprint(
+            base.append_rows([(5, 6)]))
+
+    def test_incremental_vs_fresh_encoding_agree(self):
+        base = make_relation(2, [(2, 20), (4, 40)])
+        base.encode()
+        grown = base.append_rows([(3, 30), (1, 10)])
+        fresh = make_relation(2, [(2, 20), (4, 40), (3, 30), (1, 10)])
+        assert fingerprint(grown) == fingerprint(fresh)
+
+
+class TestCrossProcessStability:
+    def test_stable_across_process_restarts(self):
+        """The digest must not depend on PYTHONHASHSEED or any other
+        per-process state — a restarted server must key the same
+        content identically."""
+        relation = make_dataset("flight", n_rows=80, n_attrs=5, seed=9)
+        script = (
+            "from repro.datasets import make_dataset\n"
+            "from repro.relation.fingerprint import fingerprint\n"
+            "print(fingerprint(make_dataset('flight', n_rows=80, "
+            "n_attrs=5, seed=9)))\n")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        env["PYTHONHASHSEED"] = "12345"     # differs from this process
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True, env=env)
+        assert out.stdout.strip() == fingerprint(relation)

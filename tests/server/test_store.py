@@ -1,0 +1,124 @@
+"""ResultStore: (fingerprint, canonical config) keyed result caching."""
+
+from __future__ import annotations
+
+from repro.core.fastod import FastOD, FastODConfig
+from repro.relation.fingerprint import fingerprint
+from repro.server.store import ResultStore
+from tests.conftest import make_relation
+
+
+def relation():
+    return make_relation(3, [(1, 10, 5), (2, 20, 5), (3, 30, 5)])
+
+
+class TestCanonicalKey:
+    def test_default_key(self):
+        assert FastODConfig().canonical_key() == "min1-lvl1-maxall"
+
+    def test_work_shaping_knobs_ignored(self):
+        base = FastODConfig()
+        for variant in (FastODConfig(workers=8),
+                        FastODConfig(key_pruning=False),
+                        FastODConfig(parallel_min_grouped_rows=0),
+                        FastODConfig(timeout_seconds=30.0)):
+            assert variant.canonical_key() == base.canonical_key()
+
+    def test_result_shaping_knobs_distinguish(self):
+        keys = {FastODConfig().canonical_key(),
+                FastODConfig(max_level=2).canonical_key(),
+                FastODConfig(minimality_pruning=False,
+                             level_pruning=False).canonical_key(),
+                FastODConfig(level_pruning=False).canonical_key()}
+        assert len(keys) == 4
+
+    def test_level_pruning_normalised_when_minimality_off(self):
+        # level pruning has no effect without minimality pruning, so
+        # both spellings share one store entry
+        assert (FastODConfig(minimality_pruning=False,
+                             level_pruning=True).canonical_key()
+                == FastODConfig(minimality_pruning=False,
+                                level_pruning=False).canonical_key())
+
+
+class TestMemoryStore:
+    def test_roundtrip(self):
+        store = ResultStore()
+        rel = relation()
+        fp = fingerprint(rel)
+        config = FastODConfig()
+        assert store.get(fp, config) is None
+        result = FastOD(rel, config).run()
+        assert store.put(fp, config, result) is True
+        cached = store.get(fp, config)
+        assert cached is result
+        assert store.hits == 1 and store.misses == 1
+
+    def test_config_partitions_the_key_space(self):
+        store = ResultStore()
+        rel = relation()
+        fp = fingerprint(rel)
+        store.put(fp, FastODConfig(), FastOD(rel).run())
+        assert store.get(fp, FastODConfig(max_level=1)) is None
+
+    def test_workers_share_the_entry(self):
+        store = ResultStore()
+        rel = relation()
+        fp = fingerprint(rel)
+        store.put(fp, FastODConfig(workers=2), FastOD(rel).run())
+        assert store.get(fp, FastODConfig(workers=8)) is not None
+
+    def test_timed_out_results_refused(self):
+        store = ResultStore()
+        rel = relation()
+        result = FastOD(rel).run()
+        result.timed_out = True
+        assert store.put(fingerprint(rel), FastODConfig(),
+                         result) is False
+        assert len(store) == 0
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path):
+        rel = relation()
+        fp = fingerprint(rel)
+        config = FastODConfig()
+        result = FastOD(rel, config).run()
+        ResultStore(tmp_path).put(fp, config, result)
+
+        reloaded = ResultStore(tmp_path).get(fp, config)
+        assert reloaded is not None
+        assert reloaded.same_ods(result)
+        assert [str(fd) for fd in reloaded.fds] == [
+            str(fd) for fd in sorted(
+                result.fds, key=type(result.fds[0]).sort_key)]
+
+    def test_file_layout(self, tmp_path):
+        rel = relation()
+        fp = fingerprint(rel)
+        config = FastODConfig(max_level=2)
+        ResultStore(tmp_path).put(fp, config, FastOD(rel, config).run())
+        expected = tmp_path / fp / f"{config.canonical_key()}.json"
+        assert expected.exists()
+
+    def test_torn_file_recomputes(self, tmp_path):
+        rel = relation()
+        fp = fingerprint(rel)
+        config = FastODConfig()
+        path = tmp_path / fp / f"{config.canonical_key()}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json", encoding="utf-8")
+        assert ResultStore(tmp_path).get(fp, config) is None
+
+    def test_entries_lists_disk_and_resident(self, tmp_path):
+        rel = relation()
+        fp = fingerprint(rel)
+        config = FastODConfig()
+        ResultStore(tmp_path).put(fp, config, FastOD(rel, config).run())
+        fresh = ResultStore(tmp_path)
+        entries = fresh.entries()
+        assert len(entries) == 1
+        assert entries[0]["fingerprint"] == fp
+        assert entries[0]["resident"] is False
+        fresh.get(fp, config)
+        assert fresh.entries()[0]["resident"] is True

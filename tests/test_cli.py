@@ -105,6 +105,32 @@ class TestProfile:
         assert main(["profile", csv_file, "--approx", "0.3"]) == 0
         assert "Approximate" in capsys.readouterr().out
 
+    def test_json_report_carries_fingerprint(self, csv_file, capsys):
+        from repro.relation.csvio import read_csv
+        from repro.relation.fingerprint import fingerprint
+
+        assert main(["profile", csv_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # the digest the service catalog/result store key on
+        assert payload["fingerprint"] == fingerprint(
+            read_csv(csv_file))
+        assert payload["ods"]["n_fds"] >= 1
+        assert payload["keys"] == []   # duplicated row: no key
+        assert "c2" in payload["constants"]
+
+
+class TestServeParser:
+    def test_serve_is_wired(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2",
+             "--store-dir", "/tmp/x", "--catalog-bytes", "1000"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.catalog_bytes == 1000
+
 
 class TestKeys:
     def test_duplicate_rows_no_key(self, csv_file, capsys):
