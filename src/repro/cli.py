@@ -13,17 +13,21 @@ Subcommands::
 
 Run ``repro-od <subcommand> --help`` for details.
 
-Long-running commands (``watch``, ``serve``) exit cleanly on SIGINT:
-worker pools and shared-memory segments are torn down in the command's
-``finally`` path and the process exits with code 130 (the
-conventional 128+SIGINT), never leaving orphan workers or leaked
-segments behind.
+Long-running commands (``watch``, ``serve``) exit cleanly on SIGINT
+*and* SIGTERM: worker pools, shared-memory segments, and the job
+journal are torn down in the command's ``finally`` path and the
+process exits with the conventional code — 130 (128+SIGINT) or 143
+(128+SIGTERM) — never leaving orphan workers or leaked segments
+behind.  SIGTERM is what process supervisors (systemd, Docker,
+Kubernetes) send first, so a supervised ``repro-od serve`` drains
+gracefully on shutdown instead of being killed dirty.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from typing import List, Optional
@@ -127,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "discover jobs (the budget-consulting "
                             "kind; validate/violations/append run to "
                             "completion)")
+    serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                       help="durable job journal: registrations and "
+                            "job transitions are fsync'd here and "
+                            "replayed on restart (datasets "
+                            "re-registered, never-started jobs "
+                            "re-queued, interrupted jobs marked "
+                            "crashed); default: no journal")
 
     check = sub.add_parser(
         "check", help="check whether one dependency holds")
@@ -324,16 +335,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_dir=args.store_dir,
         max_resident_bytes=args.catalog_bytes,
         max_cached_partitions=args.cache_max_entries,
-        default_timeout=args.timeout)
+        default_timeout=args.timeout,
+        journal_dir=args.journal_dir)
     # the bound port is printed (flushed) before serving so wrappers
     # spawning `--port 0` can scrape the ephemeral port
     print(f"repro-od serve: listening on {service.url}", flush=True)
+    if args.journal_dir is not None:
+        recovered = service.recovered
+        print(f"repro-od serve: journal replayed — "
+              f"{recovered['datasets']} dataset(s) re-registered, "
+              f"{recovered['requeued']} job(s) re-queued, "
+              f"{recovered['crashed']} marked crashed", flush=True)
     try:
         service.serve_forever()
     finally:
-        # runs on SIGINT too (KeyboardInterrupt propagates through
-        # serve_forever): drain jobs, shut the shared pool down,
-        # unlink every shm segment
+        # runs on SIGINT/SIGTERM too (both propagate through
+        # serve_forever as exceptions): drain jobs, shut the shared
+        # pool down, unlink every shm segment, close the journal
         service.close()
     return 0
 
@@ -448,9 +466,32 @@ _COMMANDS = {
 }
 
 
+class _Terminated(Exception):
+    """SIGTERM, re-raised as an exception so ``finally`` blocks run."""
+
+
+def _raise_terminated(signum, frame):  # noqa: ARG001 — signal contract
+    raise _Terminated()
+
+
+def _install_sigterm_handler() -> None:
+    """Route SIGTERM through the same exception-based teardown as
+    SIGINT.  Long-running commands only (``serve``/``watch``): a
+    supervisor's TERM then drains pools/journals via the command's
+    ``finally`` path and exits 143 instead of dying mid-write.  Only
+    possible on the main thread; anywhere else the default
+    (terminate) behavior is kept."""
+    try:
+        signal.signal(signal.SIGTERM, _raise_terminated)
+    except ValueError:  # pragma: no cover - non-main thread embedding
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command in ("serve", "watch"):
+        _install_sigterm_handler()
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:
@@ -463,6 +504,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # so all that is left is the conventional exit status
         print("interrupted", file=sys.stderr)
         return 130
+    except _Terminated:
+        # same contract for SIGTERM (128 + 15)
+        print("terminated", file=sys.stderr)
+        return 143
 
 
 if __name__ == "__main__":

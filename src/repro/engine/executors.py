@@ -24,16 +24,30 @@ this protocol — not another traversal fork.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Hashable, Optional, Protocol, Sequence, Tuple
 
 import repro.parallel.pool as pool_module
 from repro.engine.budget import DeadlineBudget
 from repro.engine.tasks import ProductTask
 from repro.engine.telemetry import ExecutorTelemetry
-from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.parallel.pool import (PoolDispatchError, WorkerPool,
+                                 resolve_workers)
 from repro.partitions.cache import PartitionCache
 from repro.partitions.partition import StrippedPartition
 from repro.relation.encoding import EncodedRelation
+
+#: Crashed dispatches tolerated per batch before the remaining tasks
+#: are quarantined to the serial path: the first crash rebuilds the
+#: pool and re-runs only unacknowledged tasks, a second crash on the
+#: same batch stops trusting the pool with it (poison-task
+#: quarantine — the serial kernels never touch the failure surface).
+MAX_DISPATCH_CRASHES = 2
+
+#: Capped exponential backoff between a crash and the rebuilt pool's
+#: retry dispatch (seconds): base * 2^(crash-1), capped.
+RETRY_BACKOFF_BASE = 0.05
+RETRY_BACKOFF_CAP = 1.0
 
 #: ``(key, context_key, mode, a, b)`` — a scan against a published
 #: context partition.  Modes: ``"swap"``, ``"const"``, ``"swap_desc"``
@@ -158,7 +172,8 @@ class PoolExecutor:
     def __init__(self, relation: EncodedRelation, workers: int,
                  pool: Optional[WorkerPool] = None,
                  min_grouped_rows: Optional[int] = None,
-                 min_rows: Optional[int] = None):
+                 min_rows: Optional[int] = None,
+                 stall_timeout: Optional[float] = None):
         if workers < 2:
             raise ValueError("PoolExecutor needs workers >= 2; use "
                              "SerialExecutor for serial runs")
@@ -168,6 +183,8 @@ class PoolExecutor:
         self._owned: Optional[WorkerPool] = None
         self._min_grouped_rows = min_grouped_rows
         self._min_rows = min_rows
+        self.stall_timeout = stall_timeout
+        self._rebuild_pending = False
         self.telemetry = ExecutorTelemetry("pool", workers)
         self._serial = SerialExecutor(relation, telemetry=self.telemetry)
 
@@ -215,9 +232,44 @@ class PoolExecutor:
             return self._injected
         if self._owned is not None and self._owned.closed:
             self._owned = None          # crashed earlier: rebuild
+            self._rebuild_pending = True
         if self._owned is None:
-            self._owned = WorkerPool(self._relation, self.workers)
+            self._owned = WorkerPool(self._relation, self.workers,
+                                     stall_timeout=self.stall_timeout)
+            if self._rebuild_pending:
+                self.telemetry.record_rebuild()
+                self._rebuild_pending = False
         return self._owned
+
+    # -- crash recovery -------------------------------------------------
+    def _recover(self, crashes: int, will_retry: bool) -> None:
+        """Account for one crashed dispatch and prepare the retry.
+
+        A crashed owned pool tore itself down already (``closed``);
+        :meth:`_pool` rebuilds it on the next dispatch.  A crashed
+        *injected* pool belongs to the caller but is equally unusable,
+        so it is dropped here and replaced by an owned rebuild.  The
+        backoff sleep only happens when another pool attempt follows —
+        quarantined batches go serial immediately.
+        """
+        self.telemetry.record_retry()
+        if self._injected is not None and self._injected.closed:
+            self._injected = None
+            self._rebuild_pending = True
+        if will_retry:
+            time.sleep(min(RETRY_BACKOFF_BASE * (2 ** (crashes - 1)),
+                           RETRY_BACKOFF_CAP))
+
+    @staticmethod
+    def _harvest(error: PoolDispatchError) -> Dict[Hashable, bool]:
+        """Verdicts acknowledged before the crash (partial results ride
+        the result queue; product outputs live in the torn-down shm
+        block, so product batches re-run whole and harvest nothing)."""
+        verdicts: Dict[Hashable, bool] = {}
+        for payload in error.partial_results:
+            for key, verdict in payload.get("verdicts", ()):
+                verdicts[key] = verdict
+        return verdicts
 
     # -- task batches ---------------------------------------------------
     def run_products(self, parents: Dict[int, StrippedPartition],
@@ -227,11 +279,19 @@ class PoolExecutor:
         grouped_rows = sum(len(p.rows) for p in parents.values())
         if len(tasks) < 2 or grouped_rows < self.grouped_rows_threshold:
             return self._serial.run_products(parents, tasks, budget)
-        products, timed_out = self._pool().run_products(
-            parents, [(t.child, t.left, t.right) for t in tasks],
-            budget.deadline)
-        self.telemetry.record("products", len(products), True)
-        return products, timed_out
+        triples = [(t.child, t.left, t.right) for t in tasks]
+        crashes = 0
+        while crashes < MAX_DISPATCH_CRASHES:
+            try:
+                products, timed_out = self._pool().run_products(
+                    parents, triples, budget.deadline)
+                self.telemetry.record("products", len(products), True)
+                return products, timed_out
+            except PoolDispatchError:
+                crashes += 1
+                self._recover(crashes, crashes < MAX_DISPATCH_CRASHES)
+        self.telemetry.mark_degraded()
+        return self._serial.run_products(parents, tasks, budget)
 
     def run_scans(self, contexts: Dict[Hashable, StrippedPartition],
                   tasks: Sequence[ScanTask], budget: DeadlineBudget,
@@ -240,9 +300,30 @@ class PoolExecutor:
         grouped_rows = sum(len(p.rows) for p in contexts.values())
         if len(tasks) < 2 or grouped_rows < self.grouped_rows_threshold:
             return self._serial.run_scans(contexts, tasks, budget, phase)
-        verdicts, timed_out = self._pool().run_scans(
-            contexts, tasks, budget.deadline)
+        verdicts: Dict[Hashable, bool] = {}
+        remaining = list(tasks)
+        crashes = 0
+        timed_out = False
+        while remaining and crashes < MAX_DISPATCH_CRASHES:
+            try:
+                got, timed_out = self._pool().run_scans(
+                    contexts, remaining, budget.deadline)
+                verdicts.update(got)
+                self.telemetry.record(phase, len(verdicts), True)
+                return verdicts, timed_out
+            except PoolDispatchError as error:
+                verdicts.update(self._harvest(error))
+                remaining = [t for t in remaining if t[0] not in verdicts]
+                crashes += 1
+                self._recover(crashes,
+                              bool(remaining)
+                              and crashes < MAX_DISPATCH_CRASHES)
         self.telemetry.record(phase, len(verdicts), True)
+        if remaining:
+            self.telemetry.mark_degraded()
+            serial_verdicts, timed_out = self._serial.run_scans(
+                contexts, remaining, budget, phase)
+            verdicts.update(serial_verdicts)
         return verdicts, timed_out
 
     def run_validations(self, tasks: Sequence[ValidationTask],
@@ -251,9 +332,30 @@ class PoolExecutor:
         if (len(tasks) < 2
                 or self._relation.n_rows < self.rows_threshold):
             return self._serial.run_validations(tasks, budget, phase)
-        verdicts, timed_out = self._pool().run_validations(
-            tasks, budget.deadline)
+        verdicts: Dict[Hashable, bool] = {}
+        remaining = list(tasks)
+        crashes = 0
+        timed_out = False
+        while remaining and crashes < MAX_DISPATCH_CRASHES:
+            try:
+                got, timed_out = self._pool().run_validations(
+                    remaining, budget.deadline)
+                verdicts.update(got)
+                self.telemetry.record(phase, len(verdicts), True)
+                return verdicts, timed_out
+            except PoolDispatchError as error:
+                verdicts.update(self._harvest(error))
+                remaining = [t for t in remaining if t[0] not in verdicts]
+                crashes += 1
+                self._recover(crashes,
+                              bool(remaining)
+                              and crashes < MAX_DISPATCH_CRASHES)
         self.telemetry.record(phase, len(verdicts), True)
+        if remaining:
+            self.telemetry.mark_degraded()
+            serial_verdicts, timed_out = self._serial.run_validations(
+                remaining, budget, phase)
+            verdicts.update(serial_verdicts)
         return verdicts, timed_out
 
     def scan_partition(self, mode: str, a: int, b: int,
@@ -262,9 +364,18 @@ class PoolExecutor:
                 or len(partition.rows) < self.grouped_rows_threshold
                 or mode == "pointwise"):
             return self._serial.scan_partition(mode, a, b, partition)
-        verdict, _ = self._pool().run_class_scan(mode, a, b, partition)
-        self.telemetry.record("class-scan", 1, True)
-        return verdict
+        crashes = 0
+        while crashes < MAX_DISPATCH_CRASHES:
+            try:
+                verdict, _ = self._pool().run_class_scan(
+                    mode, a, b, partition)
+                self.telemetry.record("class-scan", 1, True)
+                return verdict
+            except PoolDispatchError:
+                crashes += 1
+                self._recover(crashes, crashes < MAX_DISPATCH_CRASHES)
+        self.telemetry.mark_degraded()
+        return self._serial.scan_partition(mode, a, b, partition)
 
 
 class Executor(Protocol):
@@ -305,7 +416,8 @@ def make_executor(relation: EncodedRelation,
                   workers: Optional[int] = None,
                   pool: Optional[WorkerPool] = None,
                   min_grouped_rows: Optional[int] = None,
-                  min_rows: Optional[int] = None):
+                  min_rows: Optional[int] = None,
+                  stall_timeout: Optional[float] = None):
     """The one place the serial-vs-pool decision is made.
 
     An explicit ``workers`` wins (the benchmark's projection mode
@@ -324,7 +436,8 @@ def make_executor(relation: EncodedRelation,
         return SerialExecutor(relation)
     return PoolExecutor(relation, effective, pool=pool,
                         min_grouped_rows=min_grouped_rows,
-                        min_rows=min_rows)
+                        min_rows=min_rows,
+                        stall_timeout=stall_timeout)
 
 
 __all__ = [

@@ -17,7 +17,8 @@ from typing import Dict
 class ExecutorTelemetry:
     """Counters for one executor's lifetime (cheap, always on)."""
 
-    __slots__ = ("backend", "workers", "phases", "peak_residency_bytes")
+    __slots__ = ("backend", "workers", "phases", "peak_residency_bytes",
+                 "retries", "rebuilds", "degraded")
 
     def __init__(self, backend: str, workers: int):
         self.backend = backend
@@ -27,6 +28,15 @@ class ExecutorTelemetry:
         #: largest resident partition footprint observed (bytes); fed by
         #: the planner's per-level residency accounting
         self.peak_residency_bytes = 0
+        #: crashed dispatches re-run after a pool rebuild (the
+        #: fault-tolerance layer's currency: a recovered job reports
+        #: ``retries >= 1`` instead of failing)
+        self.retries = 0
+        #: worker pools rebuilt after a crash/stall teardown
+        self.rebuilds = 0
+        #: True once a batch was quarantined to the serial path after
+        #: repeated crashes (poison-task quarantine)
+        self.degraded = False
 
     def record(self, phase: str, n_tasks: int, pooled: bool) -> None:
         """Bill one batch of ``n_tasks`` resolved tasks to ``phase``."""
@@ -45,12 +55,27 @@ class ExecutorTelemetry:
         if n_bytes > self.peak_residency_bytes:
             self.peak_residency_bytes = n_bytes
 
+    def record_retry(self) -> None:
+        """Bill one crashed dispatch that will be re-run."""
+        self.retries += 1
+
+    def record_rebuild(self) -> None:
+        """Bill one pool rebuilt after a crash/stall teardown."""
+        self.rebuilds += 1
+
+    def mark_degraded(self) -> None:
+        """Record that a batch fell back to serial quarantine."""
+        self.degraded = True
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready copy (the ``executor_stats`` currency)."""
         return {
             "backend": self.backend,
             "workers": self.workers,
             "peak_residency_bytes": self.peak_residency_bytes,
+            "retries": self.retries,
+            "rebuilds": self.rebuilds,
+            "degraded": self.degraded,
             "phases": {phase: dict(stats)
                        for phase, stats in self.phases.items()},
         }

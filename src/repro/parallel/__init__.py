@@ -25,8 +25,10 @@ from repro.parallel.pool import (
     PARALLEL_MIN_GROUPED_ROWS,
     PARALLEL_MIN_ROWS,
     ClassScanPool,
+    PoolDispatchError,
     WorkerCrashError,
     WorkerPool,
+    WorkerStallError,
     WorkerTaskError,
     resolve_workers,
 )
@@ -37,9 +39,11 @@ __all__ = [
     "ClassScanPool",
     "PARALLEL_MIN_GROUPED_ROWS",
     "PARALLEL_MIN_ROWS",
+    "PoolDispatchError",
     "SharedArrayBlock",
     "WorkerCrashError",
     "WorkerPool",
+    "WorkerStallError",
     "WorkerTaskError",
     "attach",
     "resolve_workers",

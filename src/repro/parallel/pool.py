@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import os
 import queue
+import signal
 import time
 import traceback
 import weakref
@@ -54,6 +55,7 @@ import multiprocessing as mp
 
 import numpy as np
 
+from repro import faults
 from repro.errors import ReproError
 from repro.parallel.shm import BlockReader, SharedArrayBlock, unlink_by_name
 from repro.partitions.partition import StrippedPartition
@@ -99,12 +101,33 @@ ScanTask = Tuple[Hashable, Hashable, str, int, int]
 PartitionRef = Tuple[str, int, int, int, int]
 
 
-class WorkerCrashError(ReproError):
-    """A worker process died while a dispatch was in flight."""
+class PoolDispatchError(ReproError):
+    """A dispatch failed mid-flight.  ``partial_results`` holds the
+    chunk payloads the coordinator had already collected — verdicts in
+    them are *acknowledged* work a recovery layer must not redo."""
+
+    def __init__(self, message: str,
+                 partial_results: Optional[List[dict]] = None):
+        super().__init__(message)
+        self.partial_results: List[dict] = list(partial_results or [])
 
 
-class WorkerTaskError(ReproError):
+class WorkerCrashError(PoolDispatchError):
+    """A worker process died while a dispatch was in flight.  The
+    pool tears itself down on the way out; holders rebuild a fresh
+    pool (see :class:`repro.engine.executors.PoolExecutor`, whose
+    retry loop re-runs only unacknowledged tasks)."""
+
+
+class WorkerTaskError(PoolDispatchError):
     """A task raised inside a worker; carries the remote traceback."""
+
+
+class WorkerStallError(WorkerCrashError):
+    """A dispatch made no progress for ``stall_timeout`` seconds while
+    every worker stayed alive — a lost/stuck queue message.  Treated
+    exactly like a crash by the recovery layer (the pool is rebuilt
+    and unacknowledged tasks re-run)."""
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -302,6 +325,8 @@ def _worker_main(task_queue, result_queue) -> None:
         task_id, kind, payload = message
         started = time.process_time()
         try:
+            faults.maybe_raise("worker.task",
+                               f"injected failure in {kind!r} handler")
             result = _HANDLERS[kind](state, payload)
         except BaseException:
             result_queue.put(
@@ -349,11 +374,18 @@ class WorkerPool:
 
     def __init__(self, relation: EncodedRelation, workers: int,
                  start_method: Optional[str] = None,
-                 n_chunks_per_dispatch: Optional[int] = None):
+                 n_chunks_per_dispatch: Optional[int] = None,
+                 stall_timeout: Optional[float] = None):
         if workers < 1:
             raise ValueError("workers must be a positive integer")
         self._relation = relation
         self.workers = workers
+        #: seconds without any dispatch progress (no result, workers
+        #: all alive) before the dispatch fails with a typed
+        #: :class:`WorkerStallError` instead of hanging on a lost
+        #: queue message.  ``None`` (the default) never stalls out —
+        #: legitimate tasks may run arbitrarily long.
+        self.stall_timeout = stall_timeout
         #: chunk count per dispatch; overriding it decouples chunk
         #: granularity from the worker count (the benchmark's
         #: work-distribution projection measures N-worker chunks in one
@@ -494,6 +526,11 @@ class WorkerPool:
     def _submit(self, kind: str, payload: dict) -> int:
         task_id = self._next_task_id
         self._next_task_id += 1
+        faults.maybe_sleep("pool.queue.delay")
+        if faults.fire("pool.queue.drop"):
+            # the chunk vanishes off the queue; with a stall_timeout
+            # the dispatch surfaces this as WorkerStallError
+            return task_id
         self._task_queue.put((task_id, kind, payload))
         return task_id
 
@@ -504,18 +541,58 @@ class WorkerPool:
                     f"worker {process.name} died "
                     f"(exitcode {process.exitcode})")
 
+    def _kill_one_worker(self) -> None:
+        """Chaos hook: SIGKILL the first live worker mid-dispatch."""
+        for process in self._processes:
+            if process.is_alive() and process.pid is not None:
+                os.kill(process.pid, signal.SIGKILL)
+                return
+
+    def _drain_nowait(self, results: Dict[int, Tuple[dict, float]],
+                      pending: set) -> None:
+        """Best-effort harvest of results already on the queue (the
+        crash path runs this so acknowledged work is not re-run)."""
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except (queue.Empty, OSError):
+                return
+            task_id, status, payload, busy = message
+            if status == "ok" and task_id in pending:
+                pending.discard(task_id)
+                results[task_id] = (payload, busy)
+
     def _collect(self, pending: set) -> Dict[int, Tuple[dict, float]]:
         results: Dict[int, Tuple[dict, float]] = {}
+        last_progress = time.monotonic()
         while pending:
             try:
                 message = self._result_queue.get(timeout=0.2)
             except queue.Empty:
-                self._check_alive()
+                try:
+                    self._check_alive()
+                except WorkerCrashError as crash:
+                    self._drain_nowait(results, pending)
+                    crash.partial_results = [
+                        payload for payload, _ in results.values()]
+                    raise
+                if (self.stall_timeout is not None
+                        and time.monotonic() - last_progress
+                        > self.stall_timeout):
+                    raise WorkerStallError(
+                        f"dispatch made no progress for "
+                        f"{self.stall_timeout:.1f}s with {len(pending)} "
+                        f"chunk(s) outstanding (lost queue message?)",
+                        partial_results=[
+                            payload for payload, _ in results.values()])
                 continue
+            last_progress = time.monotonic()
             task_id, status, payload, busy = message
             if status == "err":
                 raise WorkerTaskError(
-                    f"a parallel task failed in a worker:\n{payload}")
+                    f"a parallel task failed in a worker:\n{payload}",
+                    partial_results=[
+                        p for p, _ in results.values()])
             if task_id in pending:
                 pending.discard(task_id)
                 results[task_id] = (payload, busy)
@@ -525,7 +602,10 @@ class WorkerPool:
                   payloads: Sequence[dict]) -> List[Tuple[dict, float]]:
         """Run chunk payloads across the pool; any failure — a worker
         crash, a remote exception, or a coordinator-side interrupt —
-        tears the pool down before propagating, so no segment leaks."""
+        tears the pool down before propagating, so no segment leaks.
+        Crash-shaped failures carry the already-acknowledged chunk
+        payloads (:attr:`PoolDispatchError.partial_results`) so the
+        recovery layer re-runs only the lost tasks."""
         self._ensure_started()
         started = time.perf_counter()
         try:
@@ -533,6 +613,8 @@ class WorkerPool:
             # pool would still drain the queue, just degraded
             self._check_alive()
             pending = {self._submit(kind, payload) for payload in payloads}
+            if faults.fire("pool.worker.kill"):
+                self._kill_one_worker()
             ordered = sorted(pending)
             results = self._collect(pending)
         except BaseException:

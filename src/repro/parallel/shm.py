@@ -30,6 +30,8 @@ from typing import Dict, Hashable, Tuple
 
 import numpy as np
 
+from repro import faults
+
 #: Serializes the registration-suppression window of :func:`attach`
 #: against concurrent segment creation (e.g. a GC finalizer unlinking
 #: on another thread while a block is being published).
@@ -168,6 +170,11 @@ class BlockReader:
     __slots__ = ("name", "_segment")
 
     def __init__(self, name: str):
+        # chaos hook: a reader that cannot map its segment (unlinked
+        # under it, tmpfs exhausted) must surface as a typed dispatch
+        # error the executor's recovery path can retry
+        faults.maybe_raise("shm.attach",
+                           f"cannot attach shared segment {name!r}")
         self.name = name
         self._segment = attach(name)
 

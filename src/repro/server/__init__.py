@@ -15,6 +15,10 @@ This package turns them into a multi-tenant service:
   a thread-dispatched queue sharing ONE
   :class:`~repro.parallel.WorkerPool`, with per-job deadline budgets,
   cancellation, and executor telemetry;
+* :class:`JobJournal` — a durable append-only ledger (LSN + CRC +
+  fsync) of registrations and job transitions, replayed on start so a
+  killed server re-registers its datasets, re-queues never-started
+  jobs, and marks interrupted ones ``crashed``;
 * :class:`ODService` / :class:`ServiceClient` — a stdlib HTTP API and
   its typed client (``repro-od serve`` boots the former).
 """
@@ -23,6 +27,7 @@ from repro.server.catalog import CatalogEntry, CatalogError, DatasetCatalog
 from repro.server.client import ServiceClient, ServiceClientError
 from repro.server.http import ODService, ServiceError
 from repro.server.jobs import Job, JobError, JobScheduler
+from repro.server.journal import JobJournal, JournalError
 from repro.server.store import ResultStore
 
 __all__ = [
@@ -31,7 +36,9 @@ __all__ = [
     "DatasetCatalog",
     "Job",
     "JobError",
+    "JobJournal",
     "JobScheduler",
+    "JournalError",
     "ODService",
     "ResultStore",
     "ServiceClient",

@@ -16,6 +16,7 @@ use it directly or treat it as reference code for their own stack.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -23,6 +24,23 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.errors import ReproError
+
+#: Default connection-failure retry budget: a restarting server (crash
+#: recovery, deploy) refuses connections for a moment; a few jittered
+#: retries bridge the gap without hammering it.
+RETRY_ATTEMPTS = 3
+RETRY_BACKOFF_SECONDS = 0.1
+
+
+def _retryable_reason(error: BaseException) -> bool:
+    """True for connection-refused/reset shapes — the transient ones a
+    bounded retry can bridge.  HTTP errors and timeouts are not
+    retried: the former are answers, the latter already waited."""
+    if isinstance(error, (ConnectionRefusedError, ConnectionResetError)):
+        return True
+    reason = getattr(error, "reason", None)
+    return isinstance(reason,
+                      (ConnectionRefusedError, ConnectionResetError))
 
 
 class ServiceClientError(ReproError):
@@ -36,88 +54,116 @@ class ServiceClientError(ReproError):
 class ServiceClient:
     """One service endpoint, e.g. ``ServiceClient("http://host:8765")``.
 
-    ``timeout`` is the per-request socket timeout; blocking calls
-    (``wait=True``) are bounded server-side by ``wait_seconds``.
+    ``timeout`` is the per-request socket timeout (every request
+    method also takes a per-call ``timeout=`` override); blocking
+    calls (``wait=True``) are bounded server-side by ``wait_seconds``.
+    ``retries`` bounds the connection-refused/reset retry loop
+    (``0`` disables it); backoff doubles per attempt with jitter.
     """
 
-    def __init__(self, base_url: str, timeout: float = 630.0):
+    def __init__(self, base_url: str, timeout: float = 630.0,
+                 retries: int = RETRY_ATTEMPTS,
+                 retry_backoff: float = RETRY_BACKOFF_SECONDS):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff = retry_backoff
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
-                 body: Optional[Dict] = None) -> Dict:
+                 body: Optional[Dict] = None,
+                 timeout: Optional[float] = None) -> Dict:
         data = (None if body is None
                 else json.dumps(body).encode("utf-8"))
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"})
-        try:
-            with urllib.request.urlopen(
-                    request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            detail = ""
+        effective = self.timeout if timeout is None else timeout
+        attempt = 0
+        while True:
             try:
-                payload = json.loads(error.read().decode("utf-8"))
-                detail = payload.get("error", "")
-            except (ValueError, OSError):
-                pass
-            raise ServiceClientError(
-                f"{method} {path} -> {error.code}"
-                + (f": {detail}" if detail else ""),
-                status=error.code) from None
-        except urllib.error.URLError as error:
-            raise ServiceClientError(
-                f"{method} {path} failed: {error.reason}") from None
+                with urllib.request.urlopen(
+                        request, timeout=effective) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as error:
+                detail = ""
+                try:
+                    payload = json.loads(error.read().decode("utf-8"))
+                    detail = payload.get("error", "")
+                except (ValueError, OSError):
+                    pass
+                raise ServiceClientError(
+                    f"{method} {path} -> {error.code}"
+                    + (f": {detail}" if detail else ""),
+                    status=error.code) from None
+            except (urllib.error.URLError,
+                    ConnectionResetError) as error:
+                if (_retryable_reason(error)
+                        and attempt < self.retries):
+                    backoff = self.retry_backoff * (2 ** attempt)
+                    time.sleep(backoff
+                               + random.uniform(0, backoff))
+                    attempt += 1
+                    continue
+                reason = getattr(error, "reason", error)
+                raise ServiceClientError(
+                    f"{method} {path} failed: {reason}") from None
 
-    def _get(self, path: str) -> Dict:
-        return self._request("GET", path)
+    def _get(self, path: str,
+             timeout: Optional[float] = None) -> Dict:
+        return self._request("GET", path, timeout=timeout)
 
-    def _post(self, path: str, body: Dict) -> Dict:
-        return self._request("POST", path, body)
+    def _post(self, path: str, body: Dict,
+              timeout: Optional[float] = None) -> Dict:
+        return self._request("POST", path, body, timeout=timeout)
 
     # ------------------------------------------------------------------
     # service surface
     # ------------------------------------------------------------------
-    def health(self) -> Dict:
-        return self._get("/health")
+    def health(self, timeout: Optional[float] = None) -> Dict:
+        return self._get("/health", timeout=timeout)
 
-    def datasets(self) -> List[Dict]:
-        return self._get("/datasets")["datasets"]
+    def datasets(self, timeout: Optional[float] = None) -> List[Dict]:
+        return self._get("/datasets", timeout=timeout)["datasets"]
 
-    def dataset(self, fingerprint: str) -> Dict:
-        return self._get(f"/datasets/{fingerprint}")
+    def dataset(self, fingerprint: str,
+                timeout: Optional[float] = None) -> Dict:
+        return self._get(f"/datasets/{fingerprint}", timeout=timeout)
 
     def register_csv(self, csv: Union[str, Path],
-                     name: Optional[str] = None) -> Dict:
+                     name: Optional[str] = None,
+                     timeout: Optional[float] = None) -> Dict:
         """Register CSV content; a :class:`~pathlib.Path` is read
         first, a plain string is taken as the file's text."""
         if isinstance(csv, Path):
             csv = csv.read_text(encoding="utf-8")
-        return self._post("/datasets", {"csv": csv, "name": name})
+        return self._post("/datasets", {"csv": csv, "name": name},
+                          timeout=timeout)
 
     def register_rows(self, columns: List[str], rows: List[List],
-                      name: Optional[str] = None) -> Dict:
+                      name: Optional[str] = None,
+                      timeout: Optional[float] = None) -> Dict:
         return self._post("/datasets", {"columns": columns,
-                                        "rows": rows, "name": name})
+                                        "rows": rows, "name": name},
+                          timeout=timeout)
 
     def register_dataset(self, family: str, n_rows: int = 1000,
                          n_attrs: int = 10, seed: int = 42,
-                         name: Optional[str] = None) -> Dict:
+                         name: Optional[str] = None,
+                         timeout: Optional[float] = None) -> Dict:
         """Register one of the server's synthetic dataset families."""
         return self._post("/datasets", {
             "dataset": family, "n_rows": n_rows, "n_attrs": n_attrs,
-            "seed": seed, "name": name})
+            "seed": seed, "name": name}, timeout=timeout)
 
     # -- jobs ----------------------------------------------------------
     def submit(self, kind: str, fingerprint: str, wait: bool = False,
-               **params) -> Dict:
+               timeout: Optional[float] = None, **params) -> Dict:
         body = {"kind": kind, "fingerprint": fingerprint,
                 "wait": wait, **params}
-        return self._post("/jobs", body)
+        return self._post("/jobs", body, timeout=timeout)
 
     def discover(self, fingerprint: str,
                  config: Optional[Dict] = None, wait: bool = True,
@@ -140,28 +186,35 @@ class ServiceClient:
                            **params)
 
     def append(self, fingerprint: str, rows: List[List],
-               wait: bool = True, **params) -> Dict:
+               wait: bool = True, timeout: Optional[float] = None,
+               **params) -> Dict:
         """Append rows to a registered dataset; the response carries
         the grown content's new fingerprint."""
         return self._post(f"/datasets/{fingerprint}/append",
-                          {"rows": rows, "wait": wait, **params})
+                          {"rows": rows, "wait": wait, **params},
+                          timeout=timeout)
 
-    def jobs(self) -> List[Dict]:
-        return self._get("/jobs")["jobs"]
+    def jobs(self, timeout: Optional[float] = None) -> List[Dict]:
+        return self._get("/jobs", timeout=timeout)["jobs"]
 
-    def job(self, job_id: str) -> Dict:
-        return self._get(f"/jobs/{job_id}")
+    def job(self, job_id: str,
+            timeout: Optional[float] = None) -> Dict:
+        return self._get(f"/jobs/{job_id}", timeout=timeout)
 
-    def cancel(self, job_id: str) -> Dict:
-        return self._request("DELETE", f"/jobs/{job_id}")
+    def cancel(self, job_id: str,
+               timeout: Optional[float] = None) -> Dict:
+        return self._request("DELETE", f"/jobs/{job_id}",
+                             timeout=timeout)
 
     def poll(self, job_id: str, interval: float = 0.05,
              timeout: float = 60.0) -> Dict:
-        """Poll a job until it reaches a terminal state."""
+        """Poll a job until it reaches a terminal state (including
+        ``crashed``, assigned during the server's journal recovery)."""
         deadline = time.monotonic() + timeout
         while True:
             job = self.job(job_id)
-            if job["status"] in ("done", "failed", "cancelled"):
+            if job["status"] in ("done", "failed", "cancelled",
+                                 "crashed"):
                 return job
             if time.monotonic() > deadline:
                 raise ServiceClientError(
@@ -170,10 +223,12 @@ class ServiceClient:
             time.sleep(interval)
 
     # -- results -------------------------------------------------------
-    def results(self, fingerprint: Optional[str] = None) -> List[Dict]:
+    def results(self, fingerprint: Optional[str] = None,
+                timeout: Optional[float] = None) -> List[Dict]:
         path = ("/results" if fingerprint is None
                 else f"/results/{fingerprint}")
-        return self._get(path)["results"]
+        return self._get(path, timeout=timeout)["results"]
 
 
-__all__ = ["ServiceClient", "ServiceClientError"]
+__all__ = ["RETRY_ATTEMPTS", "RETRY_BACKOFF_SECONDS",
+           "ServiceClient", "ServiceClientError"]

@@ -42,6 +42,7 @@ from repro.relation.csvio import read_csv_text
 from repro.relation.table import Relation
 from repro.server.catalog import DatasetCatalog, UnknownFingerprintError
 from repro.server.jobs import JobScheduler, UnknownJobError
+from repro.server.journal import JobJournal, JournalError
 from repro.server.store import ResultStore
 
 #: ceiling on blocking waits, so an abandoned connection cannot pin a
@@ -72,19 +73,52 @@ class ODService:
                  store_dir: Optional[str] = None,
                  max_resident_bytes: Optional[int] = None,
                  max_cached_partitions: Optional[int] = 64,
-                 default_timeout: Optional[float] = None):
+                 default_timeout: Optional[float] = None,
+                 journal_dir: Optional[str] = None):
         self.catalog = DatasetCatalog(
             max_resident_bytes=max_resident_bytes,
             max_cached_partitions=max_cached_partitions)
         self.store = ResultStore(store_dir)
+        self.journal = (JobJournal(journal_dir)
+                        if journal_dir is not None else None)
         self.scheduler = JobScheduler(
             self.catalog, self.store, workers=workers,
-            default_timeout=default_timeout)
+            default_timeout=default_timeout, journal=self.journal)
+        #: what journal replay restored (surfaced in ``/health``)
+        self.recovered: Dict[str, int] = {
+            "datasets": 0, "requeued": 0, "crashed": 0}
+        if self.journal is not None:
+            self._replay_journal()
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+
+    def _replay_journal(self) -> None:
+        """Restore the previous process's ledger before going live:
+        re-register journaled datasets from their spooled sources,
+        re-queue jobs that never started, and surface jobs that died
+        mid-run as ``crashed``."""
+        state = self.journal.recover()
+        for fp, meta in state.datasets.items():
+            source = self.journal.read_source(fp)
+            if source is None:
+                continue            # spool lost: the dataset 404s
+            try:
+                relation = self._relation_from_body(source)
+                self.catalog.register(relation,
+                                      name=meta.get("name"))
+            except ReproError:
+                continue            # unreadable source: skip, serve on
+            self.recovered["datasets"] += 1
+        self.scheduler.ensure_job_id_floor(state.max_job_id)
+        for record in state.crashed_jobs:
+            self.scheduler.restore_crashed(record)
+            self.recovered["crashed"] += 1
+        for record in state.pending_jobs:
+            self.scheduler.restore_pending(record)
+            self.recovered["requeued"] += 1
 
     @property
     def host(self) -> str:
@@ -122,6 +156,8 @@ class ODService:
             self._thread.join(timeout=10.0)
         self.scheduler.close()
         self.catalog.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "ODService":
         self.start()
@@ -134,17 +170,27 @@ class ODService:
     # request-level operations (called from handler threads)
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
+        scheduler = self.scheduler.stats()
         return {
-            "status": "ok",
+            "status": ("degraded" if scheduler["degraded"] else "ok"),
+            "degraded": scheduler["degraded"],
+            "degraded_reason": scheduler["degraded_reason"],
+            "recovered": dict(self.recovered),
             "catalog": self.catalog.stats(),
             "store": self.store.stats(),
-            "scheduler": self.scheduler.stats(),
+            "scheduler": scheduler,
         }
 
     def register(self, body: Dict) -> Tuple[int, Dict[str, object]]:
         relation = self._relation_from_body(body)
         entry, created = self.catalog.register_entry(
             relation, name=body.get("name"))
+        if self.journal is not None and created:
+            try:
+                self.journal.dataset_registered(
+                    entry.fingerprint, entry.name, body)
+            except JournalError:
+                self.scheduler.journal_errors += 1
         return (201 if created else 200), entry.to_dict()
 
     def _relation_from_body(self, body: Dict) -> Relation:

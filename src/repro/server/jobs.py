@@ -18,7 +18,9 @@ not a limitation:
   each job alone (``tests/parallel/test_shared_pool_jobs.py`` asserts
   this against direct-API runs).
 
-Job lifecycle: ``queued → running → done | failed | cancelled``.
+Job lifecycle: ``queued → running → done | failed | cancelled``
+(plus terminal ``crashed``, assigned only during journal recovery to
+jobs a previous process started but never finished).
 Every job carries its own :class:`~repro.engine.DeadlineBudget`;
 **only discover traversals consult it** — ``timeout`` bounds a
 discover run, and :meth:`JobScheduler.cancel` revokes a *running*
@@ -39,12 +41,14 @@ import time
 import traceback
 from typing import Dict, List, Optional
 
+from repro import faults
 from repro.core.fastod import FastOD, FastODConfig
 from repro.engine.budget import DeadlineBudget
 from repro.errors import ReproError
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.relation.table import Relation
 from repro.server.catalog import DatasetCatalog
+from repro.server.journal import JobJournal, JournalError
 from repro.server.store import ResultStore
 from repro.violations.detect import ViolationDetector
 
@@ -56,8 +60,18 @@ CACHED_EXECUTOR_STATS = {
     "backend": "store",
     "workers": 0,
     "peak_residency_bytes": 0,
+    "retries": 0,
+    "rebuilds": 0,
+    "degraded": False,
     "phases": {},
 }
+
+#: Shared-pool rebuilds within :data:`DEGRADE_WINDOW_SECONDS` before
+#: the scheduler stops trusting process workers and pins itself to
+#: serial execution (graceful degradation: slower, but every job
+#: still completes and ``/health`` says why).
+DEGRADE_REBUILD_THRESHOLD = 3
+DEGRADE_WINDOW_SECONDS = 60.0
 
 #: Terminal jobs retained in the ledger.  A long-lived server must
 #: not pin every historical result payload in memory; the oldest
@@ -128,7 +142,7 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.status in ("done", "failed", "cancelled")
+        return self.status in ("done", "failed", "cancelled", "crashed")
 
     def _finish(self, status: str) -> None:
         self.status = status
@@ -172,11 +186,13 @@ class JobScheduler:
 
     def __init__(self, catalog: DatasetCatalog, store: ResultStore,
                  workers: Optional[int] = None,
-                 default_timeout: Optional[float] = None):
+                 default_timeout: Optional[float] = None,
+                 journal: Optional[JobJournal] = None):
         self._catalog = catalog
         self._store = store
         self._workers = resolve_workers(workers)
         self._default_timeout = default_timeout
+        self._journal = journal
         self._pool: Optional[WorkerPool] = None
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
@@ -184,9 +200,24 @@ class JobScheduler:
         self._lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        self.pool_rebuilds = 0
+        self.journal_errors = 0
+        self._rebuild_times: List[float] = []
+        self._degraded = False
+        self._degraded_reason: Optional[str] = None
         self._runner = threading.Thread(
             target=self._run_loop, name="repro-od-jobs", daemon=True)
         self._runner.start()
+
+    def _journal_event(self, method: str, *args) -> None:
+        """Best-effort journal append: a dying journal volume must not
+        take the live scheduler down with it."""
+        if self._journal is None:
+            return
+        try:
+            getattr(self._journal, method)(*args)
+        except JournalError:
+            self.journal_errors += 1
 
     # ------------------------------------------------------------------
     # submission / polling surface (any thread)
@@ -234,6 +265,8 @@ class JobScheduler:
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._prune_finished()
+        self._journal_event("job_submitted", job.id, kind,
+                            entry.fingerprint, params)
         if kind == "discover":
             cached = self._store.get(entry.fingerprint, config)
             if cached is not None:
@@ -242,7 +275,43 @@ class JobScheduler:
                 job.payload = {"result": cached.to_dict()}
                 job.executor_stats = cached_executor_stats()
                 job._finish("done")
+                self._journal_event("job_finished", job.id, "done")
                 return job
+        self._queue.put(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # journal recovery surface (called before the service goes live)
+    # ------------------------------------------------------------------
+    def ensure_job_id_floor(self, max_seen: int) -> None:
+        """Advance the id sequence past journaled ids so recovered and
+        fresh jobs can never collide."""
+        with self._lock:
+            self._next_id = max(self._next_id, int(max_seen))
+
+    def restore_crashed(self, record: Dict) -> Job:
+        """Surface a job a previous process started but never finished
+        as terminal ``crashed`` (never silently re-run: an append may
+        have had externally visible effects)."""
+        job = Job(record["id"], record["kind"], record["fingerprint"],
+                  dict(record.get("params") or {}))
+        job.error = ("interrupted by a service crash "
+                     "(recovered from the journal)")
+        job._finish("crashed")
+        with self._lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+        self._journal_event("job_finished", job.id, "crashed")
+        return job
+
+    def restore_pending(self, record: Dict) -> Job:
+        """Re-queue a journaled job that never started, under its
+        original id (already journaled as submitted — no new record)."""
+        job = Job(record["id"], record["kind"], record["fingerprint"],
+                  dict(record.get("params") or {}))
+        with self._lock:
+            self._jobs[job.id] = job
+            self._order.append(job.id)
         self._queue.put(job)
         return job
 
@@ -282,6 +351,7 @@ class JobScheduler:
             job.cancel_requested = True
             if job.status == "queued":
                 job._finish("cancelled")
+                self._journal_event("job_finished", job.id, "cancelled")
                 return True
             if job.kind != "discover":
                 # already running without a budget-consulting kernel:
@@ -308,7 +378,19 @@ class JobScheduler:
             "queued": self._queue.qsize(),
             "workers": self._workers,
             "pool_started": self._pool is not None,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self._degraded,
+            "degraded_reason": self._degraded_reason,
+            "journal": (str(self._journal.path)
+                        if self._journal is not None else None),
+            "journal_errors": self.journal_errors,
         }
+
+    @property
+    def degraded(self) -> bool:
+        """True once repeated pool crashes pinned the scheduler to
+        serial execution (see :data:`DEGRADE_REBUILD_THRESHOLD`)."""
+        return self._degraded
 
     def close(self) -> None:
         """Stop the runner thread and shut the shared pool down."""
@@ -332,16 +414,48 @@ class JobScheduler:
     # ------------------------------------------------------------------
     def _shared_pool(self, encoded) -> Optional[WorkerPool]:
         """The one pool every job shares, rebased onto this job's
-        relation.  ``None`` when the server runs serial."""
+        relation.  ``None`` when the server runs serial — including
+        *degraded* serial, after repeated crash-rebuilds."""
         if self._workers < 2:
             return None
         if self._pool is not None and self._pool.closed:
             self._pool = None           # a crashed dispatch tore it down
+            self._note_rebuild()
+        if self._degraded:
+            return None
         if self._pool is None:
             self._pool = WorkerPool(encoded, self._workers)
         elif self._pool.relation is not encoded:
             self._pool.rebase(encoded)
         return self._pool
+
+    def _note_rebuild(self) -> None:
+        """Count one crash-forced pool rebuild; past the threshold
+        within the window, pin the scheduler to serial execution."""
+        self.pool_rebuilds += 1
+        now = time.time()
+        self._rebuild_times.append(now)
+        self._rebuild_times = [
+            t for t in self._rebuild_times
+            if now - t <= DEGRADE_WINDOW_SECONDS]
+        if (not self._degraded
+                and len(self._rebuild_times)
+                >= DEGRADE_REBUILD_THRESHOLD):
+            self._degraded = True
+            self._degraded_reason = (
+                f"{len(self._rebuild_times)} worker-pool rebuilds "
+                f"within {DEGRADE_WINDOW_SECONDS:.0f}s; execution "
+                f"pinned to serial")
+
+    def _job_config(self, job: Job) -> FastODConfig:
+        """The job's requested config — forced to ``workers=1`` when
+        the scheduler is degraded.  Safe for the result-store key:
+        ``workers`` is a work-shaping knob ``canonical_key`` excludes,
+        so degraded and healthy runs share cache entries."""
+        params = dict(job.params.get("config") or {})
+        if self._degraded:
+            params["workers"] = 1
+        return config_from_params(params)
 
     def _run_loop(self) -> None:
         while True:
@@ -358,6 +472,14 @@ class JobScheduler:
                 job.budget = DeadlineBudget(timeout)
                 if job.cancel_requested:
                     job.budget.cancel()
+            self._journal_event("job_started", job.id)
+            # chaos hooks: widen the started→finished crash window,
+            # and race a cooperative cancel against whatever the
+            # injected faults do to this job's dispatches
+            faults.maybe_sleep("jobs.start.delay")
+            if faults.fire("budget.cancel"):
+                job.cancel_requested = True
+                job.budget.cancel()
             pinned = None
             try:
                 # pin the entry for the job's whole run: catalog
@@ -375,6 +497,9 @@ class JobScheduler:
             finally:
                 if pinned is not None:
                     self._catalog.unpin(pinned)
+                if job.finished:
+                    self._journal_event("job_finished", job.id,
+                                        job.status)
 
     def _finish_ok(self, job: Job, interrupted: bool = False) -> None:
         """``cancelled`` only when the work actually stopped early —
@@ -387,7 +512,7 @@ class JobScheduler:
 
     def _run_discover(self, job: Job) -> None:
         entry = self._catalog.get(job.fingerprint)
-        config = config_from_params(job.params.get("config"))
+        config = self._job_config(job)
         result = self._store.get(entry.fingerprint, config)
         if result is not None:          # stored while we were queued
             job.cached = True
@@ -412,7 +537,7 @@ class JobScheduler:
         pool = self._shared_pool(entry.encoded)
         detector = ViolationDetector(
             entry.relation, cache=entry.cache,
-            workers=self._workers, pool=pool)
+            workers=1 if self._degraded else self._workers, pool=pool)
         try:
             report = detector.check(
                 dependency, max_witnesses=max_witnesses,
@@ -436,7 +561,7 @@ class JobScheduler:
         if not rows:
             raise JobError("append jobs need non-empty 'rows'")
         entry = self._catalog.get(job.fingerprint)
-        config = config_from_params(job.params.get("config"))
+        config = self._job_config(job)
         pool = self._shared_pool(entry.encoded)
         engine = self._catalog.ensure_incremental(
             entry.fingerprint, config, pool=pool)
@@ -455,6 +580,8 @@ class JobScheduler:
 
 __all__ = [
     "CACHED_EXECUTOR_STATS",
+    "DEGRADE_REBUILD_THRESHOLD",
+    "DEGRADE_WINDOW_SECONDS",
     "JOB_KINDS",
     "Job",
     "JobError",

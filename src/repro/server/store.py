@@ -25,6 +25,13 @@ Two classes of result are refused:
 Thread safety: one lock around the index; the JSON write itself goes
 through a temp-file rename so a crashed writer never leaves a torn
 file for the lazy loader.
+
+Fault tolerance: the disk is a cache, not the source of truth — a
+result that fails to parse on lazy load is *quarantined* (renamed to
+``*.json.corrupt``) and recomputed, and a failed write (disk full,
+permission flip, injected ``store.write`` fault) keeps the result
+resident in memory and counts a ``write_errors`` instead of failing
+the job that produced it.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.core.fastod import FastODConfig
 from repro.core.results import DiscoveryResult
 from repro.core.serialize import result_from_dict, result_to_dict
@@ -63,6 +71,10 @@ class ResultStore:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: disk writes that failed (tolerated: the result stays resident)
+        self.write_errors = 0
+        #: unparseable disk entries renamed to ``*.json.corrupt``
+        self.quarantined = 0
 
     @staticmethod
     def key(fingerprint: str, config: FastODConfig) -> StoreKey:
@@ -95,13 +107,24 @@ class ResultStore:
                     payload = json.loads(path.read_text(encoding="utf-8"))
                     result = result_from_dict(payload)
                 except (OSError, ValueError, ReproError):
-                    result = None       # torn/stale file: recompute
+                    result = None
+                    self._quarantine(path)  # corrupt/truncated: recompute
                 if result is not None:
                     self._results[key] = result
                     self.hits += 1
                     return result
             self.misses += 1
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unparseable entry aside (``*.json.corrupt``) so the
+        lazy loader stops re-reading it and ``entries()`` stops listing
+        it; the result is simply recomputed and rewritten."""
+        try:
+            os.replace(path, path.with_suffix(".json.corrupt"))
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - racing unlink/eviction
+            pass
 
     def put(self, fingerprint: str, config: FastODConfig,
             result: DiscoveryResult) -> bool:
@@ -118,12 +141,22 @@ class ResultStore:
         # temp-file rename keeps readers from ever seeing a torn file.
         path = self._path(key)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".json.tmp")
-            tmp.write_text(
-                json.dumps(result_to_dict(result), indent=2),
-                encoding="utf-8")
-            os.replace(tmp, path)
+            try:
+                faults.maybe_raise("store.write",
+                                   f"result write failed for {path}",
+                                   exc_type=OSError)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(".json.tmp")
+                tmp.write_text(
+                    json.dumps(result_to_dict(result), indent=2),
+                    encoding="utf-8")
+                os.replace(tmp, path)
+            except OSError:
+                # disk full / permissions / injected fault: the result
+                # is already resident, so the job still succeeds — only
+                # restart durability is lost for this entry
+                with self._lock:
+                    self.write_errors += 1
         return True
 
     # ------------------------------------------------------------------
@@ -165,6 +198,8 @@ class ResultStore:
                 "resident": len(self._results),
                 "hits": self.hits,
                 "misses": self.misses,
+                "write_errors": self.write_errors,
+                "quarantined": self.quarantined,
                 "directory": (str(self._directory)
                               if self._directory else None),
             }

@@ -1,0 +1,155 @@
+"""Chaos at the service layer: jobs, store, and graceful degradation.
+
+An in-process :class:`ODService` is driven through its scheduler with
+faults armed; whatever the injection does to the pool or the disk, the
+discovery *answer* must match the clean run, and the service must
+keep answering.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.datasets import make_dataset
+from repro.faults import FaultPlan
+from repro.server.http import ODService
+from repro.server.jobs import DEGRADE_REBUILD_THRESHOLD
+
+#: Force tiny relations over the pool so injected pool faults are
+#: actually on the dispatch path.
+POOLED_CONFIG = {"workers": 2, "parallel_min_grouped_rows": 0}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    with ODService(port=0, workers=2,
+                   store_dir=str(tmp_path / "store")) as svc:
+        yield svc
+
+
+def register(service) -> str:
+    relation = make_dataset("flight", n_rows=300, n_attrs=5, seed=6)
+    entry = service.catalog.register(relation, name="chaos")
+    return entry.fingerprint
+
+
+def run_discover(service, fingerprint: str, **params):
+    job = service.scheduler.submit(
+        "discover", fingerprint,
+        params={"config": dict(POOLED_CONFIG), **params})
+    assert service.scheduler.wait(job.id, timeout=120.0).finished
+    return job
+
+
+def dependency_sets(job):
+    result = job.payload["result"]
+    return (result["fds"], result["ocds"])
+
+
+class TestChaosDiscovery:
+    def test_worker_crash_job_still_byte_identical(self, tmp_path):
+        with ODService(port=0, workers=2,
+                       store_dir=str(tmp_path / "clean")) as clean_svc:
+            fp = register(clean_svc)
+            clean = dependency_sets(run_discover(clean_svc, fp))
+        # the kill races the victim's task pickup — re-arm on a fresh
+        # service (fresh store, so nothing is cached) until a dispatch
+        # actually loses work and the retry path runs
+        for attempt in range(20):
+            plan = FaultPlan(seed=0, rates={"pool.worker.kill": 1.0},
+                             limits={"pool.worker.kill": 1})
+            store = tmp_path / f"chaos-{attempt}"
+            with ODService(port=0, workers=2,
+                           store_dir=str(store)) as svc:
+                fp = register(svc)
+                with faults.injected(plan):
+                    job = run_discover(svc, fp)
+            assert job.status == "done"
+            assert plan.fired.get("pool.worker.kill") == 1
+            assert dependency_sets(job) == clean
+            if job.executor_stats["retries"] >= 1:
+                return
+        pytest.fail("worker kill never landed mid-dispatch")
+
+    def test_store_write_fault_does_not_fail_the_job(self, service):
+        fp = register(service)
+        plan = FaultPlan(seed=0, rates={"store.write": 1.0},
+                         limits={"store.write": 1})
+        with faults.injected(plan):
+            job = run_discover(service, fp)
+        assert job.status == "done"
+        assert service.store.stats()["write_errors"] == 1
+        # the in-memory tier still serves the result as a cache hit
+        cached = run_discover(service, fp)
+        assert cached.cached
+
+
+class TestStoreQuarantine:
+    def test_corrupt_result_file_is_quarantined(self, service):
+        from repro.core.fastod import FastODConfig
+
+        fp = register(service)
+        run_discover(service, fp)
+        store = service.store
+        # the pooled config's work-shaping knobs share the default key
+        config = FastODConfig()
+        path = store._path(store.key(fp, config))
+        assert path.exists()
+        path.write_text("{torn", encoding="utf-8")
+        with store._lock:
+            store._results.clear()      # force the disk tier
+        assert store.get(fp, config) is None
+        assert not path.exists()
+        assert path.with_suffix(".json.corrupt").exists()
+        assert store.stats()["quarantined"] == 1
+
+
+class TestGracefulDegradation:
+    def test_rebuild_storm_pins_serial_and_reports(self, service):
+        fp = register(service)
+        scheduler = service.scheduler
+        assert not scheduler.degraded
+        for _ in range(DEGRADE_REBUILD_THRESHOLD):
+            scheduler._note_rebuild()
+        assert scheduler.degraded
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert health["degraded"] is True
+        assert "serial" in health["degraded_reason"]
+        # jobs still complete — pinned to the serial path
+        job = run_discover(service, fp)
+        assert job.status == "done"
+        assert job.executor_stats["backend"] == "serial"
+        assert all(phase["pool_tasks"] == 0
+                   for phase in job.executor_stats["phases"].values())
+        stats = scheduler.stats()
+        assert stats["pool_rebuilds"] >= DEGRADE_REBUILD_THRESHOLD
+        assert stats["degraded"] is True
+
+    def test_healthy_service_reports_ok(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["degraded"] is False
+        assert health["degraded_reason"] is None
+
+
+class TestJobFaultHooks:
+    def test_budget_cancel_race_yields_terminal_job(self, service):
+        fp = register(service)
+        plan = FaultPlan(seed=0, rates={"budget.cancel": 1.0},
+                         limits={"budget.cancel": 1})
+        with faults.injected(plan):
+            job = run_discover(service, fp)
+        assert job.finished
+        assert job.status in ("done", "cancelled")
+
+    def test_fault_plan_json_round_trips_through_env(self):
+        """The plan shape subprocess tests pass via REPRO_FAULT_PLAN."""
+        raw = json.dumps({"seed": 3,
+                          "rates": {"jobs.start.delay": 1.0},
+                          "delays": {"jobs.start.delay": 2.0}})
+        plan = FaultPlan.from_json(raw)
+        assert plan.delay_seconds("jobs.start.delay") == 2.0

@@ -1,0 +1,149 @@
+"""The fault-injection registry itself: determinism, limits, hooks."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjected, FaultPlan
+
+
+def firing_sequence(plan: FaultPlan, site: str, visits: int):
+    return [plan.fire(site) for _ in range(visits)]
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=7, rates={"pool.worker.kill": 0.5})
+        b = FaultPlan(seed=7, rates={"pool.worker.kill": 0.5})
+        assert (firing_sequence(a, "pool.worker.kill", 50)
+                == firing_sequence(b, "pool.worker.kill", 50))
+
+    def test_different_seeds_differ(self):
+        sequences = {
+            tuple(firing_sequence(
+                FaultPlan(seed=s, rates={"worker.task": 0.5}),
+                "worker.task", 64))
+            for s in range(4)}
+        assert len(sequences) > 1
+
+    def test_sites_draw_independently(self):
+        """Visits to one site never perturb another site's schedule —
+        the property that lets a new injection point land in the code
+        without rewriting every chaos test's expectations."""
+        rates = {"pool.worker.kill": 0.5, "worker.task": 0.5}
+        alone = FaultPlan(seed=3, rates=rates)
+        expected = firing_sequence(alone, "worker.task", 30)
+        interleaved = FaultPlan(seed=3, rates=rates)
+        got = []
+        for _ in range(30):
+            interleaved.fire("pool.worker.kill")
+            got.append(interleaved.fire("worker.task"))
+        assert got == expected
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=1)
+        assert not any(firing_sequence(plan, "shm.attach", 100))
+        assert plan.fired == {}
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(seed=1, rates={"store.write": 1.0})
+        assert all(firing_sequence(plan, "store.write", 10))
+        assert plan.fired["store.write"] == 10
+
+    def test_limit_caps_firings(self):
+        plan = FaultPlan(seed=1, rates={"store.write": 1.0},
+                         limits={"store.write": 3})
+        fired = firing_sequence(plan, "store.write", 10)
+        assert fired == [True] * 3 + [False] * 7
+        assert plan.fired["store.write"] == 3
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(rates={"pool.worker.kil": 1.0})
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(limits={"nope": 1})
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(delays={"nope": 0.1})
+
+    def test_from_json(self):
+        plan = FaultPlan.from_json(
+            '{"seed": 9, "rates": {"worker.task": 1.0},'
+            ' "limits": {"worker.task": 2},'
+            ' "delays": {"pool.queue.delay": 0.01}}')
+        assert plan.seed == 9
+        assert plan.rates == {"worker.task": 1.0}
+        assert plan.limits == {"worker.task": 2}
+        assert plan.delay_seconds("pool.queue.delay") == 0.01
+        # sites without an explicit delay use the default
+        assert (plan.delay_seconds("jobs.start.delay")
+                == faults.DEFAULT_DELAY_SECONDS)
+
+    def test_log_records_firing_order(self):
+        plan = FaultPlan(seed=1, rates={"store.write": 1.0},
+                         limits={"store.write": 2})
+        firing_sequence(plan, "store.write", 5)
+        assert plan.log == ["store.write#1", "store.write#2"]
+
+
+class TestActivation:
+    def test_no_plan_is_inert(self):
+        assert faults.active_plan() is None
+        assert faults.fire("pool.worker.kill") is False
+        faults.maybe_raise("shm.attach", "never raised")
+        faults.maybe_sleep("pool.queue.delay")
+
+    def test_injected_context_restores_previous(self):
+        assert faults.active_plan() is None
+        with faults.injected(FaultPlan(seed=1)) as plan:
+            assert faults.active_plan() is plan
+            with faults.injected(FaultPlan(seed=2)) as inner:
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is plan
+        assert faults.active_plan() is None
+
+    def test_env_var_arms_a_plan(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN",
+            '{"seed": 5, "rates": {"worker.task": 1.0}}')
+        # force the lazy env read to happen again
+        monkeypatch.setattr(faults, "_PLAN", None)
+        monkeypatch.setattr(faults, "_ENV_CHECKED", False)
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.seed == 5
+        assert faults.fire("worker.task") is True
+
+    def test_env_var_read_once(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        monkeypatch.setattr(faults, "_PLAN", None)
+        monkeypatch.setattr(faults, "_ENV_CHECKED", False)
+        assert faults.active_plan() is None
+        # setting the env var after the first check changes nothing
+        monkeypatch.setenv("REPRO_FAULT_PLAN", '{"seed": 1}')
+        assert faults.active_plan() is None
+
+
+class TestHooks:
+    def test_maybe_raise_tags_the_site(self):
+        with faults.injected(FaultPlan(rates={"shm.attach": 1.0})):
+            with pytest.raises(FaultInjected,
+                               match=r"\[fault:shm.attach\] torn"):
+                faults.maybe_raise("shm.attach", "torn")
+
+    def test_maybe_raise_custom_exception(self):
+        with faults.injected(FaultPlan(rates={"store.write": 1.0})):
+            with pytest.raises(OSError, match=r"\[fault:store.write\]"):
+                faults.maybe_raise("store.write", "disk full",
+                                   exc_type=OSError)
+
+    def test_maybe_sleep_uses_plan_delay(self):
+        plan = FaultPlan(rates={"pool.queue.delay": 1.0},
+                         delays={"pool.queue.delay": 0.05})
+        with faults.injected(plan):
+            started = time.monotonic()
+            faults.maybe_sleep("pool.queue.delay")
+            assert time.monotonic() - started >= 0.04
+        assert plan.fired["pool.queue.delay"] == 1

@@ -1,0 +1,116 @@
+"""ServiceClient transport resilience: bounded retry + timeouts."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+from repro.server.client import (
+    ServiceClient,
+    ServiceClientError,
+    _retryable_reason,
+)
+
+
+class TestRetryableShapes:
+    def test_connection_failures_are_retryable(self):
+        assert _retryable_reason(ConnectionRefusedError())
+        assert _retryable_reason(ConnectionResetError())
+        assert _retryable_reason(
+            urllib.error.URLError(ConnectionRefusedError()))
+        assert _retryable_reason(
+            urllib.error.URLError(ConnectionResetError()))
+
+    def test_other_failures_are_not(self):
+        assert not _retryable_reason(
+            urllib.error.URLError(TimeoutError()))
+        assert not _retryable_reason(
+            urllib.error.URLError("name resolution failed"))
+
+
+def client_with_transport(monkeypatch, outcomes, retries=3):
+    """A client whose urlopen pops scripted outcomes (exception
+    instances raise, dicts become the JSON response body)."""
+    client = ServiceClient("http://127.0.0.1:1", timeout=1.0,
+                           retries=retries, retry_backoff=0.001)
+    calls = []
+
+    def fake_urlopen(request, timeout=None):
+        calls.append(timeout)
+        outcome = outcomes.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+
+        class Response(io.BytesIO):
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        return Response(json.dumps(outcome).encode("utf-8"))
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    return client, calls
+
+
+class TestRetryLoop:
+    def test_bridges_a_restarting_server(self, monkeypatch):
+        client, calls = client_with_transport(monkeypatch, [
+            urllib.error.URLError(ConnectionRefusedError()),
+            urllib.error.URLError(ConnectionRefusedError()),
+            {"status": "ok"},
+        ])
+        assert client.health() == {"status": "ok"}
+        assert len(calls) == 3
+
+    def test_budget_exhaustion_raises_typed_error(self, monkeypatch):
+        client, calls = client_with_transport(monkeypatch, [
+            urllib.error.URLError(ConnectionRefusedError())
+            for _ in range(3)
+        ], retries=2)
+        with pytest.raises(ServiceClientError, match="GET /health"):
+            client.health()
+        assert len(calls) == 3          # 1 try + 2 retries
+
+    def test_zero_retries_fails_fast(self, monkeypatch):
+        client, calls = client_with_transport(monkeypatch, [
+            urllib.error.URLError(ConnectionRefusedError()),
+        ], retries=0)
+        with pytest.raises(ServiceClientError):
+            client.health()
+        assert len(calls) == 1
+
+    def test_non_retryable_urlerror_not_retried(self, monkeypatch):
+        client, calls = client_with_transport(monkeypatch, [
+            urllib.error.URLError(TimeoutError("socket timeout")),
+            {"status": "ok"},
+        ])
+        with pytest.raises(ServiceClientError):
+            client.health()
+        assert len(calls) == 1
+
+    def test_http_errors_are_answers_not_retried(self, monkeypatch):
+        client, calls = client_with_transport(monkeypatch, [
+            urllib.error.HTTPError(
+                "http://x", 404, "not found", None,
+                io.BytesIO(b'{"error": "no such job"}')),
+            {"status": "ok"},
+        ])
+        with pytest.raises(ServiceClientError,
+                           match="404: no such job") as exc_info:
+            client.job("job-9")
+        assert exc_info.value.status == 404
+        assert len(calls) == 1
+
+
+class TestTimeouts:
+    def test_per_call_override_reaches_the_socket(self, monkeypatch):
+        client, calls = client_with_transport(
+            monkeypatch, [{"status": "ok"}, {"status": "ok"}])
+        client.health()
+        client.health(timeout=2.5)
+        assert calls == [1.0, 2.5]

@@ -1,10 +1,13 @@
-"""SIGINT contract for long-running CLI commands (watch, serve).
+"""SIGINT/SIGTERM contract for long-running CLI commands (watch,
+serve).
 
-Both commands must exit with code 130 (128 + SIGINT), tear their
-worker pools down through the command's ``finally`` path, and leave
-no shared-memory segments behind.  Regression tests spawn a real
-subprocess, wait for its ready line, interrupt it, and inspect the
-exit status plus ``/dev/shm``.
+Both commands must exit with code 130 (128 + SIGINT) on interrupt and
+143 (128 + SIGTERM) on termination — the latter is what supervisors
+(systemd, Kubernetes) send first — tear their worker pools down
+through the command's ``finally`` path, and leave no shared-memory
+segments behind.  Regression tests spawn a real subprocess, wait for
+its ready line, signal it, and inspect the exit status plus
+``/dev/shm``.
 """
 
 from __future__ import annotations
@@ -115,3 +118,77 @@ class TestServeSigint:
         # every segment the server created (columns publish included)
         # must be unlinked by the finally-path teardown
         assert shm_segments() <= before
+
+
+def terminate_and_wait(process, timeout: float = 30.0) -> int:
+    process.send_signal(signal.SIGTERM)
+    try:
+        return process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        pytest.fail("process ignored SIGTERM")
+
+
+class TestWatchSigterm:
+    def test_watch_exits_143_without_leaks(self, tmp_path):
+        csv = tmp_path / "watched.csv"
+        write_csv(make_relation(
+            2, [(1, 10), (2, 20), (3, 30)]), csv)
+        before = shm_segments()
+        process = spawn_cli("watch", str(csv), "--interval", "0.2")
+        try:
+            read_ready_line(process, "watching")
+            code = terminate_and_wait(process)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 143
+        assert "terminated" in process.stderr.read()
+        assert shm_segments() <= before
+
+
+class TestServeSigterm:
+    def test_serve_exits_143_without_leaks(self):
+        before = shm_segments()
+        process = spawn_cli("serve", "--port", "0",
+                            extra_env={"REPRO_WORKERS": "2"})
+        try:
+            read_ready_line(process, "listening on")
+            code = terminate_and_wait(process)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 143
+        assert "terminated" in process.stderr.read()
+        assert shm_segments() <= before
+
+    def test_serve_sigterm_closes_the_journal_cleanly(self, tmp_path):
+        """The finally-path teardown runs on SIGTERM, so the journal's
+        trusted prefix includes everything appended before the
+        signal — a supervisor-restarted server recovers it all."""
+        journal_dir = tmp_path / "journal"
+        process = spawn_cli("serve", "--port", "0",
+                            "--journal-dir", str(journal_dir))
+        try:
+            ready = read_ready_line(process, "listening on")
+            url = ready.strip().rsplit(" ", 1)[-1]
+            body = json.dumps({"columns": ["a", "b"],
+                               "rows": [[1, 2], [2, 3], [3, 4]]}
+                              ).encode()
+            request = urllib.request.Request(
+                url + "/datasets", data=body, method="POST",
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                fp = json.loads(resp.read())["fingerprint"]
+            code = terminate_and_wait(process)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 143
+        from repro.server.journal import JobJournal
+
+        journal = JobJournal(journal_dir)
+        state = journal.recover()
+        journal.close()
+        assert fp in state.datasets
+        assert state.crashed_jobs == []
