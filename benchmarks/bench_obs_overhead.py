@@ -1,0 +1,125 @@
+"""Overhead gate for the always-on observability layer.
+
+The metrics registry and trace spans are wired into the hot discovery
+path unconditionally, so their cost must stay in the noise.  This
+bench runs full FastOD discovery on the ``bench_partition_kernels``
+workload sizes twice per dataset — once with the registry enabled
+(the shipped default) and once with ``metrics.set_enabled(False)`` —
+taking the best of ``REPEATS`` runs each, and gates:
+
+1. **Overhead** — aggregate enabled wall clock must be within
+   ``MAX_OVERHEAD`` (5%) of disabled, with a small absolute epsilon so
+   sub-millisecond jitter on tiny inputs cannot fail the gate.
+2. **Identity** — the discovered FD/OCD sets must be byte-identical
+   with observability on and off; instrumentation must never steer
+   discovery.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``.
+Emits ``BENCH_obs.json`` at the repo root via the harness.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.harness import Reporter, dataset, timed, write_bench_json
+from repro import discover_ods
+from repro.obs import metrics
+
+DATASETS = ["flight", "ncvoter", "dbtesma"]
+ROW_COUNTS = [1000, 3000, 5000]
+N_ATTRS = 8
+REPEATS = 3
+MAX_OVERHEAD = 0.05
+#: absolute slack (seconds) — timer jitter floor for sub-ms cases
+EPSILON_SECONDS = 0.010
+
+
+def ods_of(result) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    return (tuple(sorted(str(od) for od in result.fds)),
+            tuple(sorted(str(od) for od in result.ocds)))
+
+
+def best_of(relation, repeats: int = REPEATS):
+    best = None
+    result = None
+    for _ in range(repeats):
+        result, seconds = timed(lambda: discover_ods(relation))
+        best = seconds if best is None else min(best, seconds)
+    return result, best
+
+
+def bench(reporter: Reporter) -> Tuple[List[dict], float, float, bool]:
+    records = []
+    enabled_total = 0.0
+    disabled_total = 0.0
+    identical = True
+    for name in DATASETS:
+        for rows in ROW_COUNTS:
+            relation = dataset(name, rows, N_ATTRS)
+            discover_ods(relation)     # untimed warm-up
+            metrics.set_enabled(True)
+            try:
+                on_result, on_seconds = best_of(relation)
+            finally:
+                metrics.set_enabled(False)
+            try:
+                off_result, off_seconds = best_of(relation)
+            finally:
+                metrics.set_enabled(True)
+            same = ods_of(on_result) == ods_of(off_result)
+            identical &= same
+            enabled_total += on_seconds
+            disabled_total += off_seconds
+            overhead = on_seconds / off_seconds - 1.0
+            reporter.add(
+                dataset=name, rows=rows,
+                enabled=f"{on_seconds * 1e3:.1f}ms",
+                disabled=f"{off_seconds * 1e3:.1f}ms",
+                overhead=f"{overhead * 100:+.1f}%",
+                identical="yes" if same else "NO",
+            )
+            records.append({
+                "dataset": name,
+                "n_rows": rows,
+                "n_attrs": N_ATTRS,
+                "enabled_seconds": on_seconds,
+                "disabled_seconds": off_seconds,
+                "overhead": overhead,
+                "identical": same,
+            })
+    return records, enabled_total, disabled_total, identical
+
+
+def main() -> int:
+    reporter = Reporter(
+        experiment="obs_overhead",
+        title="Always-on metrics + spans vs disabled (best of "
+              f"{REPEATS})",
+        columns=["dataset", "rows", "enabled", "disabled",
+                 "overhead", "identical"])
+    records, enabled, disabled, identical = bench(reporter)
+    reporter.finish()
+
+    overhead = enabled / disabled - 1.0
+    budget = disabled * (1.0 + MAX_OVERHEAD) + EPSILON_SECONDS
+    write_bench_json("obs", records, section="overhead_gate")
+    print(f"aggregate: enabled {enabled * 1e3:.0f}ms vs disabled "
+          f"{disabled * 1e3:.0f}ms ({overhead * 100:+.1f}%); gate: "
+          f"<= {MAX_OVERHEAD * 100:.0f}% + {EPSILON_SECONDS * 1e3:.0f}ms "
+          f"epsilon; identical results: {identical}")
+    if not identical:
+        print("FAIL: discovery results differ with observability off")
+        return 1
+    if enabled > budget:
+        print("FAIL: observability overhead above the gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

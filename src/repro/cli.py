@@ -10,6 +10,8 @@ Subcommands::
     repro-od violations data.csv "[salary] -> [tax]" [--witnesses N]
     repro-od generate flight out.csv --rows 1000 --cols 10 --seed 42
     repro-od datasets
+    repro-od stats [--url URL] [--json]
+    repro-od trace job-3 [--url URL] [--json]
 
 Run ``repro-od <subcommand> --help`` for details.
 
@@ -202,6 +204,25 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--limit", type=int, default=None)
 
     sub.add_parser("datasets", help="list synthetic dataset families")
+
+    stats = sub.add_parser(
+        "stats",
+        help="fetch and render a running server's /stats snapshot")
+    stats.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="server base URL (default "
+                            "http://127.0.0.1:8765)")
+    stats.add_argument("--json", action="store_true",
+                       help="dump the raw /stats JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="render one service job's span timeline (flame-style)")
+    trace.add_argument("job", help="job id, e.g. job-3")
+    trace.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="server base URL (default "
+                            "http://127.0.0.1:8765)")
+    trace.add_argument("--json", action="store_true",
+                       help="dump the raw span export")
     return parser
 
 
@@ -451,6 +472,63 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.server.client import ServiceClient
+
+    snap = ServiceClient(args.url).stats()
+    if args.json:
+        print(json.dumps(snap, indent=2))
+        return 0
+    scheduler = snap["scheduler"]
+    catalog = snap["catalog"]
+    store = snap["store"]
+    print(f"uptime: {snap['uptime_seconds']:.1f}s")
+    print(f"scheduler: jobs={scheduler['jobs']} "
+          f"queued={scheduler['queued']} "
+          f"degraded={scheduler['degraded']}")
+    print(f"catalog: entries={catalog['entries']} "
+          f"resident_bytes={catalog['resident_bytes']} "
+          f"evictions={catalog['evictions']}")
+    print(f"store: resident={store['resident']} hits={store['hits']} "
+          f"misses={store['misses']} "
+          f"bytes_written={store['bytes_written']}")
+    print()
+    for name, family in sorted(snap["metrics"].items()):
+        for entry in family["values"]:
+            labels = entry.get("labels") or {}
+            suffix = ("{" + ",".join(f"{k}={v}"
+                                     for k, v in labels.items()) + "}"
+                      if labels else "")
+            if family["type"] == "histogram":
+                count = entry["count"]
+                total = entry["sum"]
+                mean = total / count if count else 0.0
+                print(f"{name}{suffix} count={count} "
+                      f"sum={total:.6f} mean={mean:.6f}")
+            else:
+                print(f"{name}{suffix} {entry['value']}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import render_timeline
+    from repro.server.client import ServiceClient
+
+    payload = ServiceClient(args.url).trace(args.job)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    spans = payload.get("spans") or []
+    if not spans:
+        print(f"{args.job} ({payload.get('status')}): no trace "
+              "recorded (served from the store, or not yet run)")
+        return 0
+    print(f"{args.job} ({payload.get('status')}), "
+          f"{len(spans)} span(s):")
+    print(render_timeline(spans))
+    return 0
+
+
 _COMMANDS = {
     "discover": _cmd_discover,
     "append": _cmd_append,
@@ -463,6 +541,8 @@ _COMMANDS = {
     "keys": _cmd_keys,
     "explain": _cmd_explain,
     "datasets": _cmd_datasets,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 
@@ -487,10 +567,21 @@ def _install_sigterm_handler() -> None:
         pass
 
 
+def _dump_final_metrics() -> None:
+    """An interrupted ``serve``/``watch`` leaves one last structured
+    event on stderr holding the full registry snapshot — the session's
+    counters survive the teardown even with no scraper attached."""
+    from repro.obs import events, metrics
+
+    events.emit("metrics.final",
+                metrics=metrics.get_registry().snapshot())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("serve", "watch"):
+    long_running = args.command in ("serve", "watch")
+    if long_running:
         _install_sigterm_handler()
     try:
         return _COMMANDS[args.command](args)
@@ -501,11 +592,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # one SIGINT contract for every long-running command: the
         # interrupted command's finally blocks have already torn down
         # engines/pools/servers (no orphan workers, no leaked shm),
-        # so all that is left is the conventional exit status
+        # so all that is left is the final metrics breadcrumb and the
+        # conventional exit status
+        if long_running:
+            _dump_final_metrics()
         print("interrupted", file=sys.stderr)
         return 130
     except _Terminated:
         # same contract for SIGTERM (128 + 15)
+        if long_running:
+            _dump_final_metrics()
         print("terminated", file=sys.stderr)
         return 143
 

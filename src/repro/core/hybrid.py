@@ -44,6 +44,7 @@ from repro.core.od import CanonicalFD, CanonicalOCD
 from repro.core.results import DiscoveryResult
 from repro.engine.budget import DeadlineBudget
 from repro.engine.executors import make_executor
+from repro.engine.telemetry import build_timings
 from repro.relation.schema import bit_count, iter_bits
 from repro.relation.table import Relation
 
@@ -93,6 +94,7 @@ def hybrid_discover(relation: Relation, *, sample_size: int = 100,
             sample_result, encoded, validate_wave, budget,
             sample_size, seed, workers, timeout_seconds, started)
         result.executor_stats = executor.telemetry.snapshot()
+        result.timings = build_timings(result.executor_stats)
         return result
     finally:
         executor.close()

@@ -69,6 +69,10 @@ class DiscoveryResult:
     #: point that routes through :mod:`repro.engine`; see
     #: :meth:`repro.engine.ExecutorTelemetry.snapshot`
     executor_stats: Optional[Dict[str, object]] = None
+    #: per-phase wall clock distilled from ``executor_stats`` plus
+    #: per-level seconds — the observability layer's profiling
+    #: currency; see :func:`repro.engine.telemetry.build_timings`
+    timings: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # views
@@ -157,6 +161,8 @@ class DiscoveryResult:
             rendered["cache"] = dict(self.cache_stats)
         if self.executor_stats is not None:
             rendered["executor"] = dict(self.executor_stats)
+        if self.timings is not None:
+            rendered["timings"] = dict(self.timings)
         return rendered
 
     def same_ods(self, other: "DiscoveryResult") -> bool:

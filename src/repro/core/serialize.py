@@ -85,6 +85,9 @@ def result_from_dict(payload: Dict) -> DiscoveryResult:
     executor_stats = payload.get("executor")
     if executor_stats is not None:
         result.executor_stats = dict(executor_stats)
+    timings = payload.get("timings")
+    if timings is not None:
+        result.timings = dict(timings)
     for level in payload.get("levels", []):
         result.level_stats.append(LevelStats(
             level=int(level["level"]),

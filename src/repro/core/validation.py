@@ -430,6 +430,13 @@ class CanonicalValidator:
         currency every engine entry point exposes)."""
         return self._executor.telemetry.snapshot()
 
+    def timings(self) -> dict:
+        """Per-phase wall clock distilled from :meth:`executor_stats`
+        (the ``timings`` currency; see
+        :func:`repro.engine.telemetry.build_timings`)."""
+        from repro.engine.telemetry import build_timings
+        return build_timings(self.executor_stats())
+
     def close(self) -> None:
         """Shut down the worker pool, if one was started."""
         self._executor.close()

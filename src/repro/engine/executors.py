@@ -105,54 +105,67 @@ class SerialExecutor:
                      tasks: Sequence[ProductTask],
                      budget: DeadlineBudget
                      ) -> Tuple[Dict[int, StrippedPartition], bool]:
+        started = time.perf_counter()
         products: Dict[int, StrippedPartition] = {}
         for task in tasks:
             if budget.hit():
-                self.telemetry.record("products", len(products), False)
+                self.telemetry.record(
+                    "products", len(products), False,
+                    time.perf_counter() - started)
                 return products, True
             products[task.child] = parents[task.left].product(
                 parents[task.right])
-        self.telemetry.record("products", len(products), False)
+        self.telemetry.record("products", len(products), False,
+                              time.perf_counter() - started)
         return products, False
 
     def run_scans(self, contexts: Dict[Hashable, StrippedPartition],
                   tasks: Sequence[ScanTask], budget: DeadlineBudget,
                   phase: str = "scans"
                   ) -> Tuple[Dict[Hashable, bool], bool]:
+        started = time.perf_counter()
         columns = self._relation.ranks
         verdicts: Dict[Hashable, bool] = {}
         for key, context_key, mode, a, b in tasks:
             if budget.hit():
-                self.telemetry.record(phase, len(verdicts), False)
+                self.telemetry.record(phase, len(verdicts), False,
+                                      time.perf_counter() - started)
                 return verdicts, True
             verdicts[key] = _kernel_verdict(
                 mode, columns, a, b, contexts.get(context_key))
-        self.telemetry.record(phase, len(verdicts), False)
+        self.telemetry.record(phase, len(verdicts), False,
+                              time.perf_counter() - started)
         return verdicts, False
 
     def run_validations(self, tasks: Sequence[ValidationTask],
                         budget: DeadlineBudget, phase: str = "wave"
                         ) -> Tuple[Dict[Hashable, bool], bool]:
+        started = time.perf_counter()
         if self._cache is None:
             self._cache = PartitionCache(self._relation)
         columns = self._relation.ranks
         verdicts: Dict[Hashable, bool] = {}
         for key, mask, mode, a, b in tasks:
             if budget.hit():
-                self.telemetry.record(phase, len(verdicts), False)
+                self.telemetry.record(phase, len(verdicts), False,
+                                      time.perf_counter() - started)
                 return verdicts, True
             context = (None if mode == "pointwise"
                        else self._cache.get(mask))
             verdicts[key] = _kernel_verdict(mode, columns, a, b, context)
-        self.telemetry.record(phase, len(verdicts), False)
+        self.telemetry.record(phase, len(verdicts), False,
+                              time.perf_counter() - started)
         return verdicts, False
 
     def scan_partition(self, mode: str, a: int, b: int,
                        partition: StrippedPartition) -> bool:
         """One whole-partition scan (validator/detector/incremental)."""
-        self.telemetry.record("class-scan", 1, False)
-        return _kernel_verdict(mode, self._relation.ranks, a, b,
-                               partition)
+        started = time.perf_counter()
+        verdict = _kernel_verdict(mode, self._relation.ranks, a, b,
+                                  partition)
+        self.telemetry.record("class-scan", 1, False,
+                              time.perf_counter() - started)
+        return verdict
 
 
 class PoolExecutor:
@@ -280,12 +293,14 @@ class PoolExecutor:
         if len(tasks) < 2 or grouped_rows < self.grouped_rows_threshold:
             return self._serial.run_products(parents, tasks, budget)
         triples = [(t.child, t.left, t.right) for t in tasks]
+        started = time.perf_counter()
         crashes = 0
         while crashes < MAX_DISPATCH_CRASHES:
             try:
                 products, timed_out = self._pool().run_products(
                     parents, triples, budget.deadline)
-                self.telemetry.record("products", len(products), True)
+                self.telemetry.record("products", len(products), True,
+                                      time.perf_counter() - started)
                 return products, timed_out
             except PoolDispatchError:
                 crashes += 1
@@ -302,6 +317,7 @@ class PoolExecutor:
             return self._serial.run_scans(contexts, tasks, budget, phase)
         verdicts: Dict[Hashable, bool] = {}
         remaining = list(tasks)
+        started = time.perf_counter()
         crashes = 0
         timed_out = False
         while remaining and crashes < MAX_DISPATCH_CRASHES:
@@ -309,7 +325,8 @@ class PoolExecutor:
                 got, timed_out = self._pool().run_scans(
                     contexts, remaining, budget.deadline)
                 verdicts.update(got)
-                self.telemetry.record(phase, len(verdicts), True)
+                self.telemetry.record(phase, len(verdicts), True,
+                                      time.perf_counter() - started)
                 return verdicts, timed_out
             except PoolDispatchError as error:
                 verdicts.update(self._harvest(error))
@@ -318,7 +335,8 @@ class PoolExecutor:
                 self._recover(crashes,
                               bool(remaining)
                               and crashes < MAX_DISPATCH_CRASHES)
-        self.telemetry.record(phase, len(verdicts), True)
+        self.telemetry.record(phase, len(verdicts), True,
+                              time.perf_counter() - started)
         if remaining:
             self.telemetry.mark_degraded()
             serial_verdicts, timed_out = self._serial.run_scans(
@@ -334,6 +352,7 @@ class PoolExecutor:
             return self._serial.run_validations(tasks, budget, phase)
         verdicts: Dict[Hashable, bool] = {}
         remaining = list(tasks)
+        started = time.perf_counter()
         crashes = 0
         timed_out = False
         while remaining and crashes < MAX_DISPATCH_CRASHES:
@@ -341,7 +360,8 @@ class PoolExecutor:
                 got, timed_out = self._pool().run_validations(
                     remaining, budget.deadline)
                 verdicts.update(got)
-                self.telemetry.record(phase, len(verdicts), True)
+                self.telemetry.record(phase, len(verdicts), True,
+                                      time.perf_counter() - started)
                 return verdicts, timed_out
             except PoolDispatchError as error:
                 verdicts.update(self._harvest(error))
@@ -350,7 +370,8 @@ class PoolExecutor:
                 self._recover(crashes,
                               bool(remaining)
                               and crashes < MAX_DISPATCH_CRASHES)
-        self.telemetry.record(phase, len(verdicts), True)
+        self.telemetry.record(phase, len(verdicts), True,
+                              time.perf_counter() - started)
         if remaining:
             self.telemetry.mark_degraded()
             serial_verdicts, timed_out = self._serial.run_validations(
@@ -364,12 +385,14 @@ class PoolExecutor:
                 or len(partition.rows) < self.grouped_rows_threshold
                 or mode == "pointwise"):
             return self._serial.scan_partition(mode, a, b, partition)
+        started = time.perf_counter()
         crashes = 0
         while crashes < MAX_DISPATCH_CRASHES:
             try:
                 verdict, _ = self._pool().run_class_scan(
                     mode, a, b, partition)
-                self.telemetry.record("class-scan", 1, True)
+                self.telemetry.record("class-scan", 1, True,
+                                      time.perf_counter() - started)
                 return verdict
             except PoolDispatchError:
                 crashes += 1

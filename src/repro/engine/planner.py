@@ -40,10 +40,20 @@ from repro.core.od import CanonicalFD, CanonicalOCD
 from repro.core.results import DiscoveryResult, LevelStats
 from repro.engine.budget import DeadlineBudget
 from repro.engine.tasks import FdCheckTask, OcdScanTask, ProductTask
+from repro.engine.telemetry import build_timings
+from repro.obs import metrics, trace
 from repro.partitions.cache import PartitionCache
 from repro.partitions.partition import StrippedPartition
 from repro.relation.encoding import EncodedRelation
 from repro.relation.schema import iter_bits
+
+_LEVELS = metrics.counter(
+    "repro_planner_levels_total",
+    "Lattice levels fully processed by the planner")
+_LEVEL_SECONDS = metrics.histogram(
+    "repro_planner_level_seconds",
+    "Wall-clock seconds per lattice level (candidate phases plus "
+    "pruning; products bill to the next level)")
 
 
 def level_partition_bytes(*levels: Dict[int, LatticeNode]) -> int:
@@ -79,10 +89,12 @@ class TraversalBackend:
     def fd_emitted(self, task: FdCheckTask) -> None:
         """Hook: a valid FD was emitted (incremental bookkeeping)."""
 
-    def fd_phase_complete(self, level: int, n_candidates: int) -> None:
+    def fd_phase_complete(self, level: int, n_candidates: int,
+                          seconds: float = 0.0) -> None:
         """Hook: one level's FD phase finished after checking
-        ``n_candidates`` tasks (telemetry — called once per level, not
-        per candidate, because the verdict itself is O(1))."""
+        ``n_candidates`` tasks in ``seconds`` (telemetry — called once
+        per level, not per candidate, because the verdict itself is
+        O(1))."""
 
     def ocd_verdicts(self, level: int, tasks: List[OcdScanTask],
                      before_previous: Dict[int, LatticeNode]
@@ -154,29 +166,35 @@ class LatticePlanner:
                 break
             stats = LevelStats(level=level, n_nodes=len(current))
             level_started = time.perf_counter()
-            stats.peak_partition_bytes = backend.resident_bytes(
-                before_previous, previous, current)
+            with trace.span("level", level=level,
+                            nodes=len(current)):
+                stats.peak_partition_bytes = backend.resident_bytes(
+                    before_previous, previous, current)
 
-            fill_candidate_sets(level, current, previous,
-                                self._full_mask,
-                                config.minimality_pruning)
-            timed_out = self._compute_ods(
-                level, current, previous, before_previous, result, stats)
-            # partitions two levels down were consumed for the last
-            # time by this level's OCD contexts — release them before
-            # the next level's products allocate, so at most three
-            # levels of partitions are ever resident
-            backend.release(before_previous)
-            before_previous = {}
-            stats.n_nodes_pruned = self._prune_level(level, current)
+                fill_candidate_sets(level, current, previous,
+                                    self._full_mask,
+                                    config.minimality_pruning)
+                timed_out = self._compute_ods(
+                    level, current, previous, before_previous,
+                    result, stats)
+                # partitions two levels down were consumed for the
+                # last time by this level's OCD contexts — release
+                # them before the next level's products allocate, so
+                # at most three levels of partitions are ever resident
+                backend.release(before_previous)
+                before_previous = {}
+                stats.n_nodes_pruned = self._prune_level(level, current)
             stats.seconds = time.perf_counter() - level_started
             result.level_stats.append(stats)
+            _LEVELS.inc()
+            _LEVEL_SECONDS.observe(stats.seconds)
             if timed_out:
                 result.timed_out = True
                 break
 
-            next_nodes = backend.build_level(
-                next_level_masks(current.keys()), current)
+            with trace.span("products", level=level + 1):
+                next_nodes = backend.build_level(
+                    next_level_masks(current.keys()), current)
             if next_nodes is None:     # deadline hit during products
                 result.timed_out = True
                 break
@@ -187,6 +205,8 @@ class LatticePlanner:
 
         result.elapsed_seconds = time.perf_counter() - started
         backend.finish(result)
+        result.timings = build_timings(result.executor_stats,
+                                       result.level_stats)
         return result
 
     # ------------------------------------------------------------------
@@ -213,25 +233,30 @@ class LatticePlanner:
         backend = self._backend
         names = self._names
         minimal = self._config.minimality_pruning
-        for mask, node in current.items():
-            if self._budget.hit():
-                backend.fd_phase_complete(level, stats.n_fd_candidates)
-                return True
-            # --- constancy ODs  X \ A: [] -> A -------------------------
-            for attribute in list(iter_bits(mask & node.cc)):
-                bit = 1 << attribute
-                task = FdCheckTask(mask, attribute)
-                stats.n_fd_candidates += 1
-                if backend.fd_verdict(task, node, previous):
-                    result.fds.append(CanonicalFD(
-                        context_names(mask ^ bit, names),
-                        names[attribute]))
-                    backend.fd_emitted(task)
-                    stats.n_fds_found += 1
-                    if minimal:
-                        node.cc &= ~bit          # remove A
-                        node.cc &= mask          # remove all B in R \ X
-        backend.fd_phase_complete(level, stats.n_fd_candidates)
+        fd_started = time.perf_counter()
+        with trace.span("fd-check", level=level):
+            for mask, node in current.items():
+                if self._budget.hit():
+                    backend.fd_phase_complete(
+                        level, stats.n_fd_candidates,
+                        time.perf_counter() - fd_started)
+                    return True
+                # --- constancy ODs  X \ A: [] -> A ---------------------
+                for attribute in list(iter_bits(mask & node.cc)):
+                    bit = 1 << attribute
+                    task = FdCheckTask(mask, attribute)
+                    stats.n_fd_candidates += 1
+                    if backend.fd_verdict(task, node, previous):
+                        result.fds.append(CanonicalFD(
+                            context_names(mask ^ bit, names),
+                            names[attribute]))
+                        backend.fd_emitted(task)
+                        stats.n_fds_found += 1
+                        if minimal:
+                            node.cc &= ~bit      # remove A
+                            node.cc &= mask      # remove all B in R \ X
+            backend.fd_phase_complete(level, stats.n_fd_candidates,
+                                      time.perf_counter() - fd_started)
         if level < 2:
             return False
         # one huge FD phase must not push the OCD scans past the
@@ -255,8 +280,10 @@ class LatticePlanner:
                 stats.n_ocd_candidates += 1
                 tasks.append(OcdScanTask(mask, a, b))
 
-        verdicts, timed_out = backend.ocd_verdicts(
-            level, tasks, before_previous)
+        with trace.span("ocd-scan", level=level,
+                        candidates=len(tasks)):
+            verdicts, timed_out = backend.ocd_verdicts(
+                level, tasks, before_previous)
 
         for task in tasks:
             verdict = verdicts.get(task)
@@ -396,8 +423,10 @@ class PartitionBackend(TraversalBackend):
         verdicts.update(scanned)
         return verdicts, timed_out
 
-    def fd_phase_complete(self, level: int, n_candidates: int) -> None:
-        self._executor.telemetry.record("fd-check", n_candidates, False)
+    def fd_phase_complete(self, level: int, n_candidates: int,
+                          seconds: float = 0.0) -> None:
+        self._executor.telemetry.record("fd-check", n_candidates,
+                                        False, seconds)
 
     def _context_partition(self, level: int, task: OcdScanTask,
                            before_previous: Dict[int, LatticeNode]

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.validation import is_compatible_in_classes
 from repro.engine.budget import DeadlineBudget
 from repro.engine.executors import make_executor
+from repro.engine.telemetry import build_timings
 from repro.errors import DependencyError
 from repro.partitions.cache import PartitionCache
 from repro.relation.schema import bit_count, iter_bits
@@ -181,6 +182,9 @@ class BidirectionalDiscoveryResult:
     timed_out: bool = False
     #: per-phase executor telemetry (the engine's uniform currency)
     executor_stats: Optional[dict] = None
+    #: per-phase wall clock distilled from ``executor_stats`` (the
+    #: ``timings`` currency)
+    timings: Optional[dict] = None
 
     @property
     def opposite_only(self) -> List[BidirectionalOCD]:
@@ -282,6 +286,7 @@ def discover_bidirectional_ocds(relation: Relation,
                 break
     finally:
         result.executor_stats = executor.telemetry.snapshot()
+        result.timings = build_timings(result.executor_stats)
         executor.close()
     result.elapsed_seconds = time.perf_counter() - started
     return result

@@ -31,6 +31,7 @@ from repro.core.od import CanonicalFD, CanonicalOCD
 from repro.core.validation import CanonicalValidator
 import repro.parallel.pool as pool_module
 from repro.engine.budget import DeadlineBudget
+from repro.engine.telemetry import build_timings
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.relation.table import Relation
 
@@ -68,6 +69,9 @@ class ConditionalDiscoveryResult:
     #: per-phase executor telemetry of the global validator (fragment
     #: runs carry their own in their DiscoveryResults)
     executor_stats: Optional[Dict[str, object]] = None
+    #: per-phase wall clock distilled from ``executor_stats`` (the
+    #: ``timings`` currency)
+    timings: Optional[Dict[str, object]] = None
 
     def for_condition(self, condition: Condition) -> List[ConditionalOD]:
         return [c for c in self.ods if c.condition == condition]
@@ -198,6 +202,7 @@ def discover_conditional_ods(relation: Relation, *,
                 result.ods.append(ConditionalOD(condition, od, support))
     finally:
         result.executor_stats = global_validator.executor_stats()
+        result.timings = build_timings(result.executor_stats)
         global_validator.close()
         if shared_pool is not None:
             shared_pool.shutdown()

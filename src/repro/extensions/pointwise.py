@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.validation import dominance_holds_ranks
 from repro.engine.budget import DeadlineBudget
 from repro.engine.executors import make_executor
+from repro.engine.telemetry import build_timings
 from repro.relation.schema import mask_of_indices
 from repro.relation.table import Relation
 
@@ -95,6 +96,9 @@ class PointwiseDiscoveryResult:
     timed_out: bool = False
     #: per-phase executor telemetry (the engine's uniform currency)
     executor_stats: Optional[dict] = None
+    #: per-phase wall clock distilled from ``executor_stats`` (the
+    #: ``timings`` currency)
+    timings: Optional[dict] = None
 
 
 def discover_pointwise_ods(relation: Relation, *,
@@ -158,6 +162,7 @@ def discover_pointwise_ods(relation: Relation, *,
                 break
     finally:
         result.executor_stats = executor.telemetry.snapshot()
+        result.timings = build_timings(result.executor_stats)
         executor.close()
     result.ods = found
     result.elapsed_seconds = time.perf_counter() - started

@@ -67,6 +67,12 @@ import time
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.obs import metrics
+
+_FIRED = metrics.counter(
+    "repro_faults_fired_total",
+    "Armed fault-plan injections that actually fired, by site",
+    ("site",))
 
 #: Every site the library consults, wired where the docstring says.
 SITES = (
@@ -151,6 +157,7 @@ class FaultPlan:
                 self.fired[site] = self.fired.get(site, 0) + 1
                 self.log.append(
                     f"{site}#{self._visits[site]}")
+                _FIRED.inc(site=site)
             return hit
 
     def delay_seconds(self, site: str) -> float:

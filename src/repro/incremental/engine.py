@@ -48,6 +48,7 @@ from repro.engine.budget import DeadlineBudget
 from repro.engine.executors import make_executor
 from repro.engine.planner import LatticePlanner, TraversalBackend
 from repro.engine.tasks import FdCheckTask, OcdScanTask
+from repro.engine.telemetry import build_timings
 from repro.errors import DataError
 from repro.incremental.delta import BatchEffect, DeltaPartition, GroupTracker
 from repro.relation.encoding import sort_key
@@ -540,7 +541,7 @@ class IncrementalFastOD:
     def _carry_result(self, previous: DiscoveryResult) -> DiscoveryResult:
         """No verdict changed, so no traversal ran: the previous OD set
         is still exact for the grown relation."""
-        return DiscoveryResult(
+        result = DiscoveryResult(
             algorithm=previous.algorithm,
             attribute_names=previous.attribute_names,
             n_rows=self._encoded.n_rows,
@@ -550,6 +551,14 @@ class IncrementalFastOD:
             minimal=previous.minimal,
             config=previous.config,
         )
+        # the carried result's profile is the cumulative executor
+        # truth (same source :meth:`executor_stats` reports), so the
+        # maintained result always serializes with timings attached
+        result.executor_stats = \
+            self._executor.telemetry.snapshot()
+        result.timings = build_timings(result.executor_stats,
+                                       result.level_stats)
+        return result
 
     def _check_against_oracle(self, result: DiscoveryResult) -> None:
         """Assert byte-identical FD/OCD sets vs a from-scratch run."""
@@ -597,9 +606,10 @@ class _CacheBackend(TraversalBackend):
     def fd_emitted(self, task: FdCheckTask) -> None:
         self._emitted.add((task.context_mask, task.node_mask))
 
-    def fd_phase_complete(self, level: int, n_candidates: int) -> None:
+    def fd_phase_complete(self, level: int, n_candidates: int,
+                          seconds: float = 0.0) -> None:
         self._engine._executor.telemetry.record(
-            "fd-check", n_candidates, False)
+            "fd-check", n_candidates, False, seconds)
 
     def ocd_verdicts(self, level: int, tasks: List[OcdScanTask],
                      before_previous: Dict[int, LatticeNode]):

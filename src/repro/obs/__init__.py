@@ -1,0 +1,45 @@
+"""End-to-end observability: metrics, trace spans, structured events.
+
+Three always-on, stdlib-only primitives the whole engine/pool/service
+stack bills into:
+
+* :mod:`repro.obs.metrics` — a process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  fixed-bucket histograms; rendered as JSON (``/stats``) or Prometheus
+  text (``/metrics``).
+* :mod:`repro.obs.trace` — coarse-grained spans
+  (``with trace.span("fd-check", level=3):``) collected into bounded
+  per-job ring buffers; served at ``/jobs/<id>/trace`` and rendered by
+  ``repro-od trace``.
+* :mod:`repro.obs.events` — one-line JSON event records for state
+  transitions (degradation pins, pool rebuilds, journal replays,
+  request access logs).
+
+``REPRO_OBS=0`` (or :func:`repro.obs.metrics.set_enabled`) disables
+metrics and spans together; ``benchmarks/bench_obs_overhead.py`` gates
+the enabled-vs-disabled difference at ≤5 % wall clock.
+"""
+
+from repro.obs import events, metrics, trace
+from repro.obs.events import emit, set_sink
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_enabled,
+)
+from repro.obs.trace import TraceBuffer, collect, render_timeline, span
+
+__all__ = [
+    "MetricsRegistry",
+    "TraceBuffer",
+    "collect",
+    "emit",
+    "events",
+    "get_registry",
+    "metrics",
+    "render_timeline",
+    "set_enabled",
+    "set_sink",
+    "span",
+    "trace",
+]

@@ -1,0 +1,57 @@
+"""Structured event log: one JSON object per line.
+
+State transitions that were previously only visible by polling
+``/health`` — scheduler degradation pins, pool rebuilds, journal
+replay summaries, request access logs, the final metrics snapshot on
+signal teardown — are emitted here as machine-parseable lines::
+
+    {"event": "scheduler.pool_rebuild", "rebuilds": 2, "ts": ...}
+
+The default sink is ``sys.stderr`` (stdout belongs to command output;
+the serve smoke suite reads it line-by-line).  Tests and embedders
+install their own sink with :func:`set_sink`; emission never raises —
+a broken pipe on teardown must not take the service down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, Optional
+
+_LOCK = threading.Lock()
+_SINK: Optional[Callable[[str], None]] = None
+
+
+def set_sink(sink: Optional[Callable[[str], None]]) -> None:
+    """Route event lines to ``sink(line)``; ``None`` restores stderr."""
+    global _SINK
+    _SINK = sink
+
+
+def emit(event: str, **fields) -> None:
+    """Emit one structured event line (sorted keys, one line, JSON).
+
+    Non-JSON-serializable field values degrade to ``str`` rather than
+    failing the caller; I/O errors are swallowed for the same reason.
+    """
+    payload = {"ts": round(time.time(), 6), "event": event}
+    payload.update(fields)
+    try:
+        line = json.dumps(payload, sort_keys=True, default=str)
+    except (TypeError, ValueError):  # pragma: no cover - default=str
+        line = json.dumps({"ts": payload["ts"], "event": event})
+    sink = _SINK
+    with _LOCK:
+        try:
+            if sink is not None:
+                sink(line)
+            else:
+                print(line, file=sys.stderr, flush=True)
+        except (OSError, ValueError):
+            pass
+
+
+__all__ = ["emit", "set_sink"]

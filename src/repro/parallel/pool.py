@@ -57,9 +57,31 @@ import numpy as np
 
 from repro import faults
 from repro.errors import ReproError
+from repro.obs import metrics, trace
 from repro.parallel.shm import BlockReader, SharedArrayBlock, unlink_by_name
 from repro.partitions.partition import StrippedPartition
 from repro.relation.encoding import EncodedRelation
+
+_DISPATCHES = metrics.counter(
+    "repro_pool_dispatches_total",
+    "Chunked dispatches sent to the worker pool, by task kind",
+    ("kind",))
+_DISPATCH_SECONDS = metrics.histogram(
+    "repro_pool_dispatch_seconds",
+    "Coordinator wall clock per pool dispatch (submit to last "
+    "result), by task kind", ("kind",))
+_QUEUE_WAIT_SECONDS = metrics.histogram(
+    "repro_pool_queue_wait_seconds",
+    "Coordinator-observed queueing overhead per dispatch: wall clock "
+    "minus the busiest chunk's kernel time, clamped at zero")
+_SHM_BYTES = metrics.counter(
+    "repro_pool_shm_bytes_total",
+    "Bytes published into shared-memory blocks, by payload kind",
+    ("payload",))
+_CRASHES = metrics.counter(
+    "repro_pool_crashes_total",
+    "Dispatches that failed and tore the pool down, by failure shape",
+    ("shape",))
 
 #: Below this many grouped rows in a dispatch's partitions the callers
 #: fall back to the serial path — process dispatch costs ~fractions of
@@ -428,6 +450,7 @@ class WorkerPool:
         relation = self._relation
         old = self._columns_block
         block = SharedArrayBlock.publish(relation.rank_arrays())
+        _SHM_BYTES.inc(block.nbytes, payload="columns")
         self._live_blocks.add(block.name)
         self._columns_block = block
         self._columns_descriptor = (
@@ -474,6 +497,7 @@ class WorkerPool:
                 arrays[(key, "r")] = partition.rows
                 arrays[(key, "o")] = partition.offsets
             block = SharedArrayBlock.publish(arrays)
+            _SHM_BYTES.inc(block.nbytes, payload="partitions")
             self._retain(block)
             for key, partition in missing.items():
                 rows_off, rows_len = block.layout[(key, "r")]
@@ -608,26 +632,46 @@ class WorkerPool:
         recovery layer re-runs only the lost tasks."""
         self._ensure_started()
         started = time.perf_counter()
-        try:
-            # fail fast if a worker already died: a silently shrunken
-            # pool would still drain the queue, just degraded
-            self._check_alive()
-            pending = {self._submit(kind, payload) for payload in payloads}
-            if faults.fire("pool.worker.kill"):
-                self._kill_one_worker()
-            ordered = sorted(pending)
-            results = self._collect(pending)
-        except BaseException:
-            self.shutdown()
-            raise
+        with trace.span("pool-dispatch", kind=kind,
+                        chunks=len(payloads)):
+            try:
+                # fail fast if a worker already died: a silently
+                # shrunken pool would still drain the queue, degraded
+                self._check_alive()
+                pending = {self._submit(kind, payload)
+                           for payload in payloads}
+                if faults.fire("pool.worker.kill"):
+                    self._kill_one_worker()
+                ordered = sorted(pending)
+                results = self._collect(pending)
+            except BaseException as error:
+                if isinstance(error, WorkerStallError):
+                    _CRASHES.inc(shape="stall")
+                elif isinstance(error, WorkerTaskError):
+                    _CRASHES.inc(shape="task-error")
+                elif isinstance(error, WorkerCrashError):
+                    _CRASHES.inc(shape="crash")
+                else:
+                    _CRASHES.inc(shape="interrupt")
+                self.shutdown()
+                raise
         wall = time.perf_counter() - started
+        busy = [results[i][1] for i in ordered]
+        # the coordinator-observed queueing overhead: everything the
+        # dispatch spent beyond its busiest chunk's kernel time
+        # (queue put/get, pickling, worker pickup latency)
+        queue_wait = max(0.0, wall - (max(busy) if busy else 0.0))
         record = {
             "kind": kind,
             "n_tasks": sum(len(p["tasks"]) for p in payloads),
             "n_chunks": len(payloads),
-            "chunk_busy_seconds": [results[i][1] for i in ordered],
+            "chunk_busy_seconds": busy,
             "wall_seconds": wall,
+            "queue_wait_seconds": queue_wait,
         }
+        _DISPATCHES.inc(kind=kind)
+        _DISPATCH_SECONDS.observe(wall, kind=kind)
+        _QUEUE_WAIT_SECONDS.observe(queue_wait)
         self.dispatches.append(record)
         if len(self.dispatches) > MAX_DISPATCH_RECORDS:
             del self.dispatches[:len(self.dispatches)
@@ -677,6 +721,7 @@ class WorkerPool:
             capacities[(child, "r")] = bound
             capacities[(child, "o")] = bound // 2 + 2
         out_block = SharedArrayBlock.allocate(capacities)
+        _SHM_BYTES.inc(out_block.nbytes, payload="products")
         self._retain(out_block)
         publish_seconds = time.perf_counter() - publish_started
         wall_deadline = self._wall_deadline(deadline)
@@ -826,6 +871,9 @@ class WorkerPool:
             "busy_seconds": sum(busy),
             "wall_seconds": sum(d["wall_seconds"]
                                 for d in self.dispatches),
+            "queue_wait_seconds": sum(
+                d.get("queue_wait_seconds", 0.0)
+                for d in self.dispatches),
         }
 
 

@@ -133,6 +133,13 @@ class SharedArrayBlock:
             total += capacity
         return cls(layout, total)
 
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes laid out in this segment (the currency of the
+        pool's shm-published byte metrics)."""
+        return sum(length
+                   for _, length in self.layout.values()) * ITEM_BYTES
+
     def descriptor(self, keys=None) -> BlockDescriptor:
         """The picklable handle; ``keys`` restricts the layout to the
         entries one chunk actually touches."""

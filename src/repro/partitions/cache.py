@@ -26,9 +26,18 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional
 
+from repro.obs import metrics
 from repro.partitions.partition import StrippedPartition
 from repro.relation.encoding import EncodedRelation
 from repro.relation.schema import mask_of_indices
+
+_LOOKUPS = metrics.counter(
+    "repro_partition_cache_lookups_total",
+    "Consumer-level partition cache lookups, by outcome",
+    ("outcome",))
+_EVICTIONS = metrics.counter(
+    "repro_partition_cache_evictions_total",
+    "Composite partitions evicted from LRU-bounded caches")
 
 
 class PartitionCache:
@@ -79,8 +88,10 @@ class PartitionCache:
         found = self._lookup(mask, touch=True)
         if found is not None:
             self.hits += 1
+            _LOOKUPS.inc(outcome="hit")
             return found
         self.misses += 1
+        _LOOKUPS.inc(outcome="miss")
         return self._materialize(mask)
 
     def _lookup(self, mask: int,
@@ -127,6 +138,7 @@ class PartitionCache:
                     and len(self._store) > self._max_entries):
                 self._store.popitem(last=False)
                 self.evictions += 1
+                _EVICTIONS.inc()
         elif len(self._store) < self._max_entries:
             self._store[mask] = partition
             self._store.move_to_end(mask, last=False)
@@ -143,8 +155,10 @@ class PartitionCache:
         found = self._lookup(mask, touch=True)
         if found is not None:
             self.hits += 1
+            _LOOKUPS.inc(outcome="hit")
         else:
             self.misses += 1
+            _LOOKUPS.inc(outcome="miss")
         return found
 
     def put(self, mask: int, partition: StrippedPartition) -> None:
@@ -166,6 +180,7 @@ class PartitionCache:
             if len(self._store) > self._max_entries:
                 self._store.popitem(last=False)
                 self.evictions += 1
+                _EVICTIONS.inc()
 
     def invalidate(self, masks: Optional[Iterable[int]] = None) -> None:
         """Drop cached partitions (all of them by default).

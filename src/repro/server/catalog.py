@@ -44,9 +44,24 @@ from typing import Dict, List, Optional
 
 from repro.core.fastod import FastODConfig
 from repro.errors import ReproError
+from repro.obs import metrics
 from repro.partitions.cache import PartitionCache
 from repro.relation.fingerprint import fingerprint
 from repro.relation.table import Relation
+
+_REGISTRATIONS = metrics.counter(
+    "repro_catalog_registrations_total",
+    "Dataset registrations, by whether the entry was created or reused",
+    ("outcome",))
+_EVICTIONS = metrics.counter(
+    "repro_catalog_evictions_total",
+    "Catalog entries evicted to stay under the byte budget")
+_ENTRIES = metrics.gauge(
+    "repro_catalog_entries",
+    "Resident catalog entries")
+_RESIDENT_BYTES = metrics.gauge(
+    "repro_catalog_resident_bytes",
+    "Encoded rank-column bytes resident across catalog entries")
 
 
 class CatalogError(ReproError):
@@ -177,8 +192,10 @@ class DatasetCatalog:
                 # the original snapshot must resolve to it, not be
                 # shadowed onto the grown relation
                 self._forwards.pop(fp, None)
+            _REGISTRATIONS.inc(outcome="created" if created else "reused")
             self._touch(entry)
             self._evict_over_budget(keep=fp)
+            self._sync_gauges()
             return entry, created
 
     def get(self, fp: str) -> CatalogEntry:
@@ -269,6 +286,7 @@ class DatasetCatalog:
                 # keep theirs resident, fold ours away
                 entry.close()
                 self._forwards[old_fp] = new_fp
+                self._sync_gauges()
                 return new_fp
             self._entries[new_fp] = entry
             self._forwards[old_fp] = new_fp
@@ -277,6 +295,7 @@ class DatasetCatalog:
             # re-check the budget so an always-appending tenant cannot
             # outgrow --catalog-bytes unnoticed
             self._evict_over_budget(keep=new_fp)
+            self._sync_gauges()
             return new_fp
 
     # ------------------------------------------------------------------
@@ -322,6 +341,13 @@ class DatasetCatalog:
                               in self._forwards.items()
                               if new != victim.fingerprint}
             self.evictions += 1
+            _EVICTIONS.inc()
+
+    def _sync_gauges(self) -> None:
+        """Mirror residency into the registry gauges (under the lock)."""
+        _ENTRIES.set(float(len(self._entries)))
+        _RESIDENT_BYTES.set(float(
+            sum(e.resident_bytes for e in self._entries.values())))
 
     def close(self) -> None:
         """Close every entry's incremental engine."""

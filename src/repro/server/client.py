@@ -115,6 +115,25 @@ class ServiceClient:
              timeout: Optional[float] = None) -> Dict:
         return self._request("GET", path, timeout=timeout)
 
+    def _get_text(self, path: str,
+                  timeout: Optional[float] = None) -> str:
+        """GET a non-JSON route (``/metrics`` is Prometheus text)."""
+        request = urllib.request.Request(self.base_url + path,
+                                         method="GET")
+        effective = self.timeout if timeout is None else timeout
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=effective) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceClientError(
+                f"GET {path} -> {error.code}",
+                status=error.code) from None
+        except (urllib.error.URLError, ConnectionResetError) as error:
+            reason = getattr(error, "reason", error)
+            raise ServiceClientError(
+                f"GET {path} failed: {reason}") from None
+
     def _post(self, path: str, body: Dict,
               timeout: Optional[float] = None) -> Dict:
         return self._request("POST", path, body, timeout=timeout)
@@ -124,6 +143,19 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def health(self, timeout: Optional[float] = None) -> Dict:
         return self._get("/health", timeout=timeout)
+
+    def metrics(self, timeout: Optional[float] = None) -> str:
+        """The raw Prometheus text exposition (``GET /metrics``)."""
+        return self._get_text("/metrics", timeout=timeout)
+
+    def stats(self, timeout: Optional[float] = None) -> Dict:
+        """The JSON observability snapshot (``GET /stats``)."""
+        return self._get("/stats", timeout=timeout)
+
+    def trace(self, job_id: str,
+              timeout: Optional[float] = None) -> Dict:
+        """One job's span timeline (``GET /jobs/{id}/trace``)."""
+        return self._get(f"/jobs/{job_id}/trace", timeout=timeout)
 
     def datasets(self, timeout: Optional[float] = None) -> List[Dict]:
         return self._get("/datasets", timeout=timeout)["datasets"]

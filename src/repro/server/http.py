@@ -9,6 +9,8 @@ decision lives in :mod:`repro.server.jobs` and
 Routes::
 
     GET    /health                     liveness + component stats
+    GET    /metrics                    Prometheus text exposition
+    GET    /stats                      JSON metrics snapshot
     GET    /datasets                   catalog listing
     POST   /datasets                   register (csv | rows | dataset)
     GET    /datasets/{fp}              one entry
@@ -16,6 +18,7 @@ Routes::
     GET    /jobs                       all jobs, oldest first
     POST   /jobs                       submit {kind, fingerprint, ...}
     GET    /jobs/{id}                  poll one job
+    GET    /jobs/{id}/trace            span timeline of one job's run
     DELETE /jobs/{id}                  cancel
     GET    /results                    result-store index
     GET    /results/{fp}               stored results for one dataset
@@ -31,13 +34,16 @@ clients and waiting clients coexist.
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.datasets.registry import make_dataset
 from repro.errors import ReproError
+from repro.obs import events, metrics
 from repro.relation.csvio import read_csv_text
 from repro.relation.table import Relation
 from repro.server.catalog import DatasetCatalog, UnknownFingerprintError
@@ -48,6 +54,21 @@ from repro.server.store import ResultStore
 #: ceiling on blocking waits, so an abandoned connection cannot pin a
 #: handler thread forever; pollers use GET /jobs/{id} past this
 MAX_WAIT_SECONDS = 600.0
+
+#: the content type Prometheus scrapers expect from ``GET /metrics``
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_REQUESTS = metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, top-level route, and status",
+    ("method", "route", "status"))
+_REQUEST_SECONDS = metrics.histogram(
+    "repro_http_request_seconds",
+    "HTTP request wall-clock seconds, by top-level route",
+    ("route",))
+
+#: monotone per-process request ids for the structured access log
+_REQUEST_IDS = itertools.count(1)
 
 
 class ServiceError(ReproError):
@@ -87,6 +108,7 @@ class ODService:
         #: what journal replay restored (surfaced in ``/health``)
         self.recovered: Dict[str, int] = {
             "datasets": 0, "requeued": 0, "crashed": 0}
+        self._started = time.monotonic()
         if self.journal is not None:
             self._replay_journal()
         handler = _make_handler(self)
@@ -119,6 +141,8 @@ class ODService:
         for record in state.pending_jobs:
             self.scheduler.restore_pending(record)
             self.recovered["requeued"] += 1
+        events.emit("journal.replayed", last_lsn=state.last_lsn,
+                    finished=state.finished_jobs, **self.recovered)
 
     @property
     def host(self) -> str:
@@ -171,14 +195,32 @@ class ODService:
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
         scheduler = self.scheduler.stats()
+        catalog = self.catalog.stats()
+        store = self.store.stats()
         return {
             "status": ("degraded" if scheduler["degraded"] else "ok"),
             "degraded": scheduler["degraded"],
             "degraded_reason": scheduler["degraded_reason"],
+            "uptime_seconds": time.monotonic() - self._started,
+            "queue_depth": scheduler["queued"],
+            "catalog_resident_bytes": catalog["resident_bytes"],
+            "store_bytes_written": store["bytes_written"],
             "recovered": dict(self.recovered),
+            "catalog": catalog,
+            "store": store,
+            "scheduler": scheduler,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """The observability snapshot (``GET /stats``): every metric
+        family in the process-wide registry, plus the component stats
+        the registry's gauges mirror."""
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "metrics": metrics.get_registry().snapshot(),
             "catalog": self.catalog.stats(),
             "store": self.store.stats(),
-            "scheduler": scheduler,
+            "scheduler": self.scheduler.stats(),
         }
 
     def register(self, body: Dict) -> Tuple[int, Dict[str, object]]:
@@ -250,13 +292,18 @@ def _make_handler(service: ODService):
         def log_message(self, fmt, *args):   # noqa: ARG002 — quiet
             pass
 
-        def _send(self, status: int, payload: Dict) -> None:
-            body = json.dumps(payload, indent=1).encode("utf-8")
+        def _send_raw(self, status: int, body: bytes,
+                      content_type: str) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+
+        def _send(self, status: int, payload: Dict) -> None:
+            self._send_raw(
+                status, json.dumps(payload, indent=1).encode("utf-8"),
+                "application/json")
 
         def _body(self) -> Dict:
             if self._body_error is not None:
@@ -284,10 +331,21 @@ def _make_handler(service: ODService):
             self._parsed_body = parsed
 
         def _route(self, method: str) -> None:
+            started = time.perf_counter()
+            request_id = next(_REQUEST_IDS)
             parts = [p for p in self.path.split("?")[0].split("/") if p]
+            route = parts[0] if parts else "/"
+            raw: Optional[bytes] = None
+            content_type = "application/json"
             try:
                 self._read_body()
-                status, payload = self._dispatch(method, parts)
+                if method == "GET" and parts == ["metrics"]:
+                    status = 200
+                    raw = metrics.get_registry().render_prometheus() \
+                        .encode("utf-8")
+                    content_type = PROMETHEUS_CONTENT_TYPE
+                else:
+                    status, payload = self._dispatch(method, parts)
             except ServiceError as error:
                 status, payload = error.status, {"error": str(error)}
             except (UnknownFingerprintError, UnknownJobError) as error:
@@ -301,7 +359,16 @@ def _make_handler(service: ODService):
                 status = 500
                 payload = {"error":
                            f"{type(error).__name__}: {error}"}
-            self._send(status, payload)
+            if raw is None:
+                raw = json.dumps(payload, indent=1).encode("utf-8")
+            self._send_raw(status, raw, content_type)
+            seconds = time.perf_counter() - started
+            _REQUESTS.inc(method=method, route=route,
+                          status=str(status))
+            _REQUEST_SECONDS.observe(seconds, route=route)
+            events.emit("http.request", id=request_id, method=method,
+                        path=self.path, status=status,
+                        seconds=round(seconds, 6))
 
         # -- routing ---------------------------------------------------
         def _dispatch(self, method: str, parts) -> Tuple[int, Dict]:
@@ -310,6 +377,8 @@ def _make_handler(service: ODService):
             head = parts[0]
             if method == "GET" and parts == ["health"]:
                 return 200, service.health()
+            if method == "GET" and parts == ["stats"]:
+                return 200, service.stats()
             if head == "datasets":
                 return self._dispatch_datasets(method, parts[1:])
             if head == "jobs":
@@ -346,6 +415,11 @@ def _make_handler(service: ODService):
                 return 202, service.submit(self._body())
             if method == "GET" and len(rest) == 1:
                 return 200, service.scheduler.job(rest[0]).to_dict()
+            if (method == "GET" and len(rest) == 2
+                    and rest[1] == "trace"):
+                job = service.scheduler.job(rest[0])
+                return 200, {"id": job.id, "status": job.status,
+                             "spans": job.trace or []}
             if method == "DELETE" and len(rest) == 1:
                 cancelled = service.scheduler.cancel(rest[0])
                 return 200, {"id": rest[0], "cancelled": cancelled}

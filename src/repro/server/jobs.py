@@ -45,6 +45,7 @@ from repro import faults
 from repro.core.fastod import FastOD, FastODConfig
 from repro.engine.budget import DeadlineBudget
 from repro.errors import ReproError
+from repro.obs import events, metrics, trace
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.relation.table import Relation
 from repro.server.catalog import DatasetCatalog
@@ -53,6 +54,23 @@ from repro.server.store import ResultStore
 from repro.violations.detect import ViolationDetector
 
 JOB_KINDS = ("discover", "validate", "violations", "append")
+
+_SUBMITTED = metrics.counter(
+    "repro_jobs_submitted_total",
+    "Jobs accepted by the scheduler, by kind",
+    ("kind",))
+_FINISHED = metrics.counter(
+    "repro_jobs_finished_total",
+    "Jobs reaching a terminal state, by kind and status",
+    ("kind", "status"))
+_JOB_SECONDS = metrics.histogram(
+    "repro_job_seconds",
+    "Job wall-clock seconds from start (or submit) to finish, by "
+    "kind and terminal status",
+    ("kind", "status"))
+_QUEUE_DEPTH = metrics.gauge(
+    "repro_jobs_queue_depth",
+    "Jobs waiting for the runner thread")
 
 #: telemetry reported for store-served requests: no executor ran, so
 #: every phase counter is absent — "zero new tasks" by construction
@@ -120,7 +138,7 @@ class Job:
     __slots__ = ("id", "kind", "fingerprint", "params", "status",
                  "cached", "error", "payload", "executor_stats",
                  "submitted_at", "started_at", "finished_at", "budget",
-                 "cancel_requested", "_done")
+                 "cancel_requested", "trace", "_done")
 
     def __init__(self, job_id: str, kind: str, fingerprint: str,
                  params: Dict):
@@ -138,6 +156,9 @@ class Job:
         self.finished_at: Optional[float] = None
         self.budget: Optional[DeadlineBudget] = None
         self.cancel_requested = False
+        #: span export of this job's run (``GET /jobs/<id>/trace``);
+        #: ``None`` until the job actually ran on the runner thread
+        self.trace: Optional[List[Dict]] = None
         self._done = threading.Event()
 
     @property
@@ -147,6 +168,10 @@ class Job:
     def _finish(self, status: str) -> None:
         self.status = status
         self.finished_at = time.time()
+        _FINISHED.inc(kind=self.kind, status=status)
+        _JOB_SECONDS.observe(
+            self.finished_at - (self.started_at or self.submitted_at),
+            kind=self.kind, status=status)
         self._done.set()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -265,6 +290,7 @@ class JobScheduler:
             self._jobs[job.id] = job
             self._order.append(job.id)
             self._prune_finished()
+        _SUBMITTED.inc(kind=kind)
         self._journal_event("job_submitted", job.id, kind,
                             entry.fingerprint, params)
         if kind == "discover":
@@ -278,6 +304,7 @@ class JobScheduler:
                 self._journal_event("job_finished", job.id, "done")
                 return job
         self._queue.put(job)
+        _QUEUE_DEPTH.set(float(self._queue.qsize()))
         return job
 
     # ------------------------------------------------------------------
@@ -312,7 +339,9 @@ class JobScheduler:
         with self._lock:
             self._jobs[job.id] = job
             self._order.append(job.id)
+        _SUBMITTED.inc(kind=job.kind)
         self._queue.put(job)
+        _QUEUE_DEPTH.set(float(self._queue.qsize()))
         return job
 
     def _prune_finished(self) -> None:
@@ -438,6 +467,9 @@ class JobScheduler:
         self._rebuild_times = [
             t for t in self._rebuild_times
             if now - t <= DEGRADE_WINDOW_SECONDS]
+        events.emit("scheduler.pool_rebuild",
+                    rebuilds=self.pool_rebuilds,
+                    recent=len(self._rebuild_times))
         if (not self._degraded
                 and len(self._rebuild_times)
                 >= DEGRADE_REBUILD_THRESHOLD):
@@ -446,6 +478,8 @@ class JobScheduler:
                 f"{len(self._rebuild_times)} worker-pool rebuilds "
                 f"within {DEGRADE_WINDOW_SECONDS:.0f}s; execution "
                 f"pinned to serial")
+            events.emit("scheduler.degraded",
+                        reason=self._degraded_reason)
 
     def _job_config(self, job: Job) -> FastODConfig:
         """The job's requested config — forced to ``workers=1`` when
@@ -460,6 +494,7 @@ class JobScheduler:
     def _run_loop(self) -> None:
         while True:
             job = self._queue.get()
+            _QUEUE_DEPTH.set(float(self._queue.qsize()))
             if job is None:
                 return
             with self._lock:
@@ -481,6 +516,7 @@ class JobScheduler:
                 job.cancel_requested = True
                 job.budget.cancel()
             pinned = None
+            buffer = trace.TraceBuffer()
             try:
                 # pin the entry for the job's whole run: catalog
                 # eviction fires on HTTP handler threads and must not
@@ -488,13 +524,16 @@ class JobScheduler:
                 pinned = self._catalog.get(job.fingerprint)
                 self._catalog.pin(pinned)
                 handler = getattr(self, f"_run_{job.kind}")
-                handler(job)
+                with trace.collect(buffer):
+                    with trace.span("job", kind=job.kind, job=job.id):
+                        handler(job)
             except Exception as error:   # noqa: BLE001 — job isolation
                 job.error = (
                     f"{type(error).__name__}: {error}\n"
                     + traceback.format_exc(limit=5))
                 job._finish("failed")
             finally:
+                job.trace = buffer.export()
                 if pinned is not None:
                     self._catalog.unpin(pinned)
                 if job.finished:

@@ -54,11 +54,24 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.errors import ReproError
+from repro.obs import metrics
+
+_APPENDS = metrics.counter(
+    "repro_journal_appends_total",
+    "Journal records durably appended, by record type",
+    ("type",))
+_ERRORS = metrics.counter(
+    "repro_journal_errors_total",
+    "Journal appends that failed with an I/O error")
+_FSYNC_SECONDS = metrics.histogram(
+    "repro_journal_fsync_seconds",
+    "Wall-clock seconds per journal append's write+flush+fsync")
 
 JOURNAL_FILENAME = "journal.log"
 DATASETS_DIRNAME = "datasets"
@@ -187,13 +200,17 @@ class JobJournal:
             if self._closed:
                 return self._lsn          # shutdown race: drop quietly
             self._lsn += 1
+            started = time.perf_counter()
             try:
                 self._handle.write(_encode(self._lsn, payload))
                 self._handle.flush()
                 os.fsync(self._handle.fileno())
             except OSError as error:
+                _ERRORS.inc()
                 raise JournalError(
                     f"journal append failed: {error}") from error
+            _FSYNC_SECONDS.observe(time.perf_counter() - started)
+            _APPENDS.inc(type=str(payload.get("type", "unknown")))
             return self._lsn
 
     def dataset_registered(self, fingerprint: str, name: str,

@@ -139,6 +139,45 @@ def main() -> int:
         check(warm["result"]["fds"] == direct["fds"],
               "cached result identical")
 
+        # --- observability surface, scraped mid-run -----------------
+        text = client.metrics()
+        check(text.startswith("# HELP") and text.endswith("\n"),
+              "GET /metrics renders Prometheus text")
+
+        def scrape(sample: str) -> float:
+            for line in text.splitlines():
+                if line.startswith(sample + " ") \
+                        or line.startswith(sample + "{"):
+                    return float(line.rsplit(" ", 1)[1])
+            return 0.0
+
+        check(scrape('repro_jobs_finished_total'
+                     '{kind="discover",status="done"}') >= 2,
+              "job counters count both discovers")
+        check(scrape('repro_store_lookups_total'
+                     '{outcome="hit"}') >= 1,
+              "store hit counter moved on the cached re-discover")
+        check(scrape("repro_executor_tasks_total") > 0,
+              "executor task counters non-zero")
+        check(scrape("repro_http_requests_total") > 0,
+              "HTTP request counters non-zero")
+
+        stats = client.stats()
+        check(stats["uptime_seconds"] > 0
+              and "repro_job_seconds" in stats["metrics"],
+              "GET /stats returns the JSON snapshot")
+
+        spans = client.trace(cold["id"])["spans"]
+        level_spans = [s for s in spans if s["name"] == "level"]
+        check(spans and spans[0]["name"] == "job",
+              f"cold job trace captured ({len(spans)} spans)")
+        check(level_spans and all(s["seconds"] > 0.0
+                                  for s in level_spans),
+              "per-level span timings recorded "
+              f"({len(level_spans)} levels)")
+        check(client.trace(warm["id"])["spans"] == [],
+              "cached job trace is empty (no traversal)")
+
         # the pool exists now — remember the worker pids for the
         # orphan check
         workers = child_pids(server.pid)
@@ -174,6 +213,9 @@ def main() -> int:
 
     check(server.returncode == 130,
           f"SIGINT exit code 130 (got {server.returncode})")
+    stderr_tail = server.stderr.read()
+    check('"event": "metrics.final"' in stderr_tail,
+          "final metrics snapshot dumped on SIGINT teardown")
     leaked = shm_segments() - shm_before
     check(not leaked, f"no leaked shm segments {sorted(leaked) or ''}")
     orphans = wait_for_exit(workers)

@@ -47,8 +47,23 @@ from repro.core.fastod import FastODConfig
 from repro.core.results import DiscoveryResult
 from repro.core.serialize import result_from_dict, result_to_dict
 from repro.errors import ReproError
+from repro.obs import metrics
 
 StoreKey = Tuple[str, str]
+
+_LOOKUPS = metrics.counter(
+    "repro_store_lookups_total",
+    "Result-store lookups, by outcome",
+    ("outcome",))
+_WRITE_ERRORS = metrics.counter(
+    "repro_store_write_errors_total",
+    "Tolerated result-store disk write failures")
+_QUARANTINED = metrics.counter(
+    "repro_store_quarantined_total",
+    "Unparseable disk entries renamed aside on lazy load")
+_BYTES_WRITTEN = metrics.counter(
+    "repro_store_bytes_written_total",
+    "Serialized result bytes successfully written to disk")
 
 
 class ResultStore:
@@ -75,6 +90,9 @@ class ResultStore:
         self.write_errors = 0
         #: unparseable disk entries renamed to ``*.json.corrupt``
         self.quarantined = 0
+        #: serialized bytes successfully written to disk (the store's
+        #: byte-usage currency surfaced on ``/health``)
+        self.bytes_written = 0
 
     @staticmethod
     def key(fingerprint: str, config: FastODConfig) -> StoreKey:
@@ -100,6 +118,7 @@ class ResultStore:
             result = self._results.get(key)
             if result is not None:
                 self.hits += 1
+                _LOOKUPS.inc(outcome="hit")
                 return result
             path = self._path(key)
             if path is not None and path.exists():
@@ -112,8 +131,10 @@ class ResultStore:
                 if result is not None:
                     self._results[key] = result
                     self.hits += 1
+                    _LOOKUPS.inc(outcome="hit")
                     return result
             self.misses += 1
+            _LOOKUPS.inc(outcome="miss")
             return None
 
     def _quarantine(self, path: Path) -> None:
@@ -123,6 +144,7 @@ class ResultStore:
         try:
             os.replace(path, path.with_suffix(".json.corrupt"))
             self.quarantined += 1
+            _QUARANTINED.inc()
         except OSError:  # pragma: no cover - racing unlink/eviction
             pass
 
@@ -147,16 +169,20 @@ class ResultStore:
                                    exc_type=OSError)
                 path.parent.mkdir(parents=True, exist_ok=True)
                 tmp = path.with_suffix(".json.tmp")
-                tmp.write_text(
-                    json.dumps(result_to_dict(result), indent=2),
-                    encoding="utf-8")
+                rendered = json.dumps(result_to_dict(result), indent=2)
+                tmp.write_text(rendered, encoding="utf-8")
                 os.replace(tmp, path)
+                written = len(rendered.encode("utf-8"))
+                with self._lock:
+                    self.bytes_written += written
+                _BYTES_WRITTEN.inc(written)
             except OSError:
                 # disk full / permissions / injected fault: the result
                 # is already resident, so the job still succeeds — only
                 # restart durability is lost for this entry
                 with self._lock:
                     self.write_errors += 1
+                _WRITE_ERRORS.inc()
         return True
 
     # ------------------------------------------------------------------
@@ -200,6 +226,7 @@ class ResultStore:
                 "misses": self.misses,
                 "write_errors": self.write_errors,
                 "quarantined": self.quarantined,
+                "bytes_written": self.bytes_written,
                 "directory": (str(self._directory)
                               if self._directory else None),
             }

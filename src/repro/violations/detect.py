@@ -212,6 +212,11 @@ class ViolationDetector:
         (tasks dispatched, serial-vs-pool split, peak residency)."""
         return self._validator.executor_stats()
 
+    def timings(self) -> dict:
+        """Per-phase wall clock of the underlying validator (the
+        ``timings`` currency)."""
+        return self._validator.timings()
+
     def check(self, dependency: Dependency, *, max_witnesses: int = 3,
               count_pairs: bool = True) -> ViolationReport:
         """Full violation report for one dependency.

@@ -20,9 +20,10 @@ def assert_shape(stats):
     assert REQUIRED_KEYS <= set(stats)
     for phase in stats["phases"].values():
         assert {"tasks", "serial_tasks", "pool_tasks",
-                "dispatches"} == set(phase)
+                "dispatches", "seconds"} == set(phase)
         assert phase["serial_tasks"] + phase["pool_tasks"] \
             == phase["tasks"]
+        assert phase["seconds"] >= 0.0
 
 
 class TestEntryPointsExposeStats:

@@ -59,7 +59,7 @@ def canonical(result_dict):
     """A discovery result with its timing/telemetry noise stripped —
     what "byte-identical" means across serial and chaotic runs."""
     stripped = dict(result_dict)
-    for key in ("elapsed_seconds", "executor", "cache"):
+    for key in ("elapsed_seconds", "executor", "cache", "timings"):
         stripped.pop(key, None)
     stripped["levels"] = [
         {k: v for k, v in level.items()

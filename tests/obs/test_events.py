@@ -1,0 +1,49 @@
+"""Structured event log: one JSON line per emit, never raises."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import events
+
+
+@pytest.fixture
+def captured():
+    lines = []
+    events.set_sink(lines.append)
+    try:
+        yield lines
+    finally:
+        events.set_sink(None)
+
+
+class TestEmit:
+    def test_one_json_line(self, captured):
+        events.emit("scheduler.degraded", reason="too many rebuilds")
+        (line,) = captured
+        assert "\n" not in line
+        payload = json.loads(line)
+        assert payload["event"] == "scheduler.degraded"
+        assert payload["reason"] == "too many rebuilds"
+        assert payload["ts"] > 0
+
+    def test_keys_are_sorted(self, captured):
+        events.emit("x", zebra=1, alpha=2)
+        keys = list(json.loads(captured[0]))
+        assert keys == sorted(keys)
+
+    def test_unserializable_fields_degrade_to_str(self, captured):
+        events.emit("x", payload=object())
+        assert "object object at" in json.loads(captured[0])["payload"]
+
+    def test_broken_sink_never_raises(self):
+        def broken(line):
+            raise OSError("pipe closed")
+
+        events.set_sink(broken)
+        try:
+            events.emit("x", field=1)    # must not raise
+        finally:
+            events.set_sink(None)

@@ -1,0 +1,195 @@
+"""MetricsRegistry: instruments, registry semantics, renderings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+)
+
+
+def fresh() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = fresh()
+        counter = registry.counter("t_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_key_children(self):
+        registry = fresh()
+        counter = registry.counter("t_total", "", ("kind",))
+        counter.inc(kind="a")
+        counter.inc(3, kind="b")
+        assert counter.value(kind="a") == 1.0
+        assert counter.value(kind="b") == 3.0
+        assert counter.value(kind="never") == 0.0
+
+    def test_missing_label_rejected(self):
+        registry = fresh()
+        counter = registry.counter("t_total", "", ("kind",))
+        with pytest.raises(ValueError):
+            counter.inc()
+        with pytest.raises(ValueError):
+            counter.inc(other="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = fresh()
+        gauge = registry.gauge("t_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6.0
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        registry = fresh()
+        hist = registry.histogram("t_seconds")
+        hist.observe(0.002)
+        hist.observe(0.2)
+        assert hist.count() == 2
+        assert hist.sum() == pytest.approx(0.202)
+
+    def test_bucket_bounds_are_inclusive(self):
+        """A value equal to a bound lands in that bound's bucket —
+        the Prometheus ``le`` (less-or-equal) contract."""
+        registry = fresh()
+        hist = registry.histogram("t_seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        snapshot = registry.snapshot()["t_seconds"]["values"][0]
+        assert snapshot["buckets"]["1"] == 1
+
+    def test_overflow_lands_in_inf(self):
+        registry = fresh()
+        hist = registry.histogram("t_seconds", buckets=(1.0,))
+        hist.observe(100.0)
+        snapshot = registry.snapshot()["t_seconds"]["values"][0]
+        assert snapshot["buckets"]["1"] == 0
+        assert snapshot["buckets"]["+Inf"] == 1
+
+    def test_byte_buckets_span_kib_to_gib(self):
+        assert BYTE_BUCKETS[0] == 1024.0
+        assert BYTE_BUCKETS[-1] == float(1 << 30)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            fresh().histogram("t_seconds", buckets=())
+
+
+class TestRegistry:
+    def test_family_constructors_are_idempotent(self):
+        registry = fresh()
+        first = registry.counter("t_total", "", ("kind",))
+        second = registry.counter("t_total", "", ("kind",))
+        assert first is second
+
+    def test_shape_mismatch_raises(self):
+        registry = fresh()
+        registry.counter("t_total", "", ("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("t_total", "", ("other",))
+        with pytest.raises(ValueError):
+            registry.gauge("t_total", "", ("kind",))
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            fresh().counter("bad name")
+        with pytest.raises(ValueError):
+            fresh().counter("ok_total", "", ("bad-label",))
+
+    def test_disabled_registry_short_circuits(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("t_total")
+        hist = registry.histogram("t_seconds")
+        counter.inc()
+        hist.observe(0.5)
+        assert counter.value() == 0.0
+        assert hist.count() == 0
+        registry.set_enabled(True)
+        counter.inc()
+        assert counter.value() == 1.0
+
+    def test_total_sums_label_subsets(self):
+        registry = fresh()
+        counter = registry.counter("t_total", "", ("phase", "mode"))
+        counter.inc(2, phase="fd", mode="pool")
+        counter.inc(3, phase="fd", mode="serial")
+        counter.inc(5, phase="ocd", mode="serial")
+        assert registry.total("t_total") == 10.0
+        assert registry.total("t_total", phase="fd") == 5.0
+        assert registry.total("t_total", mode="serial") == 8.0
+        assert registry.total("t_missing") == 0.0
+
+    def test_reset_zeroes_but_keeps_families(self):
+        registry = fresh()
+        counter = registry.counter("t_total")
+        counter.inc(7)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.counter("t_total") is counter
+
+
+class TestRenderings:
+    def build(self) -> MetricsRegistry:
+        registry = fresh()
+        registry.counter("t_jobs_total", "jobs", ("kind",)) \
+            .inc(kind="discover")
+        registry.gauge("t_depth", "queue depth").set(3)
+        hist = registry.histogram("t_seconds", "latency",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        return registry
+
+    def test_snapshot_is_json_ready(self):
+        snapshot = self.build().snapshot()
+        json.dumps(snapshot)
+        assert snapshot["t_jobs_total"]["type"] == "counter"
+        assert snapshot["t_jobs_total"]["values"][0] == {
+            "labels": {"kind": "discover"}, "value": 1.0}
+        entry = snapshot["t_seconds"]["values"][0]
+        assert entry["count"] == 3
+        assert entry["buckets"] == {"0.1": 1, "1": 2, "+Inf": 3}
+
+    def test_prometheus_text_shape(self):
+        text = self.build().render_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE t_jobs_total counter" in lines
+        assert "# HELP t_seconds latency" in lines
+        assert 't_jobs_total{kind="discover"} 1' in lines
+        assert "t_depth 3" in lines
+        assert 't_seconds_bucket{le="0.1"} 1' in lines
+        assert 't_seconds_bucket{le="+Inf"} 3' in lines
+        assert "t_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_prometheus_bucket_counts_are_monotone(self):
+        text = self.build().render_prometheus()
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("t_seconds_bucket")]
+        assert counts == sorted(counts)
+
+    def test_label_values_are_escaped(self):
+        registry = fresh()
+        registry.counter("t_total", "", ("path",)) \
+            .inc(path='a"b\\c\nd')
+        text = registry.render_prometheus()
+        assert r't_total{path="a\"b\\c\nd"} 1' in text
+
+    def test_default_buckets_are_sorted_seconds(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] < 0.001 < 60.0 <= DEFAULT_BUCKETS[-1]

@@ -1,0 +1,107 @@
+"""Trace spans: nesting, collection, disabled no-op, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture
+def buffer():
+    with trace.collect() as buf:
+        yield buf
+
+
+class TestSpans:
+    def test_span_records_interval(self, buffer):
+        with trace.span("work", level=3):
+            pass
+        (record,) = buffer.export()
+        assert record["name"] == "work"
+        assert record["level"] == 3
+        assert record["parent"] == 0
+        assert record["end"] >= record["start"]
+        assert record["seconds"] >= 0.0
+        json.dumps(record)            # JSON-ready
+
+    def test_nested_spans_link_parents(self, buffer):
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+            with trace.span("sibling"):
+                pass
+        spans = {s["name"]: s for s in buffer.export()}
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["sibling"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["parent"] == 0
+
+    def test_exception_propagates_and_tags_span(self, buffer):
+        with pytest.raises(RuntimeError):
+            with trace.span("boom"):
+                raise RuntimeError("x")
+        (record,) = buffer.export()
+        assert record["error"] == "RuntimeError"
+
+    def test_disabled_registry_skips_recording(self, buffer):
+        metrics.set_enabled(False)
+        try:
+            with trace.span("quiet"):
+                pass
+        finally:
+            metrics.set_enabled(True)
+        assert len(buffer) == 0
+
+    def test_export_sorted_by_start(self, buffer):
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+        starts = [s["start"] for s in buffer.export()]
+        assert starts == sorted(starts)
+
+
+class TestBuffer:
+    def test_ring_drops_oldest(self):
+        buf = trace.TraceBuffer(capacity=2)
+        with trace.collect(buf):
+            for name in ("one", "two", "three"):
+                with trace.span(name):
+                    pass
+        assert [s["name"] for s in buf.export()] == ["two", "three"]
+
+    def test_collect_isolates_from_global(self, buffer):
+        before = len(trace.GLOBAL_BUFFER)
+        with trace.span("inside"):
+            pass
+        assert len(trace.GLOBAL_BUFFER) == before
+        assert len(buffer) == 1
+
+    def test_outside_collect_lands_in_global(self):
+        # the global ring may already be full from earlier tests, so
+        # assert on content, not length
+        with trace.span("global-span-sentinel"):
+            pass
+        assert any(s["name"] == "global-span-sentinel"
+                   for s in trace.GLOBAL_BUFFER.export())
+
+    def test_current_buffer(self, buffer):
+        assert trace.current_buffer() is buffer
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert trace.render_timeline([]) == "(no spans recorded)"
+
+    def test_bars_and_depth(self, buffer):
+        with trace.span("outer"):
+            with trace.span("inner", level=2):
+                pass
+        lines = trace.render_timeline(buffer.export()).splitlines()
+        assert len(lines) == 2
+        assert "outer" in lines[0]
+        assert "  inner" in lines[1]        # depth-indented
+        assert all("#" in line for line in lines)
+        assert "level=2" in lines[1]
