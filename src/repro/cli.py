@@ -3,7 +3,7 @@
 Subcommands::
 
     repro-od discover data.csv [--max-level N] [--no-minimal] [--json]
-    repro-od append base.csv batch1.csv batch2.csv [--verify] [--json]
+    repro-od append base.csv batch1.csv delta2.json [--verify] [--json]
     repro-od watch data.csv [--interval S] [--idle-exit N] [--json]
     repro-od serve [--port P] [--workers N] [--store-dir DIR]
     repro-od check data.csv "{month}: [] -> quarter"
@@ -73,11 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     append = sub.add_parser(
         "append",
-        help="discover on a base CSV, then fold in append batches "
+        help="discover on a base CSV, then fold in delta batches "
              "incrementally")
     append.add_argument("csv", help="base CSV (the initial snapshot)")
     append.add_argument("batches", nargs="+",
-                        help="CSV files appended in order (same header)")
+                        help="batches applied in order: a .csv appends "
+                             "its rows; a .json holds a delta spec "
+                             "('ops' [[+1|-1, row], ...] and/or "
+                             "'inserts'/'deletes'/'updates' lists)")
     append.add_argument("--max-level", type=int, default=None)
     append.add_argument("--limit", type=int, default=None,
                         help="read at most this many base rows")
@@ -254,6 +257,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 
 
 def _cmd_append(args: argparse.Namespace) -> int:
+    from repro.deltalog import DeltaBatch
     from repro.incremental import IncrementalFastOD
 
     base = read_csv(args.csv, limit=args.limit)
@@ -266,8 +270,16 @@ def _cmd_append(args: argparse.Namespace) -> int:
     try:
         reports = []
         for path in args.batches:
-            batch = read_csv(path)
-            reports.append(engine.append(batch))
+            if path.endswith(".json"):
+                with open(path, encoding="utf-8") as handle:
+                    spec = json.load(handle)
+                if not isinstance(spec, dict):
+                    raise DataError(
+                        f"{path}: a delta spec must be a JSON object")
+                delta = DeltaBatch.from_request(spec, base.arity)
+                reports.append(engine.apply_delta(delta))
+            else:
+                reports.append(engine.append(read_csv(path)))
     finally:
         engine.close()
     if args.json:

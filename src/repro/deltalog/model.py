@@ -1,0 +1,303 @@
+"""Weighted (Z-set) row deltas over a relation.
+
+A :class:`DeltaBatch` is an ordered list of ``(weight, row)`` ops with
+weight ``+1`` (insert) or ``-1`` (delete); an update is its ``-old``
+``+new`` decomposition.  The model is the DBSP/Z-set view of change:
+one vocabulary expresses appends, retractions, and updates, so a
+single LSN-prefixed log of batches can serve as the incremental
+engine's input, the crash-recovery WAL, and a replication stream.
+
+Application semantics are **deterministic and order-sensitive** — the
+engine applying a batch live and a restarted process replaying the
+same batch from the log must produce byte-identical row sequences
+(content fingerprints hash rank columns in row order):
+
+* ops apply in list order against the pre-batch relation plus the
+  batch's own pending inserts;
+* a delete consumes the *first* still-live occurrence of its row value
+  in the pre-batch relation;
+* a delete with no live base occurrence cancels the *most recent*
+  pending insert of the same value in this batch (Z-set cancellation:
+  ``+r`` then ``-r`` is a no-op);
+* a delete matching neither raises :class:`~repro.errors.DataError` —
+  weights in this model never go below the relation's multiset;
+* surviving inserts append at the end of the relation, in op order.
+
+Value equality is Python equality (so ``1`` and ``1.0`` match, as they
+do in a dict); values must be hashable scalars so rows can be indexed
+and survive the log's JSON round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import DataError
+from repro.relation.table import Relation
+
+#: one delta op: (+1 | -1, row values)
+DeltaOp = Tuple[int, tuple]
+
+
+def _normalize_row(row: Sequence, arity: Optional[int]) -> tuple:
+    if isinstance(row, (str, bytes)) or not isinstance(
+            row, (list, tuple)):
+        raise DataError(
+            f"a delta row must be a list/tuple of values, got {row!r}")
+    values = tuple(row)
+    if arity is not None and len(values) != arity:
+        raise DataError(
+            f"delta row {values!r} has {len(values)} values; "
+            f"the relation has {arity} attributes")
+    try:
+        hash(values)
+    except TypeError:
+        raise DataError(
+            f"delta row {values!r} contains unhashable values; "
+            "rows must hold scalar values") from None
+    return values
+
+
+class DeltaBatch:
+    """An ordered batch of weighted row ops.
+
+    >>> batch = DeltaBatch.updates([((1, 2), (1, 3))])
+    >>> batch.ops
+    [(-1, (1, 2)), (1, (1, 3))]
+    >>> batch.net_row_delta
+    0
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Iterable[DeltaOp],
+                 arity: Optional[int] = None):
+        normalized: List[DeltaOp] = []
+        for op in ops:
+            try:
+                weight, row = op
+            except (TypeError, ValueError):
+                raise DataError(
+                    f"a delta op must be a (weight, row) pair, "
+                    f"got {op!r}") from None
+            weight = int(weight)
+            if weight not in (1, -1):
+                raise DataError(
+                    f"delta weights must be +1 or -1, got {weight}")
+            normalized.append((weight, _normalize_row(row, arity)))
+        self.ops = normalized
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def inserts(cls, rows: Iterable[Sequence],
+                arity: Optional[int] = None) -> "DeltaBatch":
+        return cls([(1, row) for row in rows], arity=arity)
+
+    @classmethod
+    def deletes(cls, rows: Iterable[Sequence],
+                arity: Optional[int] = None) -> "DeltaBatch":
+        return cls([(-1, row) for row in rows], arity=arity)
+
+    @classmethod
+    def updates(cls, pairs: Iterable[Sequence],
+                arity: Optional[int] = None) -> "DeltaBatch":
+        """``(old_row, new_row)`` pairs, each decomposed ``-old +new``."""
+        ops: List[Tuple[int, Sequence]] = []
+        for pair in pairs:
+            try:
+                old, new = pair
+            except (TypeError, ValueError):
+                raise DataError(
+                    f"an update must be an (old_row, new_row) pair, "
+                    f"got {pair!r}") from None
+            ops.append((-1, old))
+            ops.append((1, new))
+        return cls(ops, arity=arity)
+
+    @classmethod
+    def from_request(cls, body: Dict,
+                     arity: Optional[int] = None) -> "DeltaBatch":
+        """Build a batch from a request/params dict.
+
+        Accepts an explicit ``ops`` list (``[[weight, row], ...]``,
+        applied verbatim) and/or the convenience lists ``deletes``,
+        ``updates`` (``[[old, new], ...]``), and ``inserts`` — folded
+        in that order, matching the common read-modify-append flow.
+        """
+        ops: List[DeltaOp] = []
+        explicit = body.get("ops")
+        if explicit is not None:
+            if not isinstance(explicit, (list, tuple)):
+                raise DataError("'ops' must be a list of [weight, row]")
+            ops.extend(cls(explicit, arity=arity).ops)
+        if body.get("deletes"):
+            ops.extend(cls.deletes(body["deletes"], arity=arity).ops)
+        if body.get("updates"):
+            ops.extend(cls.updates(body["updates"], arity=arity).ops)
+        if body.get("inserts"):
+            ops.extend(cls.inserts(body["inserts"], arity=arity).ops)
+        if not ops:
+            raise DataError(
+                "a delta needs at least one of 'ops', 'inserts', "
+                "'deletes', or 'updates'")
+        batch = cls.__new__(cls)
+        batch.ops = ops
+        return batch
+
+    @classmethod
+    def from_dict(cls, payload: Dict,
+                  arity: Optional[int] = None) -> "DeltaBatch":
+        return cls(payload.get("ops") or (), arity=arity)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"ops": [[weight, list(row)] for weight, row in self.ops]}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_inserts(self) -> int:
+        return sum(1 for weight, _ in self.ops if weight > 0)
+
+    @property
+    def n_deletes(self) -> int:
+        return sum(1 for weight, _ in self.ops if weight < 0)
+
+    @property
+    def net_row_delta(self) -> int:
+        """How many rows the relation grows (or shrinks) by."""
+        return sum(weight for weight, _ in self.ops)
+
+    def __repr__(self) -> str:
+        return (f"DeltaBatch(+{self.n_inserts}/-{self.n_deletes} "
+                f"over {len(self.ops)} ops)")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, DeltaBatch)
+                and self.ops == other.ops)
+
+    __hash__ = None  # ordered and mutable by construction
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def split(self, relation: Relation
+              ) -> Tuple[List[int], List[tuple]]:
+        """Resolve this batch against ``relation``: the sorted row
+        indices to drop and the surviving insert rows, in op order.
+
+        This is the single code path deciding *which* occurrence a
+        delete removes — the live engine and boot-time replay both go
+        through it, which is what makes replayed fingerprints
+        byte-identical to never-crashed ones.
+        """
+        arity = relation.arity
+        delete_indices: List[int] = []
+        pending: List[tuple] = []
+        index: Optional[Dict[tuple, List[int]]] = None
+        heads: Dict[tuple, int] = {}
+        targets = {row for weight, row in self.ops if weight < 0}
+        for weight, row in self.ops:
+            if len(row) != arity:
+                raise DataError(
+                    f"delta row {row!r} has {len(row)} values; "
+                    f"the relation has {arity} attributes")
+            if weight > 0:
+                pending.append(row)
+                continue
+            if index is None:
+                # index only the deleted row-values: the relation scan
+                # is unavoidable, but keeping non-targets out of the
+                # dict makes it a membership probe per row
+                index = {}
+                columns = [relation.column_at(i) for i in range(arity)]
+                for position, existing in enumerate(zip(*columns)):
+                    if existing in targets:
+                        index.setdefault(existing, []).append(position)
+            positions = index.get(row)
+            head = heads.get(row, 0)
+            if positions is not None and head < len(positions):
+                delete_indices.append(positions[head])
+                heads[row] = head + 1
+                continue
+            for i in range(len(pending) - 1, -1, -1):
+                if pending[i] == row:
+                    del pending[i]
+                    break
+            else:
+                raise DataError(
+                    f"delta deletes row {row!r}, which has no "
+                    "remaining occurrence in the relation or this "
+                    "batch's inserts")
+        delete_indices.sort()
+        return delete_indices, pending
+
+    def apply_to(self, relation: Relation) -> Relation:
+        """The relation after this batch (pure; no engine state)."""
+        deletes, inserts = self.split(relation)
+        out = relation
+        if deletes:
+            out = out.drop_rows(deletes)
+        if inserts:
+            out = out.append_rows(inserts)
+        return out
+
+
+def replay_relation(relation: Relation,
+                    batches: Iterable[DeltaBatch]) -> Relation:
+    """Fold many batches over ``relation`` without materializing the
+    intermediate relations.
+
+    Semantically identical to ``for b in batches: relation =
+    b.apply_to(relation)`` (the property tests assert it), but a
+    boot-time replay of thousands of logged batches runs in one pass:
+    rows live in a tombstoned list with a per-value FIFO position
+    index, and the final relation is built once at the end.
+    """
+    rows: List[tuple] = list(relation.rows())
+    alive: List[bool] = [True] * len(rows)
+    index: Dict[tuple, List[int]] = {}
+    heads: Dict[tuple, int] = {}
+    for position, row in enumerate(rows):
+        index.setdefault(row, []).append(position)
+    arity = relation.arity
+    for batch in batches:
+        pending: List[tuple] = []
+        for weight, row in batch.ops:
+            if len(row) != arity:
+                raise DataError(
+                    f"delta row {row!r} has {len(row)} values; "
+                    f"the relation has {arity} attributes")
+            if weight > 0:
+                pending.append(row)
+                continue
+            positions = index.get(row)
+            head = heads.get(row, 0)
+            if positions is not None and head < len(positions):
+                alive[positions[head]] = False
+                heads[row] = head + 1
+                continue
+            for i in range(len(pending) - 1, -1, -1):
+                if pending[i] == row:
+                    del pending[i]
+                    break
+            else:
+                raise DataError(
+                    f"delta deletes row {row!r}, which has no "
+                    "remaining occurrence in the relation or this "
+                    "batch's inserts")
+        for row in pending:
+            index.setdefault(row, []).append(len(rows))
+            rows.append(row)
+            alive.append(True)
+    return Relation.from_rows(
+        relation.names,
+        [row for row, live in zip(rows, alive) if live])
+
+
+__all__ = ["DeltaBatch", "DeltaOp", "replay_relation"]

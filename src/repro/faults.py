@@ -37,6 +37,15 @@ Sites
 ``budget.cancel``
     Revoke a job's deadline budget right after it starts (the
     cancel-races-crash scenario).
+``deltalog.append``
+    Raise :class:`~repro.deltalog.DeltaLogError` inside the delta
+    WAL's append, *before* anything is written — the delta job fails
+    and the log stays at its previous LSN (nothing half-applied
+    replays).
+``deltalog.replay``
+    Raise during boot-time delta-log replay — the service skips that
+    dataset (an honest 404) rather than serving stale pre-delta
+    state, and counts a ``delta_errors`` in ``/health``.
 
 Activation
 ----------
@@ -84,6 +93,8 @@ SITES = (
     "store.write",
     "jobs.start.delay",
     "budget.cancel",
+    "deltalog.append",
+    "deltalog.replay",
 )
 
 #: Default sleep (seconds) for delay-shaped sites without an explicit

@@ -27,22 +27,51 @@ valid ODs (a violating tuple pair, once present, never goes away).
   typed tasks), paying full validation only for candidates that became
   reachable because an invalidated OD stopped pruning them.
 
+General deltas (:meth:`IncrementalFastOD.apply_delta`) extend the
+model to row retractions and updates via weighted
+:class:`~repro.deltalog.DeltaBatch` ops.  Deletes are the *dual* of
+appends: removing rows can never create a violating or swapped pair,
+so every **True** verdict survives a retraction, and a **False**
+verdict survives exactly when its *witness* — the concrete violating
+or swapped row pair, recorded lazily just before the first retraction
+that needs it — is untouched by the deletion (a violation is a
+property of its two rows alone).  A delete-only batch retracts and
+re-traverses: held FD keys are kept verbatim, held OCD keys move to a
+scan-free reseed set, witnessed False verdicts are remapped, and only
+witnessless False verdicts re-validate (demoted OCDs whose violating
+rows are gone come back).  A mixed batch folds deletes and inserts
+into the snapshot together and traverses *once* over the final
+relation, trading the reseed trust (only sound pre-insert) for plain
+re-scans of the handful of held OCDs.
+
 After every batch the engine's FD/OCD sets are identical to what a
-from-scratch run on the grown relation would produce (the
+from-scratch run on the current relation would produce (the
 ``verify_with_oracle`` flag asserts exactly that, and the property
-tests in ``tests/incremental`` enforce it).
+tests in ``tests/incremental`` enforce it — including arbitrary
+interleaved insert/delete/update sequences).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.core.candidates import LatticeNode
 from repro.core.fastod import FastOD, FastODConfig
+from repro.core.validation import find_split, find_swap
 from repro.core.results import DiscoveryResult, diff_results
 from repro.engine.budget import DeadlineBudget
 from repro.engine.executors import make_executor
@@ -56,13 +85,17 @@ from repro.relation.schema import bit_count
 from repro.relation.table import Relation
 from repro.violations.monitor import OcdClassState
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deltalog import DeltaBatch
+
 FdKey = Tuple[int, int]             # (context mask, node mask)
 OcdKey = Tuple[int, int, int]       # (context mask, attr a, attr b)
 
 
 @dataclass
 class BatchReport:
-    """What one appended batch did to the discovered OD set."""
+    """What one applied batch (append or general delta) did to the
+    discovered OD set."""
 
     batch_index: int
     n_appended: int
@@ -72,11 +105,13 @@ class BatchReport:
     retraversed: bool = False
     seconds: float = 0.0
     result: Optional[DiscoveryResult] = None
+    n_deleted: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "batch": self.batch_index,
             "n_appended": self.n_appended,
+            "n_deleted": self.n_deleted,
             "n_rows": self.n_rows,
             "invalidated": list(self.invalidated),
             "appeared": list(self.appeared),
@@ -92,7 +127,9 @@ class BatchReport:
         if self.appeared:
             changes += f", +{len(self.appeared)} newly minimal"
         ods = self.result.paper_counts() if self.result else "?"
-        return (f"batch {self.batch_index}: +{self.n_appended} rows "
+        deleted = (f"/-{self.n_deleted}" if self.n_deleted else "")
+        return (f"batch {self.batch_index}: +{self.n_appended}"
+                f"{deleted} rows "
                 f"({self.n_rows} total), ODs {ods}{changes}, "
                 f"{self.seconds * 1000:.1f} ms")
 
@@ -137,11 +174,31 @@ class IncrementalFastOD:
         self._trackers: Dict[int, GroupTracker] = {}
         self._delta_partitions: Dict[int, DeltaPartition] = {}
         # verdict caches: False is permanent, True carries maintenance
-        # state and a place on the per-batch sync schedule
+        # state and a place on the per-batch sync schedule.  A ``None``
+        # state is a lazily-seeded placeholder: the verdict holds for
+        # the current snapshot, and per-class interval state is built
+        # just-in-time before the next insert batch (:meth:`_seed_pending`)
         self._fd_true: Set[FdKey] = set()
         self._fd_false: Set[FdKey] = set()
-        self._ocd_true: Dict[OcdKey, OcdClassState] = {}
+        self._ocd_true: Dict[OcdKey, Optional[OcdClassState]] = {}
         self._ocd_false: Set[OcdKey] = set()
+        #: witness row pairs behind False verdicts — two physical rows
+        #: whose violating/swapped pair refutes the candidate.  A
+        #: violation is row-local (the pair agrees on the context and
+        #: conflicts on the target regardless of every other row), so
+        #: under a retraction a False verdict whose witness rows both
+        #: survive is still exactly False and skips its re-check.
+        #: Capture is deferred to the first retraction that needs it
+        #: (:meth:`_retract` backfills unwitnessed False keys before
+        #: rows drop) so append-only streams never pay for it;
+        #: verdicts whose witness rows die re-validate on next consult
+        self._fd_witness: Dict[FdKey, Tuple[int, int]] = {}
+        self._ocd_witness: Dict[OcdKey, Tuple[int, int]] = {}
+        #: OCD keys known True for the current snapshot whose per-class
+        #: state must be rebuilt before use (a retraction re-encoded
+        #: the relation, so the old group-id-keyed state is stale even
+        #: though the verdict itself survived)
+        self._ocd_reseed: Set[OcdKey] = set()
         self._live_ocds: Set[OcdKey] = set()
         self._needed_masks: List[int] = []
         self._batch_effects: Dict[int, BatchEffect] = {}
@@ -162,7 +219,7 @@ class IncrementalFastOD:
     # ------------------------------------------------------------------
     @property
     def relation(self) -> Relation:
-        """The relation as of the last append."""
+        """The relation as of the last applied batch."""
         return self._relation
 
     @property
@@ -217,6 +274,82 @@ class IncrementalFastOD:
                 self._n_batches, 0, self._encoded.n_rows,
                 seconds=time.perf_counter() - started, result=previous)
 
+        retraversed = self._apply_insert_rows(rows)
+        if self._verify:
+            self._check_against_oracle(self._result)
+
+        before = {str(od) for od in previous.all_ods}
+        after = {str(od) for od in self._result.all_ods}
+        return BatchReport(
+            self._n_batches, len(rows), self._encoded.n_rows,
+            invalidated=sorted(before - after),
+            appeared=sorted(after - before),
+            retraversed=retraversed,
+            seconds=time.perf_counter() - started,
+            result=self._result)
+
+    def apply_delta(self, delta: "DeltaBatch") -> BatchReport:
+        """Fold a weighted :class:`~repro.deltalog.DeltaBatch` of
+        inserts/deletes/updates in and refresh the discovered set.
+
+        A delete-only batch retracts and re-traverses against the
+        salvaged verdicts: True FDs kept verbatim, True OCDs reseeded
+        scan-free, False verdicts kept exactly when their witness pair
+        of violating rows survives (some flip back True now that the
+        violating rows are gone, re-promoting demoted OCDs).  An
+        insert-only batch rides the append fast path.  A mixed batch
+        folds both sides into the snapshot first and traverses *once*
+        over the final relation — the intermediate post-delete result
+        is never materialized (held OCDs re-validate by scan there,
+        since reseed trust only holds before the inserts land).
+        """
+        started = time.perf_counter()
+        self._n_batches += 1
+        previous = self._result
+        delete_indices, insert_rows = delta.split(self._relation)
+        if not delete_indices and not insert_rows:
+            return BatchReport(
+                self._n_batches, 0, self._encoded.n_rows,
+                seconds=time.perf_counter() - started, result=previous)
+        retraversed = False
+        if delete_indices:
+            # with inserts following, the post-delete snapshot is
+            # never consulted: fold both sides in, traverse once
+            self._retract(delete_indices, traverse=not insert_rows)
+            retraversed = True
+            if insert_rows:
+                self._apply_insert_rows(insert_rows,
+                                        force_traverse=True)
+        elif insert_rows:
+            retraversed = self._apply_insert_rows(insert_rows)
+        if self._verify:
+            self._check_against_oracle(self._result)
+
+        before = {str(od) for od in previous.all_ods}
+        after = {str(od) for od in self._result.all_ods}
+        return BatchReport(
+            self._n_batches, len(insert_rows), self._encoded.n_rows,
+            invalidated=sorted(before - after),
+            appeared=sorted(after - before),
+            retraversed=retraversed,
+            seconds=time.perf_counter() - started,
+            result=self._result,
+            n_deleted=len(delete_indices))
+
+    def _apply_insert_rows(self, rows: List[tuple],
+                           force_traverse: bool = False) -> bool:
+        """The append fast path: grow the snapshot, sync the schedule,
+        demote flipped verdicts, re-traverse only if anything flipped.
+        Sets ``self._result``; returns whether a traversal ran.
+
+        ``force_traverse`` is the second half of a combined
+        delete+insert batch: the retraction skipped its traversal, so
+        one must run here regardless of flips."""
+        previous = self._result
+        # lazily-deferred per-class states must exist before the new
+        # rows land: seeding is only sound over a snapshot the verdict
+        # is known to hold for
+        self._seed_pending()
         n_old = self._relation.n_rows
         relation = self._relation.append_rows(rows)
         encoded = relation.encode()
@@ -239,23 +372,88 @@ class IncrementalFastOD:
         ocd_flipped = self._demote_ocds()
         fd_flipped = self._demote_fds()
 
-        retraversed = bool(ocd_flipped) or bool(fd_flipped)
+        retraversed = (force_traverse or bool(ocd_flipped)
+                       or bool(fd_flipped))
         if retraversed:
             self._result = self._traverse()
         else:
             self._result = self._carry_result(previous)
-        if self._verify:
-            self._check_against_oracle(self._result)
+        return retraversed
 
-        before = {str(od) for od in previous.all_ods}
-        after = {str(od) for od in self._result.all_ods}
-        return BatchReport(
-            self._n_batches, len(rows), self._encoded.n_rows,
-            invalidated=sorted(before - after),
-            appeared=sorted(after - before),
-            retraversed=retraversed,
-            seconds=time.perf_counter() - started,
-            result=self._result)
+    def _retract(self, indices: List[int],
+                 traverse: bool = True) -> None:
+        """Drop rows and (by default) re-establish an exact result for
+        the shrunk snapshot.
+
+        Deletes preserve truth: removing rows cannot create a
+        violating pair (FD) or a swap (OCD), so held FD keys are kept
+        verbatim and held OCD keys move to ``_ocd_reseed`` — still
+        True, but their per-class interval state is keyed by group ids
+        the re-encoded snapshot no longer uses, so it is rebuilt
+        scan-free (:meth:`_seed_state`) on next consult.  False
+        verdicts survive exactly when their recorded witness pair does
+        (:meth:`_salvage_false`): a split or swap is a property of the
+        two rows alone, so if both rows are kept the verdict still
+        holds — demoted OCDs whose violating rows are gone come back.
+        Trackers, delta partitions, and sort keys rebuild lazily from
+        the new snapshot.
+
+        ``traverse=False`` is the combined delete+insert path: the
+        caller folds insert rows in next and traverses once over the
+        final snapshot.  Reseed trust ("a retraction cannot break an
+        OCD") is only sound over the *post-delete* snapshot, so in
+        this mode held OCD keys are simply forgotten and re-validated
+        by scan during the final traversal.
+        """
+        # witness backfill happens here, not at falsification time:
+        # append-only workloads never pay for it, and the pre-delete
+        # snapshot still holds every violating pair a False verdict
+        # was refuted on
+        for fd_key in self._fd_false:
+            if fd_key not in self._fd_witness:
+                self._witness_fd(*fd_key)
+        for ocd_key in self._ocd_false:
+            if ocd_key not in self._ocd_witness:
+                self._witness_ocd(*ocd_key)
+        banned = set(indices)
+        n_old = self._relation.n_rows
+        kept = [i for i in range(n_old) if i not in banned]
+        relation = self._relation.select_rows(kept)
+        encoded = relation.encode()
+        self._relation = relation
+        self._encoded = encoded
+        self._columns = [relation.column_at(i) for i in range(self._arity)]
+        keys = encoded.keys
+        self._col_gids = [
+            keys[a].gid_sorted[encoded.ranks[a]]
+            if len(keys[a].gid_sorted) else np.empty(0, dtype=np.int64)
+            for a in range(self._arity)
+        ]
+        self._trackers = {}
+        self._delta_partitions = {}
+        # per-row sort keys survive a deletion (they are per-value);
+        # rebuilding them through sort_key() is the expensive part
+        self._sort_key_cols = {
+            a: list(map(column_keys.__getitem__, kept))
+            for a, column_keys in self._sort_key_cols.items()
+        }
+        self._batch_effects = {}
+        if traverse:
+            self._ocd_reseed.update(self._ocd_true)
+        self._ocd_true = {}
+        new_index = np.full(n_old, -1, dtype=np.int64)
+        new_index[kept] = np.arange(len(kept), dtype=np.int64)
+        self._fd_false = self._salvage_false(
+            self._fd_false, self._fd_witness, new_index)
+        self._ocd_false = self._salvage_false(
+            self._ocd_false, self._ocd_witness, new_index)
+        if traverse:
+            self._executor.rebase(encoded)
+            self._result = self._traverse()
+        else:
+            # held OCD state is gone; trim the per-batch schedule to
+            # the FD chains before the insert half syncs it
+            self._rebuild_schedule()
 
     # ------------------------------------------------------------------
     # tracked state
@@ -364,6 +562,68 @@ class IncrementalFastOD:
                 self._ocd_false.add(key)
                 flipped.append(key)
         return flipped
+
+    def _witness_fd(self, ctx_mask: int, node_mask: int) -> None:
+        """Record the violating row pair behind a False FD (called
+        lazily from :meth:`_retract`, just before rows drop)."""
+        attr = (node_mask ^ ctx_mask).bit_length() - 1
+        split = find_split(self._encoded.column(attr),
+                           self._delta(ctx_mask).partition,
+                           self._names[attr])
+        if split is not None:
+            self._fd_witness[(ctx_mask, node_mask)] = (
+                split.row_s, split.row_t)
+
+    def _witness_ocd(self, ctx_mask: int, a: int, b: int) -> None:
+        """Record the swapped row pair behind a False OCD (called
+        lazily from :meth:`_retract`, just before rows drop)."""
+        swap = find_swap(self._encoded.column(a),
+                         self._encoded.column(b),
+                         self._delta(ctx_mask).partition,
+                         self._names[a], self._names[b])
+        if swap is not None:
+            self._ocd_witness[(ctx_mask, a, b)] = (
+                swap.row_s, swap.row_t)
+
+    @staticmethod
+    def _salvage_false(false_keys: Set, witnesses: Dict,
+                       new_index: np.ndarray) -> Set:
+        """False verdicts surviving a retraction: exactly those whose
+        witness pair survives (remapped to post-delete row indices).
+        Witnessless entries drop out and re-validate on next consult."""
+        survivors = set()
+        for key in false_keys:
+            pair = witnesses.get(key)
+            if pair is None:
+                continue
+            row_s = int(new_index[pair[0]])
+            row_t = int(new_index[pair[1]])
+            if row_s >= 0 and row_t >= 0:
+                witnesses[key] = (row_s, row_t)
+                survivors.add(key)
+            else:
+                del witnesses[key]
+        return survivors
+
+    def _seed_pending(self) -> None:
+        """Materialize every lazily-deferred per-class OCD state over
+        the *current* snapshot (which the verdict is exact for).
+
+        Called at the top of the append path, before new rows land.
+        Keys dropped by an intervening retraction never reach this
+        point — mixed update/delete streams skip seeding entirely and
+        re-validate by scan at their single traversal instead.
+        """
+        for key, state in list(self._ocd_true.items()):
+            if state is not None:
+                continue
+            ctx_mask, a, b = key
+            tracker = self._sync(ctx_mask)
+            if tracker.is_superkey():
+                self._ocd_true[key] = OcdClassState()
+            else:
+                self._ocd_true[key] = self._seed_state(
+                    self._delta(ctx_mask), a, b)
 
     def _sort_keys(self, attribute: int) -> List[tuple]:
         """Per-row sort keys of one column, built lazily and extended
@@ -494,6 +754,13 @@ class IncrementalFastOD:
             self._live_ocds.add(key)
             return True
         tracker = self._sync(ctx_mask)
+        if key in self._ocd_reseed:
+            # known True for this snapshot (a retraction cannot break
+            # an OCD) — no scan; state seeds lazily (see below)
+            self._ocd_reseed.discard(key)
+            self._ocd_true[key] = None
+            self._live_ocds.add(key)
+            return True
         if tracker.is_superkey():
             # no stripped classes to scan (Lemma 13); state starts
             # empty and fills as batches form classes
@@ -503,7 +770,11 @@ class IncrementalFastOD:
         delta = self._delta(ctx_mask)
         valid = self._scan_compatible(a, b, delta.partition)
         if valid:
-            self._ocd_true[key] = self._seed_state(delta, a, b)
+            # per-class state is only consulted by the *append* fast
+            # path, so it seeds lazily right before the next insert
+            # batch lands (:meth:`_seed_pending`) — a delete-bearing
+            # batch that drops the verdict first never pays for it
+            self._ocd_true[key] = None
             self._live_ocds.add(key)
         else:
             self._ocd_false.add(key)
@@ -532,6 +803,12 @@ class IncrementalFastOD:
             key: state for key, state in self._ocd_true.items()
             if key in self._live_ocds
         }
+        # reseed entries the sweep never consulted fall out of the
+        # lattice the planner walks; dropping them is safe (they would
+        # be re-validated from scratch if pruning ever re-opens them)
+        # and required — a later *insert* batch could silently break a
+        # verdict nobody is maintaining state for
+        self._ocd_reseed.clear()
         self._rebuild_schedule()
         return result
 

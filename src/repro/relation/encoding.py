@@ -316,6 +316,40 @@ class EncodedRelation:
         """Project one tuple onto ``indices``, returning its ranks."""
         return tuple(int(self.ranks[i][row]) for i in indices)
 
+    def select_rows(self, indices: Sequence[int]) -> "EncodedRelation":
+        """Re-encode a row subset (or reordering) without touching raw
+        values.
+
+        Dense ranks of a gathered row set are the gathered ranks,
+        re-densified — one vectorized ``np.unique`` per column instead
+        of re-keying every cell through :func:`sort_key`.  The result
+        is byte-identical to encoding the selected rows from scratch
+        (``np.unique`` sorts, and any subset of dense ranks keeps its
+        relative order), so content fingerprints agree.
+
+        When keys are retained, the selected encoding shares the gid
+        table: values whose last occurrence was dropped keep their
+        stable gid, so re-inserting one later rides the normal
+        sibling-branch path of :meth:`ColumnKeys.extend`.  This is the
+        deletion analogue of :meth:`append_values` — the incremental
+        engine's retraction path lives on it.
+        """
+        keep = np.asarray(indices, dtype=np.int64)
+        ranks: List[np.ndarray] = []
+        keys: Optional[List[ColumnKeys]] = (
+            None if self.keys is None else [])
+        for a, column_ranks in enumerate(self.ranks):
+            survivors, dense = np.unique(column_ranks[keep],
+                                         return_inverse=True)
+            ranks.append(dense.astype(np.int64, copy=False))
+            if keys is not None:
+                old = self.keys[a]
+                keys.append(ColumnKeys(
+                    [old.sorted_keys[r] for r in survivors.tolist()],
+                    old.gid_sorted[survivors],
+                    old._gid_of))
+        return EncodedRelation(self.names, ranks, keys)
+
     def append_values(self, batch_columns: Sequence[Sequence[Any]]
                       ) -> Tuple["EncodedRelation", List[ColumnExtension]]:
         """Fold a batch of raw column values into the encoding.

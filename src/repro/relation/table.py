@@ -135,9 +135,20 @@ class Relation:
         return self.select_rows(picked)
 
     def select_rows(self, indices: Sequence[int]) -> "Relation":
-        """A new relation keeping only the given row indices, in order."""
-        columns = [[col[i] for i in indices] for col in self._columns]
-        return Relation(self._schema, columns)
+        """A new relation keeping only the given row indices, in order.
+
+        When this relation has already been encoded, the selection's
+        encoding is derived by one vectorized re-densification per
+        column (:meth:`repro.relation.encoding.EncodedRelation.select_rows`)
+        instead of re-keying every surviving cell — the deletion
+        analogue of the :meth:`append_rows` fast path.
+        """
+        columns = [list(map(col.__getitem__, indices))
+                   for col in self._columns]
+        selected = Relation(self._schema, columns)
+        if self._encoded is not None:
+            selected._encoded = self._encoded.select_rows(indices)
+        return selected
 
     def drop_rows(self, indices: Iterable[int]) -> "Relation":
         """A new relation with the given row indices removed."""

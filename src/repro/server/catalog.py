@@ -78,11 +78,17 @@ class CatalogEntry:
     __slots__ = ("fingerprint", "name", "relation", "encoded", "cache",
                  "incremental", "registered_at", "last_used_at",
                  "n_appended_batches", "retired_from", "recency",
-                 "pins")
+                 "pins", "root_fingerprint", "delta_lsn")
 
     def __init__(self, fp: str, relation: Relation, name: str,
-                 max_cached_partitions: Optional[int]):
+                 max_cached_partitions: Optional[int],
+                 root: Optional[str] = None):
         self.fingerprint = fp
+        #: the content hash at first registration — stable across
+        #: delta re-keying, and the key of this dataset's delta WAL
+        self.root_fingerprint = root or fp
+        #: LSN of the last delta-log record applied to this entry
+        self.delta_lsn = 0
         self.name = name
         self.relation = relation
         self.encoded = relation.encode()
@@ -118,6 +124,8 @@ class CatalogEntry:
     def to_dict(self) -> Dict[str, object]:
         return {
             "fingerprint": self.fingerprint,
+            "root_fingerprint": self.root_fingerprint,
+            "delta_lsn": self.delta_lsn,
             "name": self.name,
             "n_rows": self.relation.n_rows,
             "arity": self.relation.arity,
@@ -171,12 +179,15 @@ class DatasetCatalog:
         return entry
 
     def register_entry(self, relation: Relation,
-                       name: Optional[str] = None
+                       name: Optional[str] = None,
+                       root: Optional[str] = None
                        ) -> "tuple[CatalogEntry, bool]":
         """:meth:`register` plus a ``created`` flag, decided under the
         catalog lock — the fingerprint is computed exactly once and
         concurrent registrations of the same content cannot both
-        observe "new"."""
+        observe "new".  ``root`` pins the entry's root fingerprint
+        (boot-time delta replay registers the *replayed* relation under
+        the original registration's WAL key)."""
         if relation.n_rows == 0:
             raise CatalogError("refusing to register an empty relation")
         fp = fingerprint(relation)
@@ -185,7 +196,8 @@ class DatasetCatalog:
             created = entry is None
             if created:
                 entry = CatalogEntry(fp, relation, name or fp[:12],
-                                     self._max_cached_partitions)
+                                     self._max_cached_partitions,
+                                     root=root)
                 self._entries[fp] = entry
                 # a live entry always outranks an append forward: if
                 # this fingerprint was retired earlier, re-registering
@@ -256,19 +268,25 @@ class DatasetCatalog:
                 entry.relation, config, pool=pool)
         return entry.incremental
 
-    def rekey_after_append(self, entry: CatalogEntry) -> str:
-        """Re-key an entry whose incremental engine just grew.
+    def rekey_after_delta(self, entry: CatalogEntry,
+                          lsn: Optional[int] = None) -> str:
+        """Re-key an entry whose incremental engine just applied a
+        delta (append, update, or delete).
 
         The old fingerprint no longer names any existing snapshot; it
-        is retired and forwarded, so clients holding the pre-append
-        fingerprint keep resolving to the live entry.  Returns the new
-        fingerprint.
+        is retired and forwarded, so clients holding the pre-delta
+        fingerprint keep resolving to the live entry.  ``lsn`` (the
+        delta WAL record just applied) is recorded even when the
+        content fingerprint is unchanged — a cancelling batch still
+        advances the log.  Returns the new fingerprint.
         """
         engine = entry.incremental
         if engine is None:
             raise CatalogError(
                 f"entry {entry.fingerprint!r} has no incremental engine")
         with self._lock:
+            if lsn is not None:
+                entry.delta_lsn = lsn
             old_fp = entry.fingerprint
             new_fp = fingerprint(engine.relation)
             if new_fp == old_fp:
@@ -282,7 +300,7 @@ class DatasetCatalog:
             del self._entries[old_fp]
             existing = self._entries.get(new_fp)
             if existing is not None and existing is not entry:
-                # another tenant already registered the grown content;
+                # another tenant already registered the mutated content;
                 # keep theirs resident, fold ours away
                 entry.close()
                 self._forwards[old_fp] = new_fp
@@ -291,12 +309,23 @@ class DatasetCatalog:
             self._entries[new_fp] = entry
             self._forwards[old_fp] = new_fp
             self._touch(entry)
-            # appends grow resident bytes just like registrations do —
+            # deltas change resident bytes just like registrations do —
             # re-check the budget so an always-appending tenant cannot
             # outgrow --catalog-bytes unnoticed
             self._evict_over_budget(keep=new_fp)
             self._sync_gauges()
             return new_fp
+
+    #: backwards-compatible alias — appends are just insert-only deltas
+    rekey_after_append = rekey_after_delta
+
+    def add_forward(self, old_fp: str, new_fp: str) -> None:
+        """Record that ``old_fp`` named an earlier snapshot of the
+        entry now keyed ``new_fp`` (boot-time delta replay restores the
+        forwarding trail a crashed service had built live)."""
+        with self._lock:
+            if old_fp != new_fp and old_fp not in self._entries:
+                self._forwards[old_fp] = new_fp
 
     # ------------------------------------------------------------------
     # eviction

@@ -226,6 +226,30 @@ class ServiceClient:
                           {"rows": rows, "wait": wait, **params},
                           timeout=timeout)
 
+    def delta(self, fingerprint: str,
+              ops: Optional[List[List]] = None,
+              inserts: Optional[List[List]] = None,
+              deletes: Optional[List[List]] = None,
+              updates: Optional[List[List]] = None,
+              wait: bool = True, timeout: Optional[float] = None,
+              **params) -> Dict:
+        """Apply a weighted delta (inserts/deletes/updates) to a
+        registered dataset.
+
+        ``ops`` is an explicit ``[[weight, row], ...]`` list (weights
+        ``+1``/``-1``); the convenience lists fold in as deletes,
+        then updates (``[[old_row, new_row], ...]``), then inserts.
+        The response carries the mutated content's new fingerprint
+        and the WAL record's ``lsn`` when the server journals.
+        """
+        body: Dict[str, object] = {"wait": wait, **params}
+        for key, value in (("ops", ops), ("inserts", inserts),
+                           ("deletes", deletes), ("updates", updates)):
+            if value is not None:
+                body[key] = value
+        return self._post(f"/datasets/{fingerprint}/delta", body,
+                          timeout=timeout)
+
     def jobs(self, timeout: Optional[float] = None) -> List[Dict]:
         return self._get("/jobs", timeout=timeout)["jobs"]
 

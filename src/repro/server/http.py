@@ -15,6 +15,7 @@ Routes::
     POST   /datasets                   register (csv | rows | dataset)
     GET    /datasets/{fp}              one entry
     POST   /datasets/{fp}/append       append rows (streaming tenants)
+    POST   /datasets/{fp}/delta        weighted inserts/deletes/updates
     GET    /jobs                       all jobs, oldest first
     POST   /jobs                       submit {kind, fingerprint, ...}
     GET    /jobs/{id}                  poll one job
@@ -27,9 +28,15 @@ Routes::
 file's text), ``columns`` + ``rows``, or ``dataset`` (a
 :mod:`repro.datasets` family name with ``n_rows``/``n_attrs``/
 ``seed``).  Blocking submits (``"wait": true``, the default for
-append and available for every job kind) hold the connection until
-the job finishes — each request has its own thread, so polling
+append/delta and available for every job kind) hold the connection
+until the job finishes — each request has its own thread, so polling
 clients and waiting clients coexist.
+
+Crash consistency: with ``--journal-dir`` set, every applied delta is
+in the dataset's WAL (``<journal-dir>/deltalog/<root-fp>.log``)
+*before* the engine sees it, and boot-time replay folds the log over
+the spooled registration — a ``kill -9`` mid-stream loses at most the
+delta whose fsync never returned.
 """
 
 from __future__ import annotations
@@ -42,9 +49,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.datasets.registry import make_dataset
+from repro.deltalog import (
+    DeltaLogError,
+    DeltaRecord,
+    delta_log_path,
+    read_delta_log,
+    replay_relation,
+)
 from repro.errors import ReproError
 from repro.obs import events, metrics
 from repro.relation.csvio import read_csv_text
+from repro.relation.fingerprint import fingerprint
 from repro.relation.table import Relation
 from repro.server.catalog import DatasetCatalog, UnknownFingerprintError
 from repro.server.jobs import JobScheduler, UnknownJobError
@@ -104,10 +119,12 @@ class ODService:
                         if journal_dir is not None else None)
         self.scheduler = JobScheduler(
             self.catalog, self.store, workers=workers,
-            default_timeout=default_timeout, journal=self.journal)
+            default_timeout=default_timeout, journal=self.journal,
+            delta_dir=journal_dir)
         #: what journal replay restored (surfaced in ``/health``)
         self.recovered: Dict[str, int] = {
-            "datasets": 0, "requeued": 0, "crashed": 0}
+            "datasets": 0, "requeued": 0, "crashed": 0,
+            "delta_batches": 0, "delta_errors": 0}
         self._started = time.monotonic()
         if self.journal is not None:
             self._replay_journal()
@@ -119,7 +136,9 @@ class ODService:
 
     def _replay_journal(self) -> None:
         """Restore the previous process's ledger before going live:
-        re-register journaled datasets from their spooled sources,
+        re-register journaled datasets from their spooled sources —
+        folding each dataset's delta WAL over the snapshot, so
+        appended/updated/deleted rows survive the crash warm — then
         re-queue jobs that never started, and surface jobs that died
         mid-run as ``crashed``."""
         state = self.journal.recover()
@@ -129,10 +148,27 @@ class ODService:
                 continue            # spool lost: the dataset 404s
             try:
                 relation = self._relation_from_body(source)
-                self.catalog.register(relation,
-                                      name=meta.get("name"))
             except ReproError:
                 continue            # unreadable source: skip, serve on
+            replayed = self._replay_deltas(fp, relation)
+            if replayed is None:
+                continue            # torn delta history: honest 404
+            relation, records = replayed
+            try:
+                entry, _ = self.catalog.register_entry(
+                    relation, name=meta.get("name"), root=fp)
+            except ReproError:
+                continue
+            if records:
+                entry.delta_lsn = records[-1].lsn
+                # restore the forwarding trail the crashed process had
+                # built live, so clients holding any intermediate
+                # fingerprint still resolve to the recovered entry
+                for record in records:
+                    if record.fp_before:
+                        self.catalog.add_forward(
+                            record.fp_before, entry.fingerprint)
+                self.recovered["delta_batches"] += len(records)
             self.recovered["datasets"] += 1
         self.scheduler.ensure_job_id_floor(state.max_job_id)
         for record in state.crashed_jobs:
@@ -143,6 +179,41 @@ class ODService:
             self.recovered["requeued"] += 1
         events.emit("journal.replayed", last_lsn=state.last_lsn,
                     finished=state.finished_jobs, **self.recovered)
+
+    def _replay_deltas(
+            self, root_fp: str, relation: Relation
+    ) -> Optional[Tuple[Relation, "list[DeltaRecord]"]]:
+        """Fold a dataset's delta WAL over its registered snapshot.
+
+        Returns the replayed relation plus the records applied, or
+        ``None`` when the history cannot be trusted (replay raised, or
+        the final fingerprint disagrees with the last record's
+        ``fp_after``) — the dataset then 404s rather than serving
+        silently stale pre-delta state, and ``delta_errors`` counts it
+        in ``/health``.
+        """
+        path = delta_log_path(self.journal.directory, root_fp)
+        if not path.exists():
+            return relation, []
+        try:
+            records = read_delta_log(path)
+        except DeltaLogError:
+            self.recovered["delta_errors"] += 1
+            return None
+        if not records:
+            return relation, []
+        try:
+            replayed = replay_relation(
+                relation, [record.batch for record in records])
+        except ReproError:
+            self.recovered["delta_errors"] += 1
+            return None
+        last = records[-1]
+        if (last.fp_after is not None
+                and fingerprint(replayed) != last.fp_after):
+            self.recovered["delta_errors"] += 1
+            return None
+        return replayed, records
 
     @property
     def host(self) -> str:
@@ -266,7 +337,7 @@ class ODService:
                   if key not in ("kind", "fingerprint", "wait",
                                  "wait_seconds")}
         job = self.scheduler.submit(kind, fingerprint, params)
-        if body.get("wait", kind == "append"):
+        if body.get("wait", kind in ("append", "delta")):
             wait = min(float(body.get("wait_seconds",
                                       MAX_WAIT_SECONDS)),
                        MAX_WAIT_SECONDS)
@@ -276,6 +347,12 @@ class ODService:
     def append(self, fingerprint: str, body: Dict) -> Dict[str, object]:
         body = dict(body)
         body["kind"] = "append"
+        body["fingerprint"] = fingerprint
+        return self.submit(body)
+
+    def delta(self, fingerprint: str, body: Dict) -> Dict[str, object]:
+        body = dict(body)
+        body["kind"] = "delta"
         body["fingerprint"] = fingerprint
         return self.submit(body)
 
@@ -404,6 +481,9 @@ def _make_handler(service: ODService):
             if (method == "POST" and len(rest) == 2
                     and rest[1] == "append"):
                 return 200, service.append(rest[0], self._body())
+            if (method == "POST" and len(rest) == 2
+                    and rest[1] == "delta"):
+                return 200, service.delta(rest[0], self._body())
             raise ServiceError("not found", status=404)
 
         def _dispatch_jobs(self, method: str, rest) -> Tuple[int, Dict]:

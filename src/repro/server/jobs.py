@@ -39,21 +39,23 @@ import queue
 import threading
 import time
 import traceback
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro import faults
 from repro.core.fastod import FastOD, FastODConfig
+from repro.deltalog import DeltaBatch, DeltaLog, delta_log_path
 from repro.engine.budget import DeadlineBudget
-from repro.errors import ReproError
+from repro.errors import DataError, ReproError
 from repro.obs import events, metrics, trace
 from repro.parallel.pool import WorkerPool, resolve_workers
-from repro.relation.table import Relation
-from repro.server.catalog import DatasetCatalog
+from repro.relation.fingerprint import fingerprint
+from repro.server.catalog import CatalogEntry, DatasetCatalog
 from repro.server.journal import JobJournal, JournalError
 from repro.server.store import ResultStore
 from repro.violations.detect import ViolationDetector
 
-JOB_KINDS = ("discover", "validate", "violations", "append")
+JOB_KINDS = ("discover", "validate", "violations", "append", "delta")
 
 _SUBMITTED = metrics.counter(
     "repro_jobs_submitted_total",
@@ -212,12 +214,19 @@ class JobScheduler:
     def __init__(self, catalog: DatasetCatalog, store: ResultStore,
                  workers: Optional[int] = None,
                  default_timeout: Optional[float] = None,
-                 journal: Optional[JobJournal] = None):
+                 journal: Optional[JobJournal] = None,
+                 delta_dir: Optional[Union[str, Path]] = None):
         self._catalog = catalog
         self._store = store
         self._workers = resolve_workers(workers)
         self._default_timeout = default_timeout
         self._journal = journal
+        #: directory whose ``deltalog/`` subdir holds per-dataset WALs
+        #: (``None`` = delta jobs apply in memory only, no durability)
+        self._delta_dir = Path(delta_dir) if delta_dir is not None else None
+        #: root fingerprint -> open WAL handle, created lazily by the
+        #: runner thread and closed with the scheduler
+        self._delta_logs: Dict[str, DeltaLog] = {}
         self._pool: Optional[WorkerPool] = None
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
@@ -264,7 +273,7 @@ class JobScheduler:
         # validate parameters before the job record exists, so a typo
         # fails the request instead of stranding a queued/failed job
         config = (config_from_params(params.get("config"))
-                  if kind in ("discover", "append") else None)
+                  if kind in ("discover", "append", "delta") else None)
         if kind in ("validate", "violations"):
             dependency = params.get("dependency")
             if not dependency or not isinstance(dependency, str):
@@ -283,6 +292,19 @@ class JobScheduler:
                     "append jobs need a non-empty 'rows' list")
         # resolve forwards now so the job is pinned to live content
         entry = self._catalog.get(fingerprint)
+        if kind == "delta":
+            # parse against the entry's arity now, and normalise the
+            # convenience lists (inserts/deletes/updates) into one
+            # JSON-safe weighted op list — the journal replays it, the
+            # WAL records it, and the runner applies it, all verbatim
+            try:
+                batch = DeltaBatch.from_request(
+                    params, entry.relation.arity)
+            except DataError as error:
+                raise JobError(f"bad delta: {error}") from None
+            for key in ("inserts", "deletes", "updates"):
+                params.pop(key, None)
+            params["ops"] = batch.to_dict()["ops"]
         with self._lock:
             self._next_id += 1
             job = Job(f"job-{self._next_id}", kind, entry.fingerprint,
@@ -371,8 +393,8 @@ class JobScheduler:
         discover has its deadline budget revoked and stops at the
         traversal's next budget check.  Returns False when the cancel
         cannot take effect — the job already finished, or it is a
-        running validate/violations/append (those kernels have no
-        cooperative budget checks and will complete)."""
+        running validate/violations/append/delta (those kernels have
+        no cooperative budget checks and will complete)."""
         job = self.job(job_id)
         with self._lock:
             if job.finished:
@@ -431,6 +453,9 @@ class JobScheduler:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        for log in self._delta_logs.values():
+            log.close()
+        self._delta_logs.clear()
 
     def __enter__(self) -> "JobScheduler":
         return self
@@ -600,19 +625,73 @@ class JobScheduler:
         if not rows:
             raise JobError("append jobs need non-empty 'rows'")
         entry = self._catalog.get(job.fingerprint)
+        try:
+            batch = DeltaBatch.inserts(rows, arity=entry.relation.arity)
+        except DataError as error:
+            raise JobError(f"bad append rows: {error}") from None
+        self._apply_delta(job, entry, batch)
+
+    def _run_delta(self, job: Job) -> None:
+        batch = DeltaBatch.from_dict({"ops": job.params.get("ops")})
+        if not len(batch):
+            raise JobError("delta jobs need at least one op")
+        entry = self._catalog.get(job.fingerprint)
+        self._apply_delta(job, entry, batch)
+
+    def _delta_log(self, root_fp: str) -> Optional[DeltaLog]:
+        """The open WAL for one dataset's root fingerprint (runner
+        thread only); ``None`` when the service runs without
+        durability."""
+        if self._delta_dir is None:
+            return None
+        log = self._delta_logs.get(root_fp)
+        if log is None:
+            log = DeltaLog(delta_log_path(self._delta_dir, root_fp))
+            self._delta_logs[root_fp] = log
+        return log
+
+    def _apply_delta(self, job: Job, entry: CatalogEntry,
+                     batch: DeltaBatch) -> None:
+        """Apply one weighted batch WAL-first.
+
+        Order matters: (1) validate by previewing the post-delta
+        relation — op errors (deleting an absent row) and
+        would-be-empty datasets fail the job before anything is
+        logged; (2) durably append to the dataset's delta WAL — once
+        the fsync returns, the delta *happened*, and a crash anywhere
+        after this line is repaired by boot-time replay; (3) fold the
+        batch into the incremental engine; (4) re-key the catalog
+        entry and evict results stored under the retired fingerprint
+        (the old key now forwards to mutated content, so serving its
+        cached ODs would be silently stale).
+        """
         config = self._job_config(job)
         pool = self._shared_pool(entry.encoded)
         engine = self._catalog.ensure_incremental(
             entry.fingerprint, config, pool=pool)
-        batch = Relation.from_rows(entry.relation.names, rows)
-        report = engine.append(batch)
-        new_fp = self._catalog.rekey_after_append(entry)
-        self._store.put(new_fp, engine.config, engine.result)
+        old_fp = entry.fingerprint
+        preview = batch.apply_to(engine.relation)
+        if preview.n_rows == 0:
+            raise JobError(
+                "delta would leave the dataset empty; use "
+                "re-registration, not deltas, to replace a dataset")
+        fp_after = fingerprint(preview)
+        log = self._delta_log(entry.root_fingerprint)
+        lsn = (log.append(batch, fp_before=old_fp, fp_after=fp_after)
+               if log is not None else None)
+        report = engine.apply_delta(batch)
+        new_fp = self._catalog.rekey_after_delta(entry, lsn=lsn)
+        if new_fp != old_fp:
+            self._store.invalidate(old_fp)
+        stored = self._store.put(new_fp, engine.config, engine.result)
         job.payload = {
             "report": report.to_dict(),
             "fingerprint": new_fp,
             "result": engine.result.to_dict(),
+            "stored": stored,
         }
+        if lsn is not None:
+            job.payload["lsn"] = lsn
         job.executor_stats = engine.executor_stats()
         self._finish_ok(job)
 

@@ -10,17 +10,12 @@ never the ledger.
 Record format
 -------------
 
-One record per line::
-
-    <lsn> <crc32:08x> <canonical json>\n
-
-The CRC covers the JSON payload bytes, the LSN is a strictly
-increasing sequence number starting at 1.  Replay accepts any clean
-prefix: the first torn, corrupt, or out-of-sequence line ends the
-useful log (everything before it is trusted, everything after is
-ignored) — exactly the contract a crashed appender can guarantee,
-since a record is written with one ``write`` + ``fsync`` and only the
-final line can ever be torn.
+The shared WAL line discipline of :mod:`repro.deltalog.records` —
+``<lsn> <crc32:08x> <canonical json>\n``, strictly increasing LSNs
+from 1, CRC over the payload bytes, clean prefix trusted on replay,
+one ``write`` + ``fsync`` per record so only the final line can ever
+be torn.  The per-dataset delta WAL (:mod:`repro.deltalog.log`) uses
+the same primitives, so both logs share one torn-tail recovery story.
 
 Record types
 ------------
@@ -55,10 +50,14 @@ import json
 import os
 import threading
 import time
-import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.deltalog.records import (
+    encode_record,
+    read_records,
+    trusted_length,
+)
 from repro.errors import ReproError
 from repro.obs import metrics
 
@@ -83,52 +82,6 @@ RECORD_TYPES = ("dataset", "submitted", "started", "finished")
 
 class JournalError(ReproError):
     """An unusable journal directory or an append that failed."""
-
-
-def _encode(lsn: int, payload: Dict) -> bytes:
-    body = json.dumps(payload, sort_keys=True,
-                      separators=(",", ":")).encode("utf-8")
-    crc = zlib.crc32(body) & 0xFFFFFFFF
-    return b"%d %08x %s\n" % (lsn, crc, body)
-
-
-def read_records(path: Union[str, Path]) -> List[Dict]:
-    """Every trusted record in ``path``, in LSN order.
-
-    Stops at the first torn/corrupt/out-of-sequence line — the clean
-    prefix is the journal's truth.  A missing file is an empty log.
-    """
-    path = Path(path)
-    if not path.exists():
-        return []
-    records: List[Dict] = []
-    expected_lsn = 1
-    with path.open("rb") as handle:
-        for raw in handle:
-            if not raw.endswith(b"\n"):
-                break                       # torn tail (crashed writer)
-            parts = raw.rstrip(b"\n").split(b" ", 2)
-            if len(parts) != 3:
-                break
-            try:
-                lsn = int(parts[0])
-                crc = int(parts[1], 16)
-            except ValueError:
-                break
-            if lsn != expected_lsn:
-                break
-            if zlib.crc32(parts[2]) & 0xFFFFFFFF != crc:
-                break
-            try:
-                payload = json.loads(parts[2].decode("utf-8"))
-            except (UnicodeDecodeError, ValueError):
-                break
-            if not isinstance(payload, dict):
-                break
-            payload["lsn"] = lsn
-            records.append(payload)
-            expected_lsn += 1
-    return records
 
 
 class RecoveredState:
@@ -181,10 +134,7 @@ class JobJournal:
         self._lsn = self._records[-1]["lsn"] if self._records else 0
         # re-open past the trusted prefix: a torn tail is overwritten
         # by truncating to the prefix before appending anything new
-        trusted = sum(len(_encode(r["lsn"],
-                                  {k: v for k, v in r.items()
-                                   if k != "lsn"}))
-                      for r in self._records)
+        trusted = trusted_length(self._records)
         self._handle = open(self.path, "ab")
         if self._handle.tell() > trusted:
             self._handle.truncate(trusted)
@@ -202,7 +152,7 @@ class JobJournal:
             self._lsn += 1
             started = time.perf_counter()
             try:
-                self._handle.write(_encode(self._lsn, payload))
+                self._handle.write(encode_record(self._lsn, payload))
                 self._handle.flush()
                 os.fsync(self._handle.fileno())
             except OSError as error:

@@ -11,11 +11,19 @@ client:
    telemetry (no re-traversal happened),
 4. append a batch — the response re-keys the dataset and the grown
    content's discover is again a pure store hit,
-5. poll the job list, then
+5. apply a weighted delta (update + delete) — the response re-keys
+   again and discovery matches a direct run on the mutated relation,
+6. poll the job list, then
 
 interrupt the server with SIGINT and assert the hygiene contract:
 exit code 130, **no leaked shared-memory segments**, and **no orphan
 worker processes** (every child alive during the run must be gone).
+
+A second phase boots a journaled server, streams a delta, ``kill
+-9``s it mid-flight, reboots on the same ``--journal-dir``, and
+asserts the replayed dataset answers discovery byte-identically to a
+direct run on the mutated relation — the crash-consistency contract
+of the delta WAL, exercised against a real process.
 
 This is the CI gate for the service layer; it runs with
 ``REPRO_WORKERS=2`` so the shared pool really exists and really gets
@@ -28,6 +36,7 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import List, Set
@@ -35,6 +44,7 @@ from typing import List, Set
 from repro.core.fastod import FastOD, FastODConfig
 from repro.datasets import make_dataset
 from repro.engine.telemetry import total_tasks
+from repro.relation.table import Relation
 from repro.server.client import ServiceClient
 
 DATASET = dict(family="flight", n_rows=2000, n_attrs=6, seed=17)
@@ -197,11 +207,37 @@ def main() -> int:
               "appended result byte-identical to direct FastOD on "
               "the grown relation")
 
+        # a general delta: update one row, delete another
+        victim = [int(v) for v in grown.row(0)]
+        target = [int(v) for v in grown.row(1)]
+        mutated_new = [v + 1 for v in target]
+        deltad = client.delta(new_fp, deletes=[victim],
+                              updates=[[target, mutated_new]])
+        check(deltad["status"] == "done"
+              and deltad["report"]["n_deleted"] == 2,
+              "delta folded an update + delete in")
+        delta_fp = deltad["fingerprint"]
+        check(delta_fp != new_fp, "delta re-keyed the dataset")
+        check(client.dataset(new_fp)["fingerprint"] == delta_fp,
+              "pre-delta fingerprint forwards to the live entry")
+        mutated = grown.drop_rows([0, 1]).append_rows([tuple(mutated_new)])
+        mutated_direct = FastOD(mutated, FastODConfig()).run().to_dict()
+        post_delta = client.discover(delta_fp)
+        check(post_delta["result"]["fds"] == mutated_direct["fds"]
+              and post_delta["result"]["ocds"] == mutated_direct["ocds"],
+              "delta'd result byte-identical to direct FastOD on "
+              "the mutated relation")
+        check(all(r["fingerprint"] != new_fp
+                  for r in client.results()),
+              "stale results evicted for the retired fingerprint")
+
         jobs = client.jobs()
-        check(len(jobs) >= 4 and all(
+        check(len(jobs) >= 5 and all(
             job["status"] == "done" for job in jobs),
             f"job ledger consistent ({len(jobs)} jobs, all done)")
-        check(len(client.results()) >= 2, "result store populated")
+        check(any(r["fingerprint"] == delta_fp
+                  for r in client.results()),
+              "result store holds the live fingerprint")
     finally:
         if server.poll() is None:
             server.send_signal(signal.SIGINT)
@@ -220,8 +256,80 @@ def main() -> int:
     check(not leaked, f"no leaked shm segments {sorted(leaked) or ''}")
     orphans = wait_for_exit(workers)
     check(not orphans, f"no orphan worker processes {orphans or ''}")
+
+    crash_recovery_phase(env)
     print("smoke suite green")
     return 0
+
+
+def crash_recovery_phase(env: dict) -> None:
+    """kill -9 a journaled server mid-stream; the reboot must replay
+    the delta WAL and serve byte-identical discovery."""
+    print("crash-recovery phase: journaled server + kill -9 ...")
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as jdir:
+        boot = [sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--journal-dir", jdir]
+        columns = ["a", "b", "c"]
+        rows = [[i % 5, i % 3, i] for i in range(60)]
+        server = subprocess.Popen(
+            boot, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            ready = server.stdout.readline()
+            check("listening on" in ready, "journaled server ready")
+            client = ServiceClient(ready.strip().rsplit(" ", 1)[-1])
+            fp = client.register_rows(columns, rows)["fingerprint"]
+            folded = client.delta(
+                fp, deletes=[rows[0]],
+                updates=[[rows[1], [9, 9, 9]]], inserts=[[7, 7, 7]])
+            check(folded["status"] == "done"
+                  and folded.get("lsn") == 1,
+                  "journaled delta applied at LSN 1")
+            live_fp = folded["fingerprint"]
+        finally:
+            server.kill()                 # SIGKILL: no teardown path
+            server.wait()
+            server.stdout.close()
+            server.stderr.close()
+        server = subprocess.Popen(
+            boot, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            ready = server.stdout.readline()
+            check("listening on" in ready,
+                  "rebooted on the same journal")
+            client = ServiceClient(ready.strip().rsplit(" ", 1)[-1])
+            recovered = client.health()["recovered"]
+            check(recovered["delta_batches"] == 1
+                  and recovered["delta_errors"] == 0,
+                  "boot replay folded the logged delta")
+            entry = client.dataset(fp)
+            check(entry["fingerprint"] == live_fp
+                  and entry["delta_lsn"] == 1,
+                  "dataset re-keyed to the post-delta fingerprint")
+            mutated = Relation.from_rows(
+                columns, [tuple(r) for r in rows[2:]]
+                + [(9, 9, 9), (7, 7, 7)])
+            direct = FastOD(mutated, FastODConfig()).run().to_dict()
+            replayed = client.discover(live_fp)
+            check(replayed["result"]["fds"] == direct["fds"]
+                  and replayed["result"]["ocds"] == direct["ocds"],
+                  "recovered discovery byte-identical to direct "
+                  "FastOD on the mutated relation")
+            resumed = client.delta(live_fp, inserts=[[8, 8, 8]])
+            check(resumed["status"] == "done"
+                  and resumed.get("lsn") == 2,
+                  "delta stream resumes at the next LSN")
+        finally:
+            if server.poll() is None:
+                server.send_signal(signal.SIGINT)
+                try:
+                    server.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    server.kill()
+                    server.wait()
+            server.stdout.close()
+            server.stderr.close()
 
 
 if __name__ == "__main__":

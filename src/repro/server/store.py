@@ -64,6 +64,9 @@ _QUARANTINED = metrics.counter(
 _BYTES_WRITTEN = metrics.counter(
     "repro_store_bytes_written_total",
     "Serialized result bytes successfully written to disk")
+_INVALIDATED = metrics.counter(
+    "repro_store_invalidated_total",
+    "Stored results dropped because their fingerprint was retired")
 
 
 class ResultStore:
@@ -184,6 +187,40 @@ class ResultStore:
                     self.write_errors += 1
                 _WRITE_ERRORS.inc()
         return True
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every stored result (resident and on-disk) for a
+        fingerprint that no longer names any live snapshot.
+
+        A delta re-keys its dataset; results cached under the old
+        fingerprint describe a relation that has since been mutated,
+        and the catalog forwards the old key to the *new* content — so
+        serving them would silently answer with stale ODs.  Returns
+        how many entries were dropped.
+        """
+        dropped = 0
+        with self._lock:
+            stale = [key for key in self._results
+                     if key[0] == fingerprint]
+            for key in stale:
+                del self._results[key]
+            dropped += len(stale)
+        if self._directory is not None:
+            fp_dir = self._directory / fingerprint
+            if fp_dir.is_dir():
+                for path in sorted(fp_dir.glob("*.json")):
+                    try:
+                        path.unlink()
+                        dropped += 1
+                    except OSError:  # pragma: no cover - racing unlink
+                        pass
+                try:
+                    fp_dir.rmdir()
+                except OSError:  # pragma: no cover - leftover .corrupt
+                    pass
+        if dropped:
+            _INVALIDATED.inc(dropped)
+        return dropped
 
     # ------------------------------------------------------------------
     # introspection

@@ -1,0 +1,177 @@
+"""DeltaBatch semantics: deterministic, order-sensitive application.
+
+The model's contract is that the live engine and a boot-time replay
+resolve every delete to the *same* row occurrence — these tests pin
+the occurrence rules (first live base row; LIFO pending cancellation)
+and the equivalence of :func:`replay_relation` with sequential
+``apply_to``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deltalog import DeltaBatch, replay_relation
+from repro.errors import DataError
+from repro.relation.table import Relation
+
+
+def rel(rows):
+    return Relation.from_rows(["a", "b"], rows)
+
+
+class TestConstruction:
+    def test_weights_must_be_unit(self):
+        with pytest.raises(DataError):
+            DeltaBatch([(2, (1, 2))])
+        with pytest.raises(DataError):
+            DeltaBatch([(0, (1, 2))])
+
+    def test_rows_must_be_sequences_of_scalars(self):
+        with pytest.raises(DataError):
+            DeltaBatch([(1, "ab")])
+        with pytest.raises(DataError):
+            DeltaBatch([(1, ([1], 2))])
+
+    def test_arity_checked_when_given(self):
+        with pytest.raises(DataError):
+            DeltaBatch([(1, (1, 2, 3))], arity=2)
+
+    def test_updates_decompose(self):
+        batch = DeltaBatch.updates([((1, 2), (1, 3))])
+        assert batch.ops == [(-1, (1, 2)), (1, (1, 3))]
+        assert batch.net_row_delta == 0
+
+    def test_from_request_folds_in_order(self):
+        batch = DeltaBatch.from_request({
+            "ops": [[1, [5, 5]]],
+            "inserts": [[3, 3]],
+            "deletes": [[1, 1]],
+            "updates": [[[2, 2], [4, 4]]],
+        })
+        assert batch.ops == [
+            (1, (5, 5)),                 # explicit ops first
+            (-1, (1, 1)),                # then deletes
+            (-1, (2, 2)), (1, (4, 4)),   # then updates
+            (1, (3, 3)),                 # then inserts
+        ]
+
+    def test_from_request_needs_some_ops(self):
+        with pytest.raises(DataError):
+            DeltaBatch.from_request({})
+
+    def test_dict_round_trip(self):
+        batch = DeltaBatch([(1, (1, 2)), (-1, (3, 4))])
+        assert DeltaBatch.from_dict(batch.to_dict()).ops == batch.ops
+
+
+class TestSplit:
+    def test_delete_consumes_first_live_occurrence(self):
+        relation = rel([(1, 1), (2, 2), (1, 1)])
+        deletes, inserts = DeltaBatch.deletes([(1, 1)]).split(relation)
+        assert deletes == [0]
+        assert inserts == []
+
+    def test_second_delete_takes_second_occurrence(self):
+        relation = rel([(1, 1), (2, 2), (1, 1)])
+        deletes, _ = DeltaBatch.deletes(
+            [(1, 1), (1, 1)]).split(relation)
+        assert deletes == [0, 2]
+
+    def test_delete_of_absent_row_raises(self):
+        with pytest.raises(DataError):
+            DeltaBatch.deletes([(9, 9)]).split(rel([(1, 1)]))
+
+    def test_pending_insert_cancels_lifo(self):
+        # +r +r -r: the MOST RECENT pending +r cancels
+        batch = DeltaBatch([(1, (7, 7)), (1, (7, 7)), (-1, (7, 7))])
+        deletes, inserts = batch.split(rel([(1, 1)]))
+        assert deletes == []
+        assert inserts == [(7, 7)]
+
+    def test_base_occurrence_outranks_pending(self):
+        # -r +r with r in the base = move-to-end, never a cancel
+        batch = DeltaBatch([(-1, (1, 1)), (1, (1, 1))])
+        deletes, inserts = batch.split(rel([(1, 1), (2, 2)]))
+        assert deletes == [0]
+        assert inserts == [(1, 1)]
+
+    def test_insert_then_delete_is_noop(self):
+        batch = DeltaBatch([(1, (9, 9)), (-1, (9, 9))])
+        deletes, inserts = batch.split(rel([(1, 1)]))
+        assert deletes == [] and inserts == []
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(DataError):
+            DeltaBatch([(1, (1, 2, 3))]).split(rel([(1, 1)]))
+
+
+class TestApply:
+    def test_apply_is_pure(self):
+        relation = rel([(1, 1), (2, 2)])
+        out = DeltaBatch.deletes([(1, 1)]).apply_to(relation)
+        assert list(relation.rows()) == [(1, 1), (2, 2)]
+        assert list(out.rows()) == [(2, 2)]
+
+    def test_move_to_end(self):
+        relation = rel([(1, 1), (2, 2)])
+        out = DeltaBatch(
+            [(-1, (1, 1)), (1, (1, 1))]).apply_to(relation)
+        assert list(out.rows()) == [(2, 2), (1, 1)]
+
+    def test_apply_to_empty_relation(self):
+        out = DeltaBatch.inserts([(1, 1)]).apply_to(rel([]))
+        assert list(out.rows()) == [(1, 1)]
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    min_size=0, max_size=8)
+
+
+@st.composite
+def relation_and_batches(draw):
+    base = draw(rows_strategy)
+    live = list(base)
+    batches = []
+    for _ in range(draw(st.integers(1, 4))):
+        ops = []
+        for _ in range(draw(st.integers(1, 5))):
+            if live and draw(st.booleans()):
+                victim = live.pop(
+                    draw(st.integers(0, len(live) - 1)))
+                ops.append((-1, victim))
+            else:
+                row = draw(st.tuples(st.integers(0, 3),
+                                     st.integers(0, 3)))
+                ops.append((1, row))
+                live.append(row)
+        batches.append(DeltaBatch(ops))
+    return rel(base), batches
+
+
+class TestReplayEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(relation_and_batches())
+    def test_one_pass_replay_matches_sequential_apply(self, case):
+        relation, batches = case
+        sequential = relation
+        for batch in batches:
+            sequential = batch.apply_to(sequential)
+        fast = replay_relation(relation, batches)
+        assert list(fast.rows()) == list(sequential.rows())
+
+    def test_later_batch_can_delete_earlier_batch_insert(self):
+        relation = rel([(1, 1)])
+        out = replay_relation(relation, [
+            DeltaBatch.inserts([(5, 5)]),
+            DeltaBatch.deletes([(5, 5)]),
+        ])
+        assert list(out.rows()) == [(1, 1)]
+
+    def test_replay_raises_like_split(self):
+        with pytest.raises(DataError):
+            replay_relation(rel([(1, 1)]),
+                            [DeltaBatch.deletes([(9, 9)])])

@@ -193,7 +193,9 @@ class TestServiceReplay:
 
         with ODService(port=0, journal_dir=journal_dir) as second:
             assert second.recovered == {"datasets": 1, "requeued": 0,
-                                        "crashed": 0}
+                                        "crashed": 0,
+                                        "delta_batches": 0,
+                                        "delta_errors": 0}
             assert second.catalog.get(fp).fingerprint == fp
             # finished jobs are ledger history, not restored records
             assert second.scheduler.jobs() == []
