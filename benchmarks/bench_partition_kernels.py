@@ -19,6 +19,20 @@ Gates the perf claim of the flat-layout partition engine two ways:
    kernel-level comparison — reference implementations timed in the
    same run, hence hardware-independent — clears ``MIN_SPEEDUP``.
 
+3. **Backend level** — times the compiled (C/ctypes) kernel backend
+   against the reference (NumPy) backend on the same inputs, kernel by
+   kernel, asserting byte-identical outputs per cell and a geomean
+   speedup of at least ``BACKEND_MIN_SPEEDUP`` (2x).  When no C
+   toolchain is available the section reports ``skipped`` and passes —
+   the compiled backend is an optional accelerator, never a
+   requirement.
+
+4. **Backend × workers identity matrix** — runs full discovery at
+   workers 0/2/4 under each available backend (with
+   ``parallel_min_grouped_rows=0`` so the pool really dispatches) and
+   asserts every cell's FD/OCD sets are string-identical to the
+   serial reference run.
+
 Run directly: ``PYTHONPATH=src python benchmarks/bench_partition_kernels.py``.
 Emits ``BENCH_partitions.json`` at the repo root via the harness.
 """
@@ -37,8 +51,10 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks.harness import Reporter, dataset, timed, write_bench_json
-from repro import discover_ods
+from repro import discover_ods, kernels
+from repro.core.fastod import FastOD, FastODConfig
 from repro.core.validation import is_compatible_in_classes
+from repro.kernels.reference import ReferenceBackend
 from repro.partitions.partition import StrippedPartition
 
 BASELINE = Path(__file__).resolve().parent / "seed_exp1_baseline.json"
@@ -46,6 +62,12 @@ DATASETS = ["flight", "ncvoter", "dbtesma"]
 ROW_COUNTS = [1000, 2000, 3000, 4000, 5000]
 N_ATTRS = 8
 MIN_SPEEDUP = 2.0
+#: gate for the compiled backend vs the reference backend (geomean
+#: over every kernel x size cell; skipped without a C toolchain)
+BACKEND_MIN_SPEEDUP = 2.0
+BACKEND_TRIALS = 3
+IDENTITY_WORKERS = (0, 2, 4)
+IDENTITY_ROWS = 3000
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +219,132 @@ def bench_discovery(reporter: Reporter) -> tuple:
     return records, geomean, identical
 
 
+# ----------------------------------------------------------------------
+# compiled backend vs reference backend
+# ----------------------------------------------------------------------
+def _backend_inputs(n_rows: int, n_distinct: int, seed: int):
+    """CSR inputs shared by every kernel: a context partition, a left
+    probe, and a swap-free (A, B) column pair (full-scan worst case)."""
+    rng = np.random.default_rng(seed)
+    context = StrippedPartition.from_ranks(
+        rng.integers(0, n_distinct, size=n_rows).astype(np.int64))
+    left = StrippedPartition.from_ranks(
+        rng.integers(0, n_distinct, size=n_rows).astype(np.int64))
+    # swap scans run over product contexts (lattice level >= 2), which
+    # fragment into many small classes — mean class ~12 here; coarse
+    # contexts route to the reference kernel anyway
+    # (thresholds.SWAP_MEAN_CLASS_CROSSOVER)
+    swap_context = StrippedPartition.from_ranks(
+        rng.integers(0, n_rows // 12, size=n_rows).astype(np.int64))
+    # a swap-free (A, B) pair over a rank-like domain (repeated values,
+    # as discovery's encoded columns have) — holding candidates force
+    # both backends through the full scan
+    col_a = rng.integers(0, max(8, n_rows // 50),
+                         size=n_rows).astype(np.int64)
+    col_b = col_a // 3
+    raw = rng.integers(0, n_rows // 3, size=n_rows).astype(np.int64)
+    return context, left, swap_context, col_a, col_b, raw
+
+
+def _time_kernel(call) -> float:
+    best = None
+    for _ in range(BACKEND_TRIALS):
+        t0 = time.perf_counter()
+        call()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_backends(reporter: Reporter) -> tuple:
+    """(records, geomean speedup or None when compiled is absent)."""
+    if not kernels.compiled_available():
+        reporter.add(kernel="(all)", n_rows="-", reference="-",
+                     compiled="skipped (no C toolchain)", speedup="-")
+        return [], None
+    reference = ReferenceBackend()
+    compiled = kernels.resolve_backend("compiled")
+    records = []
+    ratios = []
+    for n_rows, n_distinct in [(20_000, 60), (100_000, 300)]:
+        context, left, swap_context, col_a, col_b, raw = _backend_inputs(
+            n_rows, n_distinct, seed=11)
+        probe = left.row_to_class()
+        args_by_kernel = {
+            "product": (probe, context.rows, context.offsets,
+                        context.class_ids(), left.n_classes),
+            "swap": (col_a, col_b, swap_context.rows,
+                     swap_context.offsets, swap_context.class_ids()),
+            "split": (raw, context.rows, context.offsets,
+                      context.class_sizes),
+            "densify": (raw,),
+        }
+        methods = {"product": "partition_product", "swap": "swap_flags",
+                   "split": "split_mismatch", "densify": "densify"}
+        for kernel, args in args_by_kernel.items():
+            ref_fn = getattr(reference, methods[kernel])
+            com_fn = getattr(compiled, methods[kernel])
+            ref_out = ref_fn(*args)
+            com_out = com_fn(*args)
+            ref_parts = ref_out if isinstance(ref_out, tuple) else (ref_out,)
+            com_parts = com_out if isinstance(com_out, tuple) else (com_out,)
+            for got, want in zip(com_parts, ref_parts):
+                assert np.array_equal(got, want), \
+                    f"{kernel}: compiled output differs from reference"
+            ref_s = _time_kernel(lambda: ref_fn(*args))
+            com_s = _time_kernel(lambda: com_fn(*args))
+            speedup = ref_s / com_s
+            ratios.append(speedup)
+            reporter.add(kernel=kernel, n_rows=n_rows,
+                         reference=f"{ref_s * 1e3:.2f}ms",
+                         compiled=f"{com_s * 1e3:.2f}ms",
+                         speedup=f"{speedup:.2f}x")
+            records.append({
+                "kernel": kernel, "n_rows": n_rows,
+                "reference_seconds": ref_s, "compiled_seconds": com_s,
+                "speedup": speedup,
+            })
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return records, geomean
+
+
+# ----------------------------------------------------------------------
+# backend x workers identity matrix
+# ----------------------------------------------------------------------
+def bench_identity_matrix(reporter: Reporter) -> tuple:
+    relation = dataset("flight", IDENTITY_ROWS, N_ATTRS)
+    backends = ["reference"]
+    if kernels.compiled_available():
+        backends.append("compiled")
+    golden = None
+    records = []
+    identical = True
+    for backend in backends:
+        for workers in IDENTITY_WORKERS:
+            config = FastODConfig(
+                workers=workers, kernel_backend=backend,
+                parallel_min_grouped_rows=0 if workers else None)
+            result, seconds = timed(
+                lambda: FastOD(relation, config).run())
+            ods = (sorted(str(od) for od in result.fds),
+                   sorted(str(od) for od in result.ocds))
+            if golden is None:
+                golden = ods
+            same = ods == golden
+            identical &= same
+            reporter.add(backend=backend, workers=workers,
+                         wall=f"{seconds * 1e3:.0f}ms",
+                         identical="yes" if same else "NO")
+            records.append({
+                "backend": backend, "workers": workers,
+                "dataset": "flight", "n_rows": IDENTITY_ROWS,
+                "n_attrs": N_ATTRS, "seconds": seconds,
+                "identical": same,
+            })
+    return records, identical
+
+
 def main() -> int:
     kernel_reporter = Reporter(
         experiment="partition_kernels",
@@ -214,22 +362,52 @@ def main() -> int:
         discovery_reporter)
     discovery_reporter.finish()
 
+    backend_reporter = Reporter(
+        experiment="kernel_backends",
+        title="Compiled (C/ctypes) kernel backend vs reference (NumPy)",
+        columns=["kernel", "n_rows", "reference", "compiled", "speedup"])
+    backend_records, backend_geomean = bench_backends(backend_reporter)
+    backend_reporter.finish()
+
+    matrix_reporter = Reporter(
+        experiment="backend_identity",
+        title="FD/OCD identity across backend x worker-count matrix",
+        columns=["backend", "workers", "wall", "identical"])
+    matrix_records, matrix_identical = bench_identity_matrix(
+        matrix_reporter)
+    matrix_reporter.finish()
+
     write_bench_json("partitions", discovery_records,
                      section="discovery_gate")
     write_bench_json("partitions", kernel_records, section="kernels")
+    write_bench_json("partitions", backend_records,
+                     section="kernel_backends")
+    write_bench_json("partitions", matrix_records,
+                     section="backend_identity")
     kernel_ratios = [r["reference_seconds"] / r["seconds"]
                      for r in kernel_records]
     kernel_geomean = math.exp(
         sum(math.log(r) for r in kernel_ratios) / len(kernel_ratios))
+    backend_label = ("skipped (no C toolchain)" if backend_geomean is None
+                     else f"{backend_geomean:.2f}x")
     print(f"geomean speedup over seed: {geomean:.2f}x (discovery, "
           f"machine-dependent) / {kernel_geomean:.2f}x (kernels, "
           f"in-process); gate: >= {MIN_SPEEDUP}x on either; "
           f"identical results: {identical}")
+    print(f"compiled backend vs reference: {backend_label}; gate: >= "
+          f"{BACKEND_MIN_SPEEDUP}x geomean when available; "
+          f"backend x workers identity: {matrix_identical}")
     if not identical:
         print("FAIL: discovery results differ from the seed baseline")
         return 1
     if geomean < MIN_SPEEDUP and kernel_geomean < MIN_SPEEDUP:
         print("FAIL: aggregate speedup below the gate")
+        return 1
+    if backend_geomean is not None and backend_geomean < BACKEND_MIN_SPEEDUP:
+        print("FAIL: compiled backend below the backend gate")
+        return 1
+    if not matrix_identical:
+        print("FAIL: backend x workers matrix results differ")
         return 1
     return 0
 

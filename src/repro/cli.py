@@ -42,6 +42,17 @@ from repro.relation.csvio import read_csv, write_csv
 from repro.violations.detect import ViolationDetector
 
 
+def _add_kernels_option(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--kernels", default=None,
+        choices=("auto", "reference", "compiled"),
+        help="partition-kernel backend: 'reference' (pure NumPy), "
+             "'compiled' (C via ctypes), or 'auto' (compiled when a "
+             "C compiler is available, else reference; the default, "
+             "also settable via $REPRO_KERNELS); backends produce "
+             "byte-identical results")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-od",
@@ -70,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "scans over N worker processes (default: "
                                "$REPRO_WORKERS or 1 = serial; results "
                                "are identical either way)")
+    _add_kernels_option(discover)
 
     append = sub.add_parser(
         "append",
@@ -93,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_WORKERS or 1 = serial)")
     append.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
+    _add_kernels_option(append)
 
     watch = sub.add_parser(
         "watch",
@@ -143,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "re-registered, never-started jobs "
                             "re-queued, interrupted jobs marked "
                             "crashed); default: no journal")
+    _add_kernels_option(serve)
 
     check = sub.add_parser(
         "check", help="check whether one dependency holds")
@@ -154,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--workers", type=int, default=None, metavar="N",
                        help="shard big validation scans by context class "
                             "over N worker processes")
+    _add_kernels_option(check)
 
     violations = sub.add_parser(
         "violations", help="report violating tuple pairs for a dependency")
@@ -167,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="N",
                             help="shard big validation scans by context "
                                  "class over N worker processes")
+    _add_kernels_option(violations)
 
     generate = sub.add_parser(
         "generate", help="write a synthetic dataset to CSV")
@@ -237,6 +253,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         max_level=args.max_level,
         timeout_seconds=args.timeout,
         workers=args.workers,
+        kernel_backend=args.kernels,
     )
     # wire a cache only when its stats (--json) or its bound were asked
     # for: an unbounded cache would retain every lattice partition for
@@ -262,7 +279,8 @@ def _cmd_append(args: argparse.Namespace) -> int:
 
     base = read_csv(args.csv, limit=args.limit)
     config = FastODConfig(max_level=args.max_level,
-                          workers=args.workers)
+                          workers=args.workers,
+                          kernel_backend=args.kernels)
     started = time.perf_counter()
     engine = IncrementalFastOD(base, config,
                                verify_with_oracle=args.verify)
@@ -592,6 +610,13 @@ def _dump_final_metrics() -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "kernels", None):
+        # process-wide default so commands whose engines don't thread
+        # a per-run backend (check/violations/serve jobs without an
+        # explicit kernel_backend) still honor the flag
+        from repro import kernels
+
+        kernels.set_default_backend(args.kernels)
     long_running = args.command in ("serve", "watch")
     if long_running:
         _install_sigterm_handler()

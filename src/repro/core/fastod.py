@@ -87,6 +87,13 @@ class FastODConfig:
         (``None`` = the package default,
         :data:`repro.parallel.PARALLEL_MIN_GROUPED_ROWS`).  Mostly a
         testing knob — set 0 to force every level through the pool.
+    kernel_backend:
+        Which partition-kernel implementation to run the hot loops on:
+        ``"reference"`` (pure NumPy), ``"compiled"`` (C via ctypes),
+        or ``"auto"`` (compiled when buildable, else reference).
+        ``None`` defers to the ``REPRO_KERNELS`` environment variable.
+        Backends are byte-identical by contract, so this is a
+        work-shaping knob like ``workers``.
     """
 
     minimality_pruning: bool = True
@@ -96,6 +103,7 @@ class FastODConfig:
     timeout_seconds: Optional[float] = None
     workers: Optional[int] = None
     parallel_min_grouped_rows: Optional[int] = None
+    kernel_backend: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -106,14 +114,16 @@ class FastODConfig:
             "timeout_seconds": self.timeout_seconds,
             "workers": self.workers,
             "parallel_min_grouped_rows": self.parallel_min_grouped_rows,
+            "kernel_backend": self.kernel_backend,
         }
 
     def canonical_dict(self) -> Dict[str, object]:
         """Only the knobs that can change a *completed* run's output.
 
         ``key_pruning``, ``workers``, ``parallel_min_grouped_rows``
-        never alter results (they are work-shaping knobs; parallel runs
-        are byte-identical by construction), and ``timeout_seconds``
+        and ``kernel_backend`` never alter results (they are
+        work-shaping knobs; parallel runs and both kernel backends are
+        byte-identical by construction), and ``timeout_seconds``
         only matters for runs that actually time out — which the
         result store refuses to cache.  ``level_pruning`` is
         normalised to False when minimality pruning is off, where it
@@ -182,7 +192,8 @@ class FastOD:
             budget = DeadlineBudget(config.timeout_seconds)
         executor = make_executor(
             self._encoded, workers=config.workers, pool=self._pool,
-            min_grouped_rows=config.parallel_min_grouped_rows)
+            min_grouped_rows=config.parallel_min_grouped_rows,
+            kernel_backend=config.kernel_backend)
         backend = PartitionBackend(self._encoded, config, executor,
                                    budget, cache=self._cache)
         planner = LatticePlanner(

@@ -18,7 +18,9 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import kernels
 from repro.core.mapping import map_list_od
+from repro.kernels import reference as _reference_kernels
 from repro.core.od import (
     CanonicalFD,
     CanonicalOCD,
@@ -78,15 +80,15 @@ def split_mismatch_mask(column: np.ndarray,
     """Per-grouped-row mask of split positions (parallel to
     ``context.rows``).
 
-    Segmented constancy test: gather the grouped rows' values once and
-    compare every value against its class's first value (broadcast with
-    ``np.repeat``).  One pass, no per-class Python loop — the shared
-    kernel behind the constancy check, split witnesses, and violation
-    collection.
+    Segmented constancy test: every grouped row's value is compared
+    against its class's first value.  Dispatches through
+    :mod:`repro.kernels` (one gather/repeat/compare pass in the
+    reference backend, a single C sweep in the compiled one) — the
+    shared kernel behind the constancy check, split witnesses, and
+    violation collection.
     """
-    values = column[context.rows]
-    firsts = np.repeat(values[context.offsets[:-1]], context.class_sizes)
-    return values != firsts
+    return kernels.split_mismatch(column, context.rows, context.offsets,
+                                  context.class_sizes)
 
 
 def is_constant_in_classes(column: np.ndarray,
@@ -118,58 +120,19 @@ def find_split(column: np.ndarray, context: StrippedPartition,
                  int(rows[position]), attribute)
 
 
-def _swap_mask(class_ids: np.ndarray, values_a: np.ndarray,
-               values_b: np.ndarray) -> np.ndarray:
-    """Boolean mask of swap positions over class-then-(A,B)-sorted data.
-
-    Inputs are parallel arrays already ordered by
-    ``(class, A, B)``.  A position is a swap when its B rank lies below
-    the maximum B of *strictly smaller* A groups within the same class.
-    The per-class running max of B is one global
-    ``np.maximum.accumulate`` over B values shifted by
-    ``class_id * span`` (classes occupy disjoint value bands, so the
-    accumulate never leaks across a class boundary); the "max over
-    earlier A groups" is that running max sampled at each A-group's
-    start and broadcast group-wise.
-    """
-    n = len(class_ids)
-    new_class = np.empty(n, dtype=bool)
-    new_class[0] = True
-    np.not_equal(class_ids[1:], class_ids[:-1], out=new_class[1:])
-    new_group = new_class.copy()
-    new_group[1:] |= values_a[1:] != values_a[:-1]
-
-    shifted_b = values_b - values_b.min()      # nonnegative, so -1 works
-    span = int(shifted_b.max()) + 1            # as the "no max yet" mark
-    banded = shifted_b + class_ids * span
-    running_max = np.maximum.accumulate(banded) - class_ids * span
-
-    before = np.empty(n, dtype=np.int64)
-    before[0] = -1
-    before[1:] = running_max[:-1]
-    before[new_class] = -1
-    group_of = np.cumsum(new_group) - 1
-    max_b_of_earlier_groups = before[new_group][group_of]
-    return shifted_b < max_b_of_earlier_groups
+#: The historical home of the segmented prefix-max swap kernel; the
+#: implementation (with its full derivation) now lives in
+#: :mod:`repro.kernels.reference` so the compiled backend can be held
+#: to the same contract.  Kept as aliases for existing consumers.
+_swap_mask = _reference_kernels.swap_mask
 
 
 def _sorted_swap_views(column_a: np.ndarray, column_b: np.ndarray,
                        context: StrippedPartition):
-    """(class_ids, A, B) of the grouped rows, sorted by ``(class, A)``.
-
-    :func:`_swap_mask` needs equal ``(class, A)`` groups contiguous and
-    classes in ascending-A group order, but is insensitive to the order
-    of B *within* a group — so one composite-key ``argsort``
-    (``class_id * span + A``) replaces a 3-key ``lexsort``, which
-    profiled ~5x slower on discovery workloads.
-    """
-    rows = context.rows
-    class_ids = context.class_ids()
-    values_a = column_a[rows]
-    low = int(values_a.min())
-    span = int(values_a.max()) - low + 1
-    order = np.argsort(class_ids * span + (values_a - low))
-    return class_ids[order], values_a[order], column_b[rows][order]
+    """(class_ids, A, B) of the grouped rows, sorted by ``(class, A)``
+    (see :func:`repro.kernels.reference.sorted_swap_views`)."""
+    return _reference_kernels.sorted_swap_views(
+        column_a, column_b, context.rows, context.class_ids())
 
 
 def is_compatible_in_classes(column_a: np.ndarray, column_b: np.ndarray,
@@ -187,7 +150,8 @@ def is_compatible_in_classes(column_a: np.ndarray, column_b: np.ndarray,
     n_grouped = len(context.rows)
     if n_grouped == 0:
         return True
-    if n_grouped <= SMALL_KERNEL_THRESHOLD:
+    if n_grouped <= kernels.effective_scalar_threshold(
+            SMALL_KERNEL_THRESHOLD):
         rows = context.rows
         offsets = context.offsets
         for index in range(len(offsets) - 1):
@@ -197,9 +161,9 @@ def is_compatible_in_classes(column_a: np.ndarray, column_b: np.ndarray,
             if not _scan_is_swap_free(pairs):
                 return False
         return True
-    class_ids, values_a, values_b = _sorted_swap_views(
-        column_a, column_b, context)
-    return not _swap_mask(class_ids, values_a, values_b).any()
+    return not kernels.swap_flags(
+        column_a, column_b, context.rows, context.offsets,
+        context.class_ids()).any()
 
 
 def swap_classes(column_a: np.ndarray, column_b: np.ndarray,
@@ -212,10 +176,9 @@ def swap_classes(column_a: np.ndarray, column_b: np.ndarray,
     """
     if len(context.rows) == 0:
         return np.empty(0, dtype=np.int64)
-    class_ids, values_a, values_b = _sorted_swap_views(
-        column_a, column_b, context)
-    mask = _swap_mask(class_ids, values_a, values_b)
-    return np.unique(class_ids[mask])
+    flags = kernels.swap_flags(column_a, column_b, context.rows,
+                               context.offsets, context.class_ids())
+    return np.flatnonzero(flags)
 
 
 def _scan_is_swap_free(pairs: Sequence[Tuple[int, int]]) -> bool:
@@ -323,13 +286,12 @@ def find_swap(column_a: np.ndarray, column_b: np.ndarray,
     """
     if len(context.rows) == 0:
         return None
-    class_ids, values_a, values_b = _sorted_swap_views(
-        column_a, column_b, context)
-    swaps = _swap_mask(class_ids, values_a, values_b)
-    hits = np.flatnonzero(swaps)
+    flags = kernels.swap_flags(column_a, column_b, context.rows,
+                               context.offsets, context.class_ids())
+    hits = np.flatnonzero(flags)
     if not hits.size:
         return None
-    guilty_class = int(class_ids[hits[0]])
+    guilty_class = int(hits[0])
     start = context.offsets[guilty_class]
     stop = context.offsets[guilty_class + 1]
     return scan_find_swap(column_a, column_b,

@@ -28,6 +28,7 @@ import time
 from typing import Dict, Hashable, Optional, Protocol, Sequence, Tuple
 
 import repro.parallel.pool as pool_module
+from repro import kernels
 from repro.engine.budget import DeadlineBudget
 from repro.engine.tasks import ProductTask
 from repro.engine.telemetry import ExecutorTelemetry
@@ -70,14 +71,22 @@ def _kernel_verdict(mode: str, columns, a: int, b: int,
 
 
 class SerialExecutor:
-    """Runs every task inline on the coordinator."""
+    """Runs every task inline on the coordinator.
+
+    ``kernel_backend`` pins the :mod:`repro.kernels` backend the task
+    batches run under (``None`` defers to the process default /
+    ``REPRO_KERNELS``); the executor activates it around every batch so
+    one process can host executors on different backends.
+    """
 
     name = "serial"
 
     def __init__(self, relation: EncodedRelation,
-                 telemetry: Optional[ExecutorTelemetry] = None):
+                 telemetry: Optional[ExecutorTelemetry] = None,
+                 kernel_backend: Optional[str] = None):
         self._relation = relation
         self._cache: Optional[PartitionCache] = None
+        self.kernel_backend = kernel_backend
         self.telemetry = telemetry or ExecutorTelemetry("serial", 1)
 
     @property
@@ -107,14 +116,15 @@ class SerialExecutor:
                      ) -> Tuple[Dict[int, StrippedPartition], bool]:
         started = time.perf_counter()
         products: Dict[int, StrippedPartition] = {}
-        for task in tasks:
-            if budget.hit():
-                self.telemetry.record(
-                    "products", len(products), False,
-                    time.perf_counter() - started)
-                return products, True
-            products[task.child] = parents[task.left].product(
-                parents[task.right])
+        with kernels.activate(self.kernel_backend):
+            for task in tasks:
+                if budget.hit():
+                    self.telemetry.record(
+                        "products", len(products), False,
+                        time.perf_counter() - started)
+                    return products, True
+                products[task.child] = parents[task.left].product(
+                    parents[task.right])
         self.telemetry.record("products", len(products), False,
                               time.perf_counter() - started)
         return products, False
@@ -126,13 +136,14 @@ class SerialExecutor:
         started = time.perf_counter()
         columns = self._relation.ranks
         verdicts: Dict[Hashable, bool] = {}
-        for key, context_key, mode, a, b in tasks:
-            if budget.hit():
-                self.telemetry.record(phase, len(verdicts), False,
-                                      time.perf_counter() - started)
-                return verdicts, True
-            verdicts[key] = _kernel_verdict(
-                mode, columns, a, b, contexts.get(context_key))
+        with kernels.activate(self.kernel_backend):
+            for key, context_key, mode, a, b in tasks:
+                if budget.hit():
+                    self.telemetry.record(phase, len(verdicts), False,
+                                          time.perf_counter() - started)
+                    return verdicts, True
+                verdicts[key] = _kernel_verdict(
+                    mode, columns, a, b, contexts.get(context_key))
         self.telemetry.record(phase, len(verdicts), False,
                               time.perf_counter() - started)
         return verdicts, False
@@ -145,14 +156,16 @@ class SerialExecutor:
             self._cache = PartitionCache(self._relation)
         columns = self._relation.ranks
         verdicts: Dict[Hashable, bool] = {}
-        for key, mask, mode, a, b in tasks:
-            if budget.hit():
-                self.telemetry.record(phase, len(verdicts), False,
-                                      time.perf_counter() - started)
-                return verdicts, True
-            context = (None if mode == "pointwise"
-                       else self._cache.get(mask))
-            verdicts[key] = _kernel_verdict(mode, columns, a, b, context)
+        with kernels.activate(self.kernel_backend):
+            for key, mask, mode, a, b in tasks:
+                if budget.hit():
+                    self.telemetry.record(phase, len(verdicts), False,
+                                          time.perf_counter() - started)
+                    return verdicts, True
+                context = (None if mode == "pointwise"
+                           else self._cache.get(mask))
+                verdicts[key] = _kernel_verdict(mode, columns, a, b,
+                                                context)
         self.telemetry.record(phase, len(verdicts), False,
                               time.perf_counter() - started)
         return verdicts, False
@@ -161,8 +174,9 @@ class SerialExecutor:
                        partition: StrippedPartition) -> bool:
         """One whole-partition scan (validator/detector/incremental)."""
         started = time.perf_counter()
-        verdict = _kernel_verdict(mode, self._relation.ranks, a, b,
-                                  partition)
+        with kernels.activate(self.kernel_backend):
+            verdict = _kernel_verdict(mode, self._relation.ranks, a, b,
+                                      partition)
         self.telemetry.record("class-scan", 1, False,
                               time.perf_counter() - started)
         return verdict
@@ -186,7 +200,8 @@ class PoolExecutor:
                  pool: Optional[WorkerPool] = None,
                  min_grouped_rows: Optional[int] = None,
                  min_rows: Optional[int] = None,
-                 stall_timeout: Optional[float] = None):
+                 stall_timeout: Optional[float] = None,
+                 kernel_backend: Optional[str] = None):
         if workers < 2:
             raise ValueError("PoolExecutor needs workers >= 2; use "
                              "SerialExecutor for serial runs")
@@ -197,9 +212,13 @@ class PoolExecutor:
         self._min_grouped_rows = min_grouped_rows
         self._min_rows = min_rows
         self.stall_timeout = stall_timeout
+        #: kernels backend the batches (pooled chunks *and* the serial
+        #: fallback) run under; ``None`` defers to the process default
+        self.kernel_backend = kernel_backend
         self._rebuild_pending = False
         self.telemetry = ExecutorTelemetry("pool", workers)
-        self._serial = SerialExecutor(relation, telemetry=self.telemetry)
+        self._serial = SerialExecutor(relation, telemetry=self.telemetry,
+                                      kernel_backend=kernel_backend)
 
     @property
     def relation(self) -> EncodedRelation:
@@ -248,7 +267,8 @@ class PoolExecutor:
             self._rebuild_pending = True
         if self._owned is None:
             self._owned = WorkerPool(self._relation, self.workers,
-                                     stall_timeout=self.stall_timeout)
+                                     stall_timeout=self.stall_timeout,
+                                     kernel_backend=self.kernel_backend)
             if self._rebuild_pending:
                 self.telemetry.record_rebuild()
                 self._rebuild_pending = False
@@ -297,8 +317,9 @@ class PoolExecutor:
         crashes = 0
         while crashes < MAX_DISPATCH_CRASHES:
             try:
-                products, timed_out = self._pool().run_products(
-                    parents, triples, budget.deadline)
+                with kernels.activate(self.kernel_backend):
+                    products, timed_out = self._pool().run_products(
+                        parents, triples, budget.deadline)
                 self.telemetry.record("products", len(products), True,
                                       time.perf_counter() - started)
                 return products, timed_out
@@ -322,8 +343,9 @@ class PoolExecutor:
         timed_out = False
         while remaining and crashes < MAX_DISPATCH_CRASHES:
             try:
-                got, timed_out = self._pool().run_scans(
-                    contexts, remaining, budget.deadline)
+                with kernels.activate(self.kernel_backend):
+                    got, timed_out = self._pool().run_scans(
+                        contexts, remaining, budget.deadline)
                 verdicts.update(got)
                 self.telemetry.record(phase, len(verdicts), True,
                                       time.perf_counter() - started)
@@ -357,8 +379,9 @@ class PoolExecutor:
         timed_out = False
         while remaining and crashes < MAX_DISPATCH_CRASHES:
             try:
-                got, timed_out = self._pool().run_validations(
-                    remaining, budget.deadline)
+                with kernels.activate(self.kernel_backend):
+                    got, timed_out = self._pool().run_validations(
+                        remaining, budget.deadline)
                 verdicts.update(got)
                 self.telemetry.record(phase, len(verdicts), True,
                                       time.perf_counter() - started)
@@ -389,8 +412,9 @@ class PoolExecutor:
         crashes = 0
         while crashes < MAX_DISPATCH_CRASHES:
             try:
-                verdict, _ = self._pool().run_class_scan(
-                    mode, a, b, partition)
+                with kernels.activate(self.kernel_backend):
+                    verdict, _ = self._pool().run_class_scan(
+                        mode, a, b, partition)
                 self.telemetry.record("class-scan", 1, True,
                                       time.perf_counter() - started)
                 return verdict
@@ -440,7 +464,8 @@ def make_executor(relation: EncodedRelation,
                   pool: Optional[WorkerPool] = None,
                   min_grouped_rows: Optional[int] = None,
                   min_rows: Optional[int] = None,
-                  stall_timeout: Optional[float] = None):
+                  stall_timeout: Optional[float] = None,
+                  kernel_backend: Optional[str] = None):
     """The one place the serial-vs-pool decision is made.
 
     An explicit ``workers`` wins (the benchmark's projection mode
@@ -450,17 +475,22 @@ def make_executor(relation: EncodedRelation,
     :func:`repro.parallel.resolve_workers`.  Fewer than two effective
     workers yields a :class:`SerialExecutor` even when a pool was
     injected — mirroring the historical ``FastOD`` gate.
+
+    ``kernel_backend`` picks the :mod:`repro.kernels` backend the
+    executor's batches run under (threaded to pool workers through the
+    task payloads); ``None`` defers to ``REPRO_KERNELS``/auto.
     """
     if workers is None and pool is not None:
         effective = pool.workers
     else:
         effective = resolve_workers(workers)
     if effective < 2:
-        return SerialExecutor(relation)
+        return SerialExecutor(relation, kernel_backend=kernel_backend)
     return PoolExecutor(relation, effective, pool=pool,
                         min_grouped_rows=min_grouped_rows,
                         min_rows=min_rows,
-                        stall_timeout=stall_timeout)
+                        stall_timeout=stall_timeout,
+                        kernel_backend=kernel_backend)
 
 
 __all__ = [

@@ -57,6 +57,8 @@ import numpy as np
 
 from repro import faults
 from repro.errors import ReproError
+from repro import kernels
+from repro.kernels import thresholds as kernel_thresholds
 from repro.obs import metrics, trace
 from repro.parallel.shm import BlockReader, SharedArrayBlock, unlink_by_name
 from repro.partitions.partition import StrippedPartition
@@ -82,16 +84,23 @@ _CRASHES = metrics.counter(
     "repro_pool_crashes_total",
     "Dispatches that failed and tore the pool down, by failure shape",
     ("shape",))
+_ZERO_COPY_BYTES = metrics.counter(
+    "repro_pool_zero_copy_bytes_total",
+    "Column bytes adopted from an already-published shared arena "
+    "instead of being re-copied into a fresh segment")
 
 #: Below this many grouped rows in a dispatch's partitions the callers
 #: fall back to the serial path — process dispatch costs ~fractions of
 #: a millisecond per chunk plus one segment publish, which only
 #: amortizes once the vectorized kernels have real work to chew on.
-PARALLEL_MIN_GROUPED_ROWS = 16_384
+#: Canonical value (with the crossover measurement) in
+#: :mod:`repro.kernels.thresholds`; this module global stays the name
+#: read at dispatch time so tests and benchmarks can retune it.
+PARALLEL_MIN_GROUPED_ROWS = kernel_thresholds.PARALLEL_MIN_GROUPED_ROWS
 
 #: Relation size floor for the hybrid/validator parallel paths, which
 #: gate on rows (their context partitions are not known up front).
-PARALLEL_MIN_ROWS = 4_096
+PARALLEL_MIN_ROWS = kernel_thresholds.PARALLEL_MIN_ROWS
 
 #: Task chunks per worker and dispatch.  Two per worker balances the
 #: trade measured on the Exp-1 workloads: more chunks smooth out
@@ -349,7 +358,11 @@ def _worker_main(task_queue, result_queue) -> None:
         try:
             faults.maybe_raise("worker.task",
                                f"injected failure in {kind!r} handler")
-            result = _HANDLERS[kind](state, payload)
+            # run the chunk under the coordinator-resolved kernel
+            # backend, so verdicts are computed by the same kernels at
+            # every worker count
+            with kernels.activate(payload.get("kernels")):
+                result = _HANDLERS[kind](state, payload)
         except BaseException:
             result_queue.put(
                 (task_id, "err", traceback.format_exc(), 0.0))
@@ -363,8 +376,14 @@ def _worker_main(task_queue, result_queue) -> None:
 # ----------------------------------------------------------------------
 # coordinator side
 # ----------------------------------------------------------------------
-def _shutdown_static(processes: List, task_queue, block_names: set) -> None:
-    """Idempotent teardown shared by shutdown(), GC and atexit."""
+def _shutdown_static(processes: List, task_queue, block_names: set,
+                     arenas: Optional[List] = None) -> None:
+    """Idempotent teardown shared by shutdown(), GC and atexit.
+
+    ``arenas`` holds the refcounted column arenas this pool adopted
+    (see :mod:`repro.kernels.ingest`); each gets exactly one release —
+    the arena unlinks itself once every holder has let go.
+    """
     try:
         for _ in processes:
             try:
@@ -383,6 +402,12 @@ def _shutdown_static(processes: List, task_queue, block_names: set) -> None:
     for name in list(block_names):
         unlink_by_name(name)
         block_names.discard(name)
+    while arenas:
+        arena = arenas.pop()
+        try:
+            arena.release()
+        except Exception:  # pragma: no cover - release is best-effort
+            pass
 
 
 class WorkerPool:
@@ -397,11 +422,16 @@ class WorkerPool:
     def __init__(self, relation: EncodedRelation, workers: int,
                  start_method: Optional[str] = None,
                  n_chunks_per_dispatch: Optional[int] = None,
-                 stall_timeout: Optional[float] = None):
+                 stall_timeout: Optional[float] = None,
+                 kernel_backend: Optional[str] = None):
         if workers < 1:
             raise ValueError("workers must be a positive integer")
         self._relation = relation
         self.workers = workers
+        #: kernels backend name stamped into every chunk payload;
+        #: ``None`` resolves to the coordinator's active backend at
+        #: dispatch time, so serial and pooled kernels always agree
+        self.kernel_backend = kernel_backend
         #: seconds without any dispatch progress (no result, workers
         #: all alive) before the dispatch fails with a typed
         #: :class:`WorkerStallError` instead of hanging on a lost
@@ -434,12 +464,16 @@ class WorkerPool:
         #: the hardware-independent benchmark gate
         self.dispatches: List[Dict[str, object]] = []
         self._columns_block: Optional[SharedArrayBlock] = None
+        self._columns_arena = None
+        #: adopted column arenas still holding our reference; shared
+        #: with the finalizer so GC/crash teardown releases them too
+        self._adopted_arenas: List = []
         self._columns_descriptor = None
         self._closed = False
         self._publish_columns()
         self._finalizer = weakref.finalize(
             self, _shutdown_static, self._processes, self._task_queue,
-            self._live_blocks)
+            self._live_blocks, self._adopted_arenas)
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -447,17 +481,53 @@ class WorkerPool:
         return self._relation
 
     def _publish_columns(self) -> None:
+        """Make the relation's rank columns reachable by workers.
+
+        Preferred path: adopt the relation's refcounted shared arena
+        (:meth:`EncodedRelation.shared_arena`) — if another pool over
+        the same relation already published one, this is zero-copy and
+        the two pools share a single segment.  The legacy per-pool
+        block publish remains as the fallback when the arena cannot be
+        built (e.g. no shared-memory support on the platform).
+        """
         relation = self._relation
-        old = self._columns_block
-        block = SharedArrayBlock.publish(relation.rank_arrays())
-        _SHM_BYTES.inc(block.nbytes, payload="columns")
-        self._live_blocks.add(block.name)
-        self._columns_block = block
-        self._columns_descriptor = (
-            block.name, block.layout, relation.n_rows, relation.arity)
-        if old is not None:
-            self._live_blocks.discard(old.name)
-            old.close_and_unlink()
+        old_block = self._columns_block
+        old_arena = self._columns_arena
+        arena = None
+        try:
+            reused = relation.has_live_arena()
+            arena = relation.shared_arena()
+        except Exception:
+            arena = None
+        if arena is not None:
+            self._columns_arena = arena
+            self._adopted_arenas.append(arena)
+            self._columns_block = None
+            self._columns_descriptor = arena.descriptor()
+            if reused:
+                _ZERO_COPY_BYTES.inc(arena.nbytes)
+            else:
+                _SHM_BYTES.inc(arena.nbytes, payload="columns")
+        else:  # pragma: no cover - exercised via injection in tests
+            block = SharedArrayBlock.publish(relation.rank_arrays())
+            _SHM_BYTES.inc(block.nbytes, payload="columns")
+            self._live_blocks.add(block.name)
+            self._columns_block = block
+            self._columns_arena = None
+            self._columns_descriptor = (
+                block.name, block.layout, relation.n_rows, relation.arity)
+        if old_block is not None:
+            self._live_blocks.discard(old_block.name)
+            old_block.close_and_unlink()
+        if old_arena is not None:
+            self._release_arena(old_arena)
+
+    def _release_arena(self, arena) -> None:
+        try:
+            self._adopted_arenas.remove(arena)
+        except ValueError:  # pragma: no cover - already released
+            return
+        arena.release()
 
     def rebase(self, relation: EncodedRelation) -> None:
         """Point the pool at a grown relation (the incremental append
@@ -536,9 +606,10 @@ class WorkerPool:
         unlinked segments."""
         self._closed = True
         _shutdown_static(self._processes, self._task_queue,
-                         self._live_blocks)
+                         self._live_blocks, self._adopted_arenas)
         self._partition_blocks.clear()
         self._columns_block = None
+        self._columns_arena = None
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -678,6 +749,15 @@ class WorkerPool:
                                 - MAX_DISPATCH_RECORDS]
         return [results[i][0] for i in ordered]
 
+    def _payload_kernels(self) -> str:
+        """The kernel backend name stamped into chunk payloads: the
+        pool's pinned backend, else whatever backend is active on the
+        coordinator right now (resolved, not ``"auto"`` — workers must
+        not re-decide)."""
+        if self.kernel_backend:
+            return kernels.resolve_backend(self.kernel_backend).name
+        return kernels.active_backend_name()
+
     @staticmethod
     def _wall_deadline(deadline: Optional[float]) -> Optional[float]:
         """Translate a coordinator ``perf_counter`` deadline into the
@@ -741,6 +821,7 @@ class WorkerPool:
                 "n_rows": self._relation.n_rows,
                 "tasks": chunk,
                 "deadline": wall_deadline,
+                "kernels": self._payload_kernels(),
             })
         chunk_results = self._dispatch("products", payloads)
         self.dispatches[-1]["publish_seconds"] = publish_seconds
@@ -793,6 +874,7 @@ class WorkerPool:
                              for _, context_key, _, _, _ in chunk},
                 "tasks": chunk,
                 "deadline": wall_deadline,
+                "kernels": self._payload_kernels(),
             })
         chunk_results = self._dispatch("scans", payloads)
         self.dispatches[-1]["publish_seconds"] = publish_seconds
@@ -816,6 +898,7 @@ class WorkerPool:
             "columns": self._columns_descriptor,
             "tasks": list(tasks[start:stop]),
             "deadline": wall_deadline,
+            "kernels": self._payload_kernels(),
         } for start, stop in _chunk_slices(
             len(tasks), self.n_chunks_per_dispatch)]
         chunk_results = self._dispatch("validations", payloads)

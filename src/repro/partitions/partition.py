@@ -38,6 +38,9 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels
+from repro.kernels.reference import strip_sorted_runs as _strip_sorted_runs
+from repro.kernels.thresholds import REFERENCE_SCALAR_THRESHOLD
 from repro.relation.encoding import EncodedRelation
 
 #: Shared sentinels aliased into every empty partition; frozen so an
@@ -51,9 +54,13 @@ _ZERO_OFFSET.setflags(write=False)
 #: Below this many grouped rows the vectorized kernels fall back to
 #: scalar scans — fixed NumPy dispatch overhead (~a dozen ufunc calls)
 #: beats the per-row work on the tiny classes deep lattice levels
-#: produce.  Tuned on the Exp-1 synthetic workloads.  Public so the
-#: validation kernels (and tests) can share the threshold.
-SMALL_KERNEL_THRESHOLD = 64
+#: produce.  The canonical value lives in
+#: :mod:`repro.kernels.thresholds`; this module global remains the
+#: call-time gate tests retune by monkeypatching, and while it holds
+#: the stock value the active kernel backend's own (measured) crossover
+#: applies instead — the compiled kernels pay far less per call (see
+#: :func:`repro.kernels.effective_scalar_threshold`).
+SMALL_KERNEL_THRESHOLD = REFERENCE_SCALAR_THRESHOLD
 
 
 class StrippedPartition:
@@ -224,23 +231,13 @@ class StrippedPartition:
         if self.n_rows != other.n_rows:
             raise ValueError("partitions cover different relations")
         probe = self.row_to_class()
-        rows_y = other.rows
-        if len(rows_y) <= SMALL_KERNEL_THRESHOLD:
+        if len(other.rows) <= kernels.effective_scalar_threshold(
+                SMALL_KERNEL_THRESHOLD):
             return self._product_small(other, probe)
-        left = probe[rows_y]
-        class_ids_y = other.class_ids()
-        keep = left >= 0
-        if not keep.all():
-            rows_y = rows_y[keep]
-            left = left[keep]
-            class_ids_y = class_ids_y[keep]
-        if len(rows_y) == 0:
-            return StrippedPartition.from_flat(
-                _EMPTY_ROWS, _ZERO_OFFSET, self.n_rows)
-        key = class_ids_y * self.n_classes + left
-        order = np.argsort(key, kind="stable")
-        return StrippedPartition.from_flat(
-            *_strip_sorted_runs(rows_y[order], key[order]), self.n_rows)
+        rows, offsets = kernels.partition_product(
+            probe, other.rows, other.offsets, other.class_ids(),
+            self.n_classes)
+        return StrippedPartition.from_flat(rows, offsets, self.n_rows)
 
     def _product_small(self, other: "StrippedPartition",
                        probe: np.ndarray) -> "StrippedPartition":
@@ -288,33 +285,6 @@ class StrippedPartition:
     def __repr__(self) -> str:
         return (f"StrippedPartition(classes={self.classes!r}, "
                 f"n_rows={self.n_rows})")
-
-
-def _strip_sorted_runs(sorted_rows: np.ndarray, sorted_keys: np.ndarray):
-    """Flat (rows, offsets) of the runs of equal ``sorted_keys`` that
-    are at least 2 long.
-
-    ``sorted_rows``/``sorted_keys`` are parallel arrays already ordered
-    by key.  Boundary detection is one ``np.diff``; singleton runs are
-    dropped by filtering run lengths, and survivors are gathered with a
-    single boolean mask so the result stays contiguous per class.
-    """
-    n = len(sorted_keys)
-    change = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1])
-    boundaries = np.empty(len(change) + 2, dtype=np.int64)
-    boundaries[0] = 0
-    boundaries[-1] = n
-    boundaries[1:-1] = change + 1
-    lengths = boundaries[1:] - boundaries[:-1]
-    big = lengths >= 2
-    if not big.any():
-        return _EMPTY_ROWS, _ZERO_OFFSET
-    sizes = lengths[big]
-    # runs tile the whole array, so per-run flags expand to a per-
-    # position keep mask in one repeat
-    rows = sorted_rows[np.repeat(big, lengths)]
-    offsets = np.concatenate((_ZERO_OFFSET, np.cumsum(sizes)))
-    return rows, offsets
 
 
 def value_group_sizes(column: np.ndarray, partition: StrippedPartition):

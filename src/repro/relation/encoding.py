@@ -264,7 +264,7 @@ class EncodedRelation:
     the delta form).
     """
 
-    __slots__ = ("names", "ranks", "n_rows", "keys")
+    __slots__ = ("names", "ranks", "n_rows", "keys", "_arena")
 
     def __init__(self, names: Sequence[str], ranks: List[np.ndarray],
                  keys: Optional[List[ColumnKeys]] = None):
@@ -276,6 +276,8 @@ class EncodedRelation:
         self.ranks: List[np.ndarray] = ranks
         self.n_rows: int = int(len(ranks[0])) if ranks else 0
         self.keys: Optional[List[ColumnKeys]] = keys
+        #: cached shared-memory ColumnArena (see :meth:`shared_arena`)
+        self._arena = None
         for column in ranks:
             if len(column) != self.n_rows:
                 raise ValueError("rank columns have inconsistent lengths")
@@ -312,6 +314,37 @@ class EncodedRelation:
         shared-memory publication and peak-memory accounting)."""
         return sum(column.nbytes for column in self.ranks)
 
+    def has_live_arena(self) -> bool:
+        """True when a shared-memory arena for this relation's columns
+        is already published (some pool currently holds it)."""
+        return self._arena is not None and not self._arena.closed
+
+    def shared_arena(self):
+        """An **acquired** shared-memory arena over the rank columns.
+
+        The first caller pays one copy into a fresh segment; as long as
+        at least one holder keeps it acquired, further callers adopt
+        the same segment zero-copy (two executors over one relation
+        share one publication).  The arena is handed out with one
+        reference already taken — the caller owns it and must
+        :meth:`~repro.kernels.ingest.ColumnArena.release`; once every
+        holder releases, the segment is unlinked and the next call
+        builds a fresh one.
+        """
+        from repro.kernels.ingest import ColumnArena
+
+        arena = self._arena
+        if arena is not None and not arena.closed:
+            try:
+                return arena.acquire()
+            except ValueError:   # closed between the check and acquire
+                pass
+        arena = ColumnArena.build(self.rank_arrays(), self.n_rows,
+                                  backing="shm")
+        arena.acquire()
+        self._arena = arena
+        return arena
+
     def tuple_ranks(self, row: int, indices: Sequence[int]) -> Tuple[int, ...]:
         """Project one tuple onto ``indices``, returning its ranks."""
         return tuple(int(self.ranks[i][row]) for i in indices)
@@ -334,14 +367,15 @@ class EncodedRelation:
         deletion analogue of :meth:`append_values` — the incremental
         engine's retraction path lives on it.
         """
+        from repro import kernels
+
         keep = np.asarray(indices, dtype=np.int64)
         ranks: List[np.ndarray] = []
         keys: Optional[List[ColumnKeys]] = (
             None if self.keys is None else [])
         for a, column_ranks in enumerate(self.ranks):
-            survivors, dense = np.unique(column_ranks[keep],
-                                         return_inverse=True)
-            ranks.append(dense.astype(np.int64, copy=False))
+            survivors, dense = kernels.densify(column_ranks[keep])
+            ranks.append(dense)
             if keys is not None:
                 old = self.keys[a]
                 keys.append(ColumnKeys(

@@ -103,7 +103,7 @@ MAX_FINISHED_JOBS = 512
 #: (timeout) has a dedicated job parameter.
 _CONFIG_FIELDS = (
     "minimality_pruning", "level_pruning", "key_pruning", "max_level",
-    "workers", "parallel_min_grouped_rows",
+    "workers", "parallel_min_grouped_rows", "kernel_backend",
 )
 
 

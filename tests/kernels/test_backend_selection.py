@@ -1,0 +1,127 @@
+"""Backend resolution, activation, thresholds, and forced fallback.
+
+The fallback test breaks the toolchain on purpose (``REPRO_KERNELS_CC``
+pointing at a nonexistent binary plus a fresh cache directory — the
+supported way to force the no-compiler path) and asserts the resolver
+degrades to the reference backend with a single warning instead of
+crashing.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import compiled as compiled_module
+from repro.kernels import thresholds
+from repro.kernels.reference import ReferenceBackend
+
+
+@pytest.fixture(autouse=True)
+def _fresh_globals(monkeypatch):
+    """Each test resolves defaults from scratch; process state is
+    restored afterwards."""
+    monkeypatch.setattr(kernels, "_default", None)
+    monkeypatch.setattr(kernels, "_warned_fallback", False)
+
+
+def test_resolve_reference_and_default():
+    assert kernels.resolve_backend("reference").name == "reference"
+    assert kernels.resolve_backend(None) is kernels.default_backend()
+    assert kernels.resolve_backend("") is kernels.default_backend()
+
+
+def test_resolve_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.resolve_backend("simd")
+
+
+def test_env_variable_picks_default(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "reference")
+    assert kernels.default_backend().name == "reference"
+
+
+def test_set_default_backend_returns_resolved_name():
+    assert kernels.set_default_backend("reference") == "reference"
+    assert kernels.active_backend_name() == "reference"
+
+
+def test_activation_stack_nests_and_restores():
+    base = kernels.active_backend()
+    with kernels.activate("reference") as outer:
+        assert kernels.active_backend() is outer
+        with kernels.activate(ReferenceBackend()) as inner:
+            assert kernels.active_backend() is inner
+        assert kernels.active_backend() is outer
+    assert kernels.active_backend() is base
+
+
+def test_activate_none_resolves_default():
+    kernels.set_default_backend("reference")
+    with kernels.activate(None) as backend:
+        assert backend.name == "reference"
+
+
+def test_effective_scalar_threshold_override_wins():
+    with kernels.activate("reference"):
+        # the canonical module value defers to the backend crossover
+        assert kernels.effective_scalar_threshold(
+            thresholds.REFERENCE_SCALAR_THRESHOLD) == \
+            thresholds.REFERENCE_SCALAR_THRESHOLD
+        # a monkeypatched module global (tests force one path with 0 or
+        # a huge value) always wins over the backend
+        assert kernels.effective_scalar_threshold(0) == 0
+        assert kernels.effective_scalar_threshold(10**9) == 10**9
+
+
+def test_effective_scalar_threshold_compiled_crossover():
+    if not kernels.compiled_available():
+        pytest.skip("no C toolchain; compiled backend unavailable")
+    with kernels.activate("compiled"):
+        assert kernels.effective_scalar_threshold(
+            thresholds.REFERENCE_SCALAR_THRESHOLD) == \
+            thresholds.COMPILED_SCALAR_THRESHOLD
+
+
+def test_auto_prefers_compiled_when_available():
+    if not kernels.compiled_available():
+        pytest.skip("no C toolchain; compiled backend unavailable")
+    assert kernels.resolve_backend("auto").name == "compiled"
+
+
+def test_compiled_fallback_when_toolchain_broken(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_KERNELS_CC", str(tmp_path / "no-such-cc"))
+    monkeypatch.setenv("REPRO_KERNELS_CACHE", str(tmp_path / "cache"))
+    monkeypatch.setattr(compiled_module, "_LIB", None)
+
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        backend = kernels.resolve_backend("compiled")
+    assert backend.name == "reference"
+    # the failed build is memoized: no per-call retry...
+    assert compiled_module._LIB is False
+    assert not kernels.compiled_available()
+    # ...and no second warning
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels.resolve_backend("compiled").name == "reference"
+        # auto degrades silently by design
+        assert kernels.resolve_backend("auto").name == "reference"
+
+    # the degraded backend still computes (dispatch keeps working)
+    with kernels.activate("compiled"):
+        survivors, dense = kernels.densify(
+            np.array([5, 2, 5], dtype=np.int64))
+    assert survivors.tolist() == [2, 5]
+    assert dense.tolist() == [1, 0, 1]
+
+
+def test_tier1_env_spelling_matches_docs(monkeypatch):
+    """``REPRO_KERNELS=compiled`` must never crash, toolchain or not
+    (CI runs the whole suite under it)."""
+    monkeypatch.setenv("REPRO_KERNELS", "compiled")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        assert kernels.default_backend().name in ("compiled", "reference")
