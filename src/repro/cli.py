@@ -12,6 +12,12 @@ Subcommands::
     repro-od datasets
     repro-od stats [--url URL] [--json]
     repro-od trace job-3 [--url URL] [--json]
+    repro-od profile-job job-3 [--url URL]
+
+``discover``, ``check``, and ``violations`` accept ``--profile``: a
+sampling profiler runs alongside the command and prints collapsed
+flamegraph lines (``pkg:func;pkg:func count``) to stderr on exit —
+stdout stays the machine-parseable result either way.
 
 Run ``repro-od <subcommand> --help`` for details.
 
@@ -40,6 +46,14 @@ from repro.errors import DataError, ReproError
 from repro.partitions.cache import PartitionCache
 from repro.relation.csvio import read_csv, write_csv
 from repro.violations.detect import ViolationDetector
+
+
+def _add_profile_option(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--profile", action="store_true",
+        help="sample this command's stacks while it runs and print "
+             "collapsed flamegraph lines to stderr on exit (pipe into "
+             "flamegraph.pl or paste into speedscope)")
 
 
 def _add_kernels_option(command: argparse.ArgumentParser) -> None:
@@ -82,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "$REPRO_WORKERS or 1 = serial; results "
                                "are identical either way)")
     _add_kernels_option(discover)
+    _add_profile_option(discover)
 
     append = sub.add_parser(
         "append",
@@ -169,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard big validation scans by context class "
                             "over N worker processes")
     _add_kernels_option(check)
+    _add_profile_option(check)
 
     violations = sub.add_parser(
         "violations", help="report violating tuple pairs for a dependency")
@@ -183,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shard big validation scans by context "
                                  "class over N worker processes")
     _add_kernels_option(violations)
+    _add_profile_option(violations)
 
     generate = sub.add_parser(
         "generate", help="write a synthetic dataset to CSV")
@@ -242,7 +259,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "http://127.0.0.1:8765)")
     trace.add_argument("--json", action="store_true",
                        help="dump the raw span export")
+
+    profile_job = sub.add_parser(
+        "profile-job",
+        help="fetch one service job's collapsed flamegraph "
+             "(GET /jobs/{id}/profile)")
+    profile_job.add_argument("job", help="job id, e.g. job-3")
+    profile_job.add_argument("--url", default="http://127.0.0.1:8765",
+                             help="server base URL (default "
+                                  "http://127.0.0.1:8765)")
     return parser
+
+
+class _CommandProfiler:
+    """The ``--profile`` flag: sample the command's stacks while it
+    runs and print collapsed flamegraph lines to stderr on exit
+    (stdout stays the command's machine-parseable output)."""
+
+    def __init__(self, enabled: bool):
+        self._enabled = enabled
+        self._profiler = None
+
+    def __enter__(self) -> "_CommandProfiler":
+        if self._enabled:
+            from repro.obs.profiler import SamplingProfiler
+
+            self._profiler = SamplingProfiler()
+            self._profiler.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._profiler is None:
+            return
+        self._profiler.stop()
+        folded = self._profiler.render()
+        print("# collapsed stacks (samples):", file=sys.stderr)
+        print(folded if folded else "(no samples collected)",
+              file=sys.stderr)
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
@@ -262,7 +315,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     if args.json or args.cache_max_entries is not None:
         cache = PartitionCache(relation.encode(),
                                max_entries=args.cache_max_entries)
-    result = FastOD(relation, config, cache=cache).run()
+    with _CommandProfiler(args.profile):
+        result = FastOD(relation, config, cache=cache).run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -414,8 +468,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         max_cached_partitions=args.cache_max_entries,
         workers=args.workers)
     try:
-        report = detector.check(
-            args.dependency, max_witnesses=0, count_pairs=False)
+        with _CommandProfiler(args.profile):
+            report = detector.check(
+                args.dependency, max_witnesses=0, count_pairs=False)
     finally:
         detector.close()
     print(f"{report.dependency}: {'HOLDS' if report.holds else 'VIOLATED'}")
@@ -429,9 +484,10 @@ def _cmd_violations(args: argparse.Namespace) -> int:
         max_cached_partitions=args.cache_max_entries,
         workers=args.workers)
     try:
-        report = detector.check(
-            args.dependency, max_witnesses=args.witnesses,
-            count_pairs=True)
+        with _CommandProfiler(args.profile):
+            report = detector.check(
+                args.dependency, max_witnesses=args.witnesses,
+                count_pairs=True)
     finally:
         detector.close()
     print(report)
@@ -559,6 +615,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_job(args: argparse.Namespace) -> int:
+    from repro.server.client import ServiceClient
+
+    folded = ServiceClient(args.url).profile(args.job)
+    if not folded:
+        print(f"{args.job}: no profile recorded (observability "
+              "disabled, served from the store, or not yet run)",
+              file=sys.stderr)
+        return 1
+    print(folded)
+    return 0
+
+
 _COMMANDS = {
     "discover": _cmd_discover,
     "append": _cmd_append,
@@ -573,6 +642,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
+    "profile-job": _cmd_profile_job,
 }
 
 

@@ -32,6 +32,7 @@ from repro import kernels
 from repro.engine.budget import DeadlineBudget
 from repro.engine.tasks import ProductTask
 from repro.engine.telemetry import ExecutorTelemetry
+from repro.obs import events
 from repro.parallel.pool import (PoolDispatchError, WorkerPool,
                                  resolve_workers)
 from repro.partitions.cache import PartitionCache
@@ -286,6 +287,11 @@ class PoolExecutor:
         quarantined batches go serial immediately.
         """
         self.telemetry.record_retry()
+        # one structured line per crashed dispatch; emitted inside the
+        # job's span context, so it carries trace_id/span_id and joins
+        # against /jobs/{id}/trace
+        events.emit("executor.dispatch_crashed", crashes=crashes,
+                    retry=will_retry, workers=self.workers)
         if self._injected is not None and self._injected.closed:
             self._injected = None
             self._rebuild_pending = True

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.kernels import thresholds
 from repro.kernels.reference import ReferenceBackend
-from repro.obs import metrics
+from repro.obs import metrics, trace
 
 #: Names :func:`resolve_backend` accepts (``None``/"" mean "default").
 BACKEND_NAMES = ("auto", "reference", "compiled")
@@ -187,6 +187,21 @@ def effective_scalar_threshold(module_value: int) -> int:
 # ----------------------------------------------------------------------
 # dispatchers (the only call sites the hot paths use)
 # ----------------------------------------------------------------------
+#: Per-kernel trace spans are recorded only where a dispatch is the
+#: unit of work worth a timeline row — pool worker tasks enable this
+#: around their handler.  The coordinator's serial hot loop keeps the
+#: flag off (phases stay the span granularity there), which is what
+#: holds the serial path inside the ≤5 % overhead budget.
+_KERNEL_SPANS = False
+
+
+def set_kernel_spans(flag: bool) -> None:
+    """Enable/disable per-kernel leaf spans for this process (pool
+    workers toggle it around each task)."""
+    global _KERNEL_SPANS
+    _KERNEL_SPANS = bool(flag)
+
+
 def _bill(kernel: str, backend_name: str, seconds: float) -> None:
     _KERNEL_CALLS.inc(kernel=kernel, backend=backend_name)
     _KERNEL_SECONDS.inc(seconds, kernel=kernel, backend=backend_name)
@@ -205,7 +220,11 @@ def partition_product(probe: np.ndarray, rows_y: np.ndarray,
     started = time.perf_counter()
     out = backend.partition_product(probe, rows_y, offsets_y,
                                     class_ids_y, n_left)
-    _bill("product", backend.name, time.perf_counter() - started)
+    ended = time.perf_counter()
+    _bill("product", backend.name, ended - started)
+    if _KERNEL_SPANS:
+        trace.record_leaf("kernel", started, ended,
+                          kernel="product", backend=backend.name)
     return out
 
 
@@ -217,7 +236,11 @@ def swap_flags(col_a: np.ndarray, col_b: np.ndarray, rows: np.ndarray,
         return backend.swap_flags(col_a, col_b, rows, offsets, class_ids)
     started = time.perf_counter()
     out = backend.swap_flags(col_a, col_b, rows, offsets, class_ids)
-    _bill("swap", backend.name, time.perf_counter() - started)
+    ended = time.perf_counter()
+    _bill("swap", backend.name, ended - started)
+    if _KERNEL_SPANS:
+        trace.record_leaf("kernel", started, ended,
+                          kernel="swap", backend=backend.name)
     return out
 
 
@@ -230,7 +253,11 @@ def split_mismatch(column: np.ndarray, rows: np.ndarray,
         return backend.split_mismatch(column, rows, offsets, class_sizes)
     started = time.perf_counter()
     out = backend.split_mismatch(column, rows, offsets, class_sizes)
-    _bill("split", backend.name, time.perf_counter() - started)
+    ended = time.perf_counter()
+    _bill("split", backend.name, ended - started)
+    if _KERNEL_SPANS:
+        trace.record_leaf("kernel", started, ended,
+                          kernel="split", backend=backend.name)
     return out
 
 
@@ -242,7 +269,11 @@ def densify(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         return backend.densify(values)
     started = time.perf_counter()
     out = backend.densify(values)
-    _bill("densify", backend.name, time.perf_counter() - started)
+    ended = time.perf_counter()
+    _bill("densify", backend.name, ended - started)
+    if _KERNEL_SPANS:
+        trace.record_leaf("kernel", started, ended,
+                          kernel="densify", backend=backend.name)
     return out
 
 
@@ -258,6 +289,7 @@ __all__ = [
     "partition_product",
     "resolve_backend",
     "set_default_backend",
+    "set_kernel_spans",
     "split_mismatch",
     "swap_flags",
     "thresholds",

@@ -13,30 +13,47 @@ stack bills into:
   ``repro-od trace``.
 * :mod:`repro.obs.events` — one-line JSON event records for state
   transitions (degradation pins, pool rebuilds, journal replays,
-  request access logs).
+  request access logs), stamped with ``trace_id``/``span_id`` when a
+  span is active;
+* :mod:`repro.obs.profiler` — a stdlib-only sampling stack profiler
+  (daemon thread, folded-stack counts, fork re-arm for pool workers);
+  per-job output served at ``/jobs/<id>/profile`` and rendered by
+  ``repro-od profile-job``;
+* :mod:`repro.obs.accounting` — per-job ``getrusage``/shm-byte
+  accounting spanning the coordinator and its pool workers, attached
+  to job records and ``/stats``.
 
 ``REPRO_OBS=0`` (or :func:`repro.obs.metrics.set_enabled`) disables
-metrics and spans together; ``benchmarks/bench_obs_overhead.py`` gates
-the enabled-vs-disabled difference at ≤5 % wall clock.
+metrics, spans, per-job profiling, and worker-side shipping together;
+``benchmarks/bench_obs_overhead.py`` gates the enabled-vs-disabled
+difference at ≤5 % wall clock.
 """
 
-from repro.obs import events, metrics, trace
+from repro.obs import accounting, events, metrics, profiler, trace
+from repro.obs.accounting import ResourceAccount, process_rusage
 from repro.obs.events import emit, set_sink
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     set_enabled,
 )
+from repro.obs.profiler import SamplingProfiler, render_folded
 from repro.obs.trace import TraceBuffer, collect, render_timeline, span
 
 __all__ = [
     "MetricsRegistry",
+    "ResourceAccount",
+    "SamplingProfiler",
     "TraceBuffer",
+    "accounting",
     "collect",
     "emit",
     "events",
     "get_registry",
     "metrics",
+    "process_rusage",
+    "profiler",
+    "render_folded",
     "render_timeline",
     "set_enabled",
     "set_sink",

@@ -21,6 +21,8 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.obs import trace
+
 _LOCK = threading.Lock()
 _SINK: Optional[Callable[[str], None]] = None
 
@@ -34,10 +36,19 @@ def set_sink(sink: Optional[Callable[[str], None]]) -> None:
 def emit(event: str, **fields) -> None:
     """Emit one structured event line (sorted keys, one line, JSON).
 
+    When a trace span is open on the calling context the line gains
+    ``trace_id``/``span_id`` fields, so any event emitted inside a job
+    joins against that job's ``/jobs/{id}/trace`` export.  Explicit
+    caller-passed fields win on collision.
+
     Non-JSON-serializable field values degrade to ``str`` rather than
     failing the caller; I/O errors are swallowed for the same reason.
     """
     payload = {"ts": round(time.time(), 6), "event": event}
+    trace_id, span_id = trace.current_ids()
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+        payload["span_id"] = span_id
     payload.update(fields)
     try:
         line = json.dumps(payload, sort_keys=True, default=str)

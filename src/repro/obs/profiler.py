@@ -1,0 +1,232 @@
+"""A stdlib-only sampling profiler: collapsed flamegraph text per job.
+
+Spans (:mod:`repro.obs.trace`) say *when and inside what* at phase
+granularity; the profiler says *which Python frames* the time actually
+went to.  A :class:`SamplingProfiler` is a daemon thread that wakes
+every ``interval`` seconds, grabs the target thread's frame via
+:func:`sys._current_frames`, folds the stack into a
+``module:func;module:func`` string, and bumps a counter — the
+classic collapsed/folded flamegraph format::
+
+    fastod:run;lattice:process_level;partition:product 42
+
+Two deployment shapes:
+
+* **per-job, coordinator side** — the job scheduler starts one
+  profiler targeting its runner thread per job and renders the counts
+  as ``GET /jobs/{id}/profile`` / ``repro-od profile-job``;
+* **ambient, worker side** — pool workers keep one process-wide
+  profiler running (:func:`ambient`), re-armed automatically after a
+  ``fork`` (sampler threads do not survive into the child), and ship
+  per-task count *deltas* back on the result queue where the
+  coordinator merges them under a ``worker`` root.
+
+Sampling costs one stack walk per tick (~microseconds at the default
+5 ms interval); a stopped/never-started profiler costs nothing.  The
+profiler takes one synchronous sample on :meth:`start` and one on
+:meth:`stop`, so even a job shorter than one tick exports a non-empty
+profile.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, Optional
+
+#: Default wall-clock seconds between samples: ~200 Hz, coarse enough
+#: to be invisible next to kernel work, fine enough that a one-second
+#: job collects hundreds of samples.
+DEFAULT_INTERVAL = 0.005
+
+#: Bound on the folded stack depth: recursion-heavy frames collapse
+#: into their first 64 levels instead of producing unbounded keys.
+_STACK_DEPTH_LIMIT = 64
+
+
+def _fold_frame(frame) -> str:
+    """One frame object -> ``module:func;...`` root-first fold."""
+    parts = []
+    depth = 0
+    while frame is not None and depth < _STACK_DEPTH_LIMIT:
+        code = frame.f_code
+        stem = os.path.splitext(os.path.basename(code.co_filename))[0]
+        parts.append(f"{stem}:{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+def subtract(counts: Dict[str, int],
+             baseline: Dict[str, int]) -> Dict[str, int]:
+    """``counts - baseline`` per stack, dropping empty rows (what a
+    worker ships per task from its ambient profiler)."""
+    delta = {}
+    for stack, n in counts.items():
+        d = n - baseline.get(stack, 0)
+        if d > 0:
+            delta[stack] = d
+    return delta
+
+
+def merge_counts(into: Dict[str, int], other: Dict[str, int],
+                 prefix: Optional[str] = None) -> Dict[str, int]:
+    """Fold ``other`` into ``into`` (mutated and returned), optionally
+    re-rooting every stack under ``prefix`` — the coordinator mounts
+    worker stacks under a ``worker`` root this way."""
+    for stack, n in other.items():
+        key = f"{prefix};{stack}" if prefix else stack
+        into[key] = into.get(key, 0) + n
+    return into
+
+
+def render_folded(counts: Dict[str, int]) -> str:
+    """Collapsed flamegraph text: one ``stack count`` line per stack,
+    heaviest first (ties broken lexically for determinism)."""
+    lines = [f"{stack} {n}" for stack, n in
+             sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))]
+    return "\n".join(lines)
+
+
+class SamplingProfiler:
+    """Periodic stack sampler for one target thread.
+
+    ``thread_id`` defaults to the *calling* thread — the common case
+    is "profile me": the job runner profiles itself, a worker profiles
+    its task loop.  The sampler runs on its own daemon thread and
+    never samples itself.
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL,
+                 thread_id: Optional[int] = None):
+        self.interval = float(interval)
+        self._target = (thread_id if thread_id is not None
+                        else threading.get_ident())
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def retarget(self, thread_id: Optional[int] = None) -> None:
+        """Point the sampler at another thread (the fork re-arm path:
+        the child's surviving thread has the parent caller's stack but
+        its own ident)."""
+        self._target = (thread_id if thread_id is not None
+                        else threading.get_ident())
+
+    def sample_once(self) -> None:
+        """Take one synchronous sample of the target thread (callable
+        from any thread, including the target itself)."""
+        frame = sys._current_frames().get(self._target)
+        if frame is None:
+            return
+        stack = _fold_frame(frame)
+        del frame
+        with self._lock:
+            self._counts[stack] = self._counts.get(stack, 0) + 1
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self.sample_once()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+        self._thread = None
+        self.sample_once()
+
+    def counts(self) -> Dict[str, int]:
+        """A snapshot copy of the folded-stack counts so far."""
+        with self._lock:
+            return dict(self._counts)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+    def render(self) -> str:
+        return render_folded(self.counts())
+
+
+# ----------------------------------------------------------------------
+# the ambient process profiler (worker side) and its fork re-arm
+# ----------------------------------------------------------------------
+_AMBIENT: Optional[SamplingProfiler] = None
+_AMBIENT_LOCK = threading.Lock()
+_FORK_HOOK_INSTALLED = False
+
+
+def _rearm_after_fork() -> None:
+    """Runs in the child after a ``fork``: the sampler thread did not
+    survive, and the parent's target ident names a thread that no
+    longer exists — retarget to the surviving thread and restart."""
+    global _AMBIENT
+    profiler = _AMBIENT
+    if profiler is None:
+        return
+    profiler._thread = None          # the parent's thread is gone
+    profiler._stop.clear()
+    profiler.clear()
+    profiler.retarget(threading.get_ident())
+    profiler.start()
+
+
+def _install_fork_hook() -> None:
+    global _FORK_HOOK_INSTALLED
+    if _FORK_HOOK_INSTALLED or not hasattr(os, "register_at_fork"):
+        return
+    os.register_at_fork(after_in_child=_rearm_after_fork)
+    _FORK_HOOK_INSTALLED = True
+
+
+def ambient(interval: float = DEFAULT_INTERVAL) -> SamplingProfiler:
+    """The process-wide ambient profiler, started on first use and
+    targeting the calling thread.  Pool workers call this from their
+    task loop; the fork hook re-arms it in any further children."""
+    global _AMBIENT
+    with _AMBIENT_LOCK:
+        if _AMBIENT is None:
+            _install_fork_hook()
+            _AMBIENT = SamplingProfiler(interval=interval)
+        if not _AMBIENT.running:
+            _AMBIENT.retarget(threading.get_ident())
+            _AMBIENT.start()
+    return _AMBIENT
+
+
+def shutdown_ambient() -> None:
+    """Stop the ambient profiler (tests; workers just exit)."""
+    global _AMBIENT
+    with _AMBIENT_LOCK:
+        if _AMBIENT is not None:
+            _AMBIENT.stop()
+            _AMBIENT = None
+
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "SamplingProfiler",
+    "ambient",
+    "merge_counts",
+    "render_folded",
+    "shutdown_ambient",
+    "subtract",
+]

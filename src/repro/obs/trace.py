@@ -28,8 +28,9 @@ from __future__ import annotations
 import contextvars
 import threading
 import time
+import uuid
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import metrics
 
@@ -39,12 +40,20 @@ DEFAULT_CAPACITY = 4096
 
 
 class TraceBuffer:
-    """A bounded, thread-safe ring of finished span records."""
+    """A bounded, thread-safe ring of finished span records.
 
-    __slots__ = ("capacity", "_spans", "_lock", "_next_id")
+    Every buffer carries a ``trace_id`` — the correlation key that ties
+    span records, ``events.emit`` lines, and worker-shipped span
+    exports to one logical trace (one job, typically).
+    """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    __slots__ = ("capacity", "trace_id", "_spans", "_lock", "_next_id")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 trace_id: Optional[str] = None):
         self.capacity = int(capacity)
+        self.trace_id = (trace_id if trace_id is not None
+                         else new_trace_id())
         self._spans: deque = deque(maxlen=self.capacity)
         self._lock = threading.Lock()
         self._next_id = 0
@@ -74,6 +83,12 @@ class TraceBuffer:
         return sorted(spans, key=lambda s: (s["start"], s["id"]))
 
 
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (collision odds are irrelevant at
+    per-job cardinality; short ids keep event lines readable)."""
+    return uuid.uuid4().hex[:16]
+
+
 #: Spans recorded outside any :class:`collect` block land here.
 GLOBAL_BUFFER = TraceBuffer()
 
@@ -86,6 +101,86 @@ _CURRENT: contextvars.ContextVar = contextvars.ContextVar(
 def current_buffer() -> TraceBuffer:
     state = _CURRENT.get()
     return state[0] if state is not None else GLOBAL_BUFFER
+
+
+def current_span_id() -> int:
+    """The id of the innermost open span on this context (0 when no
+    span is open — the "no parent" sentinel)."""
+    state = _CURRENT.get()
+    return state[1] if state is not None else 0
+
+
+def current_ids() -> Tuple[Optional[str], int]:
+    """``(trace_id, span_id)`` when a span is open on this context,
+    else ``(None, 0)`` — the shape :func:`repro.obs.events.emit` uses
+    to correlate event lines with ``/jobs/{id}/trace``."""
+    state = _CURRENT.get()
+    if state is None or state[1] == 0:
+        return None, 0
+    return state[0].trace_id, state[1]
+
+
+def record_leaf(name: str, start: float, end: float, **fields) -> None:
+    """Record one already-timed leaf interval as a span.
+
+    Cheaper than :class:`span` for hot call sites (no context-manager
+    frames, no ContextVar set/reset) — what the kernel dispatchers use
+    for per-kernel spans inside worker tasks.  No-ops when the
+    registry is disabled."""
+    if not metrics.REGISTRY._enabled:
+        return
+    state = _CURRENT.get()
+    buffer, parent = state if state is not None else (GLOBAL_BUFFER, 0)
+    record: Dict[str, object] = dict(fields)
+    record.update(id=buffer.next_id(), parent=parent, name=name,
+                  start=start, end=end, seconds=end - start)
+    buffer.add(record)
+
+
+def splice(buffer: TraceBuffer, spans: Sequence[Dict[str, object]],
+           parent_id: int, window: Tuple[float, float],
+           clock: Optional[Tuple[float, float]] = None) -> None:
+    """Graft exported worker span records into ``buffer`` under
+    ``parent_id``, rebasing the worker's monotonic clock into the
+    coordinator's.
+
+    ``window`` is the coordinator-observed ``(submit, ack)`` interval
+    for the chunk; ``clock`` is the worker-observed ``(enter, exit)``
+    pair bracketing the same work on the *worker's* ``perf_counter``
+    epoch.  The midpoint identity ``offset = ((submit + ack) -
+    (enter + exit)) / 2`` cancels the (assumed symmetric) queue
+    latency, and every rebased timestamp is clamped into the window so
+    worker spans always nest strictly under their dispatch span even
+    when the clocks drift.
+
+    Record ids are remapped through ``buffer.next_id()`` (worker ids
+    restart per chunk and would collide); worker-root spans (parent 0)
+    re-parent onto ``parent_id``.  Worker exports are sorted
+    parents-first (see :meth:`TraceBuffer.export`), so the id map is
+    always populated before a child needs it.
+    """
+    if not spans:
+        return
+    lo, hi = window
+    hi = max(hi, lo)
+    if clock is not None:
+        w0, w1 = clock
+        offset = ((lo + hi) - (w0 + w1)) / 2.0
+    else:
+        offset = 0.0
+    idmap: Dict[int, int] = {0: parent_id}
+    for record in spans:
+        rebased: Dict[str, object] = dict(record)
+        new_id = buffer.next_id()
+        idmap[int(record["id"])] = new_id  # type: ignore[arg-type]
+        start = min(max(float(record["start"]) + offset, lo), hi)
+        end = min(max(float(record["end"]) + offset, start), hi)
+        rebased.update(
+            id=new_id,
+            parent=idmap.get(int(record["parent"]),  # type: ignore
+                             parent_id),
+            start=start, end=end, seconds=end - start)
+        buffer.add(rebased)
 
 
 class span:
@@ -199,6 +294,11 @@ __all__ = [
     "TraceBuffer",
     "collect",
     "current_buffer",
+    "current_ids",
+    "current_span_id",
+    "new_trace_id",
+    "record_leaf",
     "render_timeline",
     "span",
+    "splice",
 ]

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import os
 import queue
+import resource
 import signal
 import time
 import traceback
@@ -59,7 +60,7 @@ from repro import faults
 from repro.errors import ReproError
 from repro import kernels
 from repro.kernels import thresholds as kernel_thresholds
-from repro.obs import metrics, trace
+from repro.obs import accounting, metrics, profiler, trace
 from repro.parallel.shm import BlockReader, SharedArrayBlock, unlink_by_name
 from repro.partitions.partition import StrippedPartition
 from repro.relation.encoding import EncodedRelation
@@ -186,6 +187,11 @@ def _chunk_slices(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
 # ----------------------------------------------------------------------
 _MAX_ATTACHMENTS = 6
 
+#: Span-ring capacity per worker task: one "task" root plus one leaf
+#: per kernel call and shm attach.  Bounded so a giant chunk ships a
+#: bounded export back on the result queue (the freshest spans win).
+_WORKER_SPAN_CAPACITY = 512
+
 
 class _WorkerState:
     """Per-process caches: attached segments and partition caches."""
@@ -199,7 +205,11 @@ class _WorkerState:
     def reader(self, name: str) -> BlockReader:
         reader = self.readers.pop(name, None)
         if reader is None:
-            reader = BlockReader(name)
+            # the attach is span-worthy: it is the one worker-side op
+            # whose cost scales with segment churn rather than task
+            # size (no-op span outside an observed task / REPRO_OBS=0)
+            with trace.span("shm-attach", block=name):
+                reader = BlockReader(name)
         self.readers[name] = reader          # most-recently-used last
         while len(self.readers) > _MAX_ATTACHMENTS:
             _, stale = self.readers.popitem(last=False)
@@ -347,6 +357,52 @@ _HANDLERS = {
 }
 
 
+def _run_task_observed(state: _WorkerState, kind: str, payload: dict,
+                       obs_ctx: dict) -> dict:
+    """Run one chunk under worker-local observability.
+
+    Everything the coordinator cannot see from its side of the queue
+    is captured here: a private span ring rooted in a ``task`` span
+    (kernel calls and shm attaches land under it), the ambient
+    sampling profiler's per-task count delta, and a ``getrusage``
+    delta — exported on the result dict as ``"_obs"`` together with
+    the worker-clock ``(enter, exit)`` edges the coordinator needs to
+    rebase the spans onto its own monotonic epoch.
+
+    Only runs when the dispatching coordinator attached an ``"obs"``
+    context to the payload — under ``REPRO_OBS=0`` no context is ever
+    attached and tasks take the bare path with zero extra payload
+    bytes in either direction.
+    """
+    enter = time.perf_counter()
+    ru0 = resource.getrusage(resource.RUSAGE_SELF)
+    prof = profiler.ambient()
+    profile_base = prof.counts()
+    buffer = trace.TraceBuffer(capacity=_WORKER_SPAN_CAPACITY,
+                               trace_id=obs_ctx.get("trace_id"))
+    kernels.set_kernel_spans(True)
+    try:
+        with trace.collect(buffer):
+            with trace.span("task", kind=kind, pid=os.getpid(),
+                            tasks=len(payload.get("tasks", ()))):
+                with kernels.activate(payload.get("kernels")):
+                    result = _HANDLERS[kind](state, payload)
+    finally:
+        kernels.set_kernel_spans(False)
+    prof.sample_once()
+    ru1 = resource.getrusage(resource.RUSAGE_SELF)
+    result["_obs"] = {
+        "spans": buffer.export(),
+        "clock": (enter, time.perf_counter()),
+        "rusage": (ru1.ru_utime - ru0.ru_utime,
+                   ru1.ru_stime - ru0.ru_stime,
+                   accounting.maxrss_bytes(ru1.ru_maxrss)),
+        "profile": profiler.subtract(prof.counts(), profile_base),
+        "pid": os.getpid(),
+    }
+    return result
+
+
 def _worker_main(task_queue, result_queue) -> None:
     state = _WorkerState()
     while True:
@@ -358,11 +414,16 @@ def _worker_main(task_queue, result_queue) -> None:
         try:
             faults.maybe_raise("worker.task",
                                f"injected failure in {kind!r} handler")
-            # run the chunk under the coordinator-resolved kernel
-            # backend, so verdicts are computed by the same kernels at
-            # every worker count
-            with kernels.activate(payload.get("kernels")):
-                result = _HANDLERS[kind](state, payload)
+            obs_ctx = payload.get("obs")
+            if obs_ctx is not None:
+                result = _run_task_observed(state, kind, payload,
+                                            obs_ctx)
+            else:
+                # run the chunk under the coordinator-resolved kernel
+                # backend, so verdicts are computed by the same
+                # kernels at every worker count
+                with kernels.activate(payload.get("kernels")):
+                    result = _HANDLERS[kind](state, payload)
         except BaseException:
             result_queue.put(
                 (task_id, "err", traceback.format_exc(), 0.0))
@@ -657,7 +718,9 @@ class WorkerPool:
                 pending.discard(task_id)
                 results[task_id] = (payload, busy)
 
-    def _collect(self, pending: set) -> Dict[int, Tuple[dict, float]]:
+    def _collect(self, pending: set,
+                 ack_times: Optional[Dict[int, float]] = None
+                 ) -> Dict[int, Tuple[dict, float]]:
         results: Dict[int, Tuple[dict, float]] = {}
         last_progress = time.monotonic()
         while pending:
@@ -683,6 +746,10 @@ class WorkerPool:
                 continue
             last_progress = time.monotonic()
             task_id, status, payload, busy = message
+            if ack_times is not None:
+                # the coordinator-side ack edge of this chunk: one half
+                # of the clock-rebase window worker spans are spliced on
+                ack_times[task_id] = time.perf_counter()
             if status == "err":
                 raise WorkerTaskError(
                     f"a parallel task failed in a worker:\n{payload}",
@@ -705,16 +772,33 @@ class WorkerPool:
         started = time.perf_counter()
         with trace.span("pool-dispatch", kind=kind,
                         chunks=len(payloads)):
+            # short-circuit *before* serialization: under REPRO_OBS=0
+            # no obs context rides out and no span/rusage export rides
+            # back — worker payloads stay byte-for-byte lean
+            obs_on = metrics.enabled()
+            submit_times: Dict[int, float] = {}
+            ack_times: Dict[int, float] = {}
+            if obs_on:
+                obs_ctx = {
+                    "trace_id": trace.current_buffer().trace_id,
+                    "span": trace.current_span_id(),
+                }
+                for payload in payloads:
+                    payload["obs"] = obs_ctx
             try:
                 # fail fast if a worker already died: a silently
                 # shrunken pool would still drain the queue, degraded
                 self._check_alive()
-                pending = {self._submit(kind, payload)
-                           for payload in payloads}
+                pending = set()
+                for payload in payloads:
+                    task_id = self._submit(kind, payload)
+                    submit_times[task_id] = time.perf_counter()
+                    pending.add(task_id)
                 if faults.fire("pool.worker.kill"):
                     self._kill_one_worker()
                 ordered = sorted(pending)
-                results = self._collect(pending)
+                results = self._collect(
+                    pending, ack_times if obs_on else None)
             except BaseException as error:
                 if isinstance(error, WorkerStallError):
                     _CRASHES.inc(shape="stall")
@@ -726,6 +810,9 @@ class WorkerPool:
                     _CRASHES.inc(shape="interrupt")
                 self.shutdown()
                 raise
+            if obs_on:
+                self._absorb_obs(results, submit_times, ack_times,
+                                 started)
         wall = time.perf_counter() - started
         busy = [results[i][1] for i in ordered]
         # the coordinator-observed queueing overhead: everything the
@@ -748,6 +835,39 @@ class WorkerPool:
             del self.dispatches[:len(self.dispatches)
                                 - MAX_DISPATCH_RECORDS]
         return [results[i][0] for i in ordered]
+
+    def _absorb_obs(self, results: Dict[int, Tuple[dict, float]],
+                    submit_times: Dict[int, float],
+                    ack_times: Dict[int, float],
+                    started: float) -> None:
+        """Fold each chunk's worker-shipped ``"_obs"`` export into the
+        coordinator's observability state.
+
+        Runs *inside* the open ``pool-dispatch`` span: worker spans
+        are spliced under it with their clocks rebased against the
+        chunk's own submit/ack edges, and worker rusage/profile deltas
+        are billed to the current job's resource account.  The export
+        is popped off the result payload so callers never see it.
+        """
+        buffer = trace.current_buffer()
+        parent = trace.current_span_id()
+        account = accounting.current()
+        now = time.perf_counter()
+        for task_id, (payload, _busy) in results.items():
+            if not isinstance(payload, dict):
+                continue
+            obs = payload.pop("_obs", None)
+            if not obs:
+                continue
+            window = (submit_times.get(task_id, started),
+                      ack_times.get(task_id, now))
+            trace.splice(buffer, obs.get("spans") or (), parent,
+                         window, clock=obs.get("clock"))
+            if account is not None and obs.get("rusage") is not None:
+                utime, stime, maxrss = obs["rusage"]
+                account.add_worker(utime, stime, maxrss,
+                                   obs.get("pid", 0),
+                                   profile=obs.get("profile"))
 
     def _payload_kernels(self) -> str:
         """The kernel backend name stamped into chunk payloads: the

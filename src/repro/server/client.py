@@ -157,6 +157,14 @@ class ServiceClient:
         """One job's span timeline (``GET /jobs/{id}/trace``)."""
         return self._get(f"/jobs/{job_id}/trace", timeout=timeout)
 
+    def profile(self, job_id: str,
+                timeout: Optional[float] = None) -> str:
+        """One job's collapsed flamegraph text
+        (``GET /jobs/{id}/profile``); empty when the job ran with
+        observability disabled."""
+        return self._get_text(f"/jobs/{job_id}/profile",
+                              timeout=timeout)
+
     def datasets(self, timeout: Optional[float] = None) -> List[Dict]:
         return self._get("/datasets", timeout=timeout)["datasets"]
 

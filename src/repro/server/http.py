@@ -20,6 +20,7 @@ Routes::
     POST   /jobs                       submit {kind, fingerprint, ...}
     GET    /jobs/{id}                  poll one job
     GET    /jobs/{id}/trace            span timeline of one job's run
+    GET    /jobs/{id}/profile          collapsed flamegraph text
     DELETE /jobs/{id}                  cancel
     GET    /results                    result-store index
     GET    /results/{fp}               stored results for one dataset
@@ -57,7 +58,7 @@ from repro.deltalog import (
     replay_relation,
 )
 from repro.errors import ReproError
-from repro.obs import events, metrics
+from repro.obs import accounting, events, metrics
 from repro.relation.csvio import read_csv_text
 from repro.relation.fingerprint import fingerprint
 from repro.relation.table import Relation
@@ -289,6 +290,7 @@ class ODService:
         return {
             "uptime_seconds": time.monotonic() - self._started,
             "metrics": metrics.get_registry().snapshot(),
+            "resources": accounting.process_rusage(),
             "catalog": self.catalog.stats(),
             "store": self.store.stats(),
             "scheduler": self.scheduler.stats(),
@@ -421,6 +423,15 @@ def _make_handler(service: ODService):
                     raw = metrics.get_registry().render_prometheus() \
                         .encode("utf-8")
                     content_type = PROMETHEUS_CONTENT_TYPE
+                elif (method == "GET" and len(parts) == 3
+                        and parts[0] == "jobs"
+                        and parts[2] == "profile"):
+                    # collapsed flamegraph text, not JSON — pipe it
+                    # straight into flamegraph.pl / speedscope
+                    job = service.scheduler.job(parts[1])
+                    status = 200
+                    raw = (job.profile or "").encode("utf-8")
+                    content_type = "text/plain; charset=utf-8"
                 else:
                     status, payload = self._dispatch(method, parts)
             except ServiceError as error:
@@ -499,6 +510,7 @@ def _make_handler(service: ODService):
                     and rest[1] == "trace"):
                 job = service.scheduler.job(rest[0])
                 return 200, {"id": job.id, "status": job.status,
+                             "trace_id": job.trace_id,
                              "spans": job.trace or []}
             if method == "DELETE" and len(rest) == 1:
                 cancelled = service.scheduler.cancel(rest[0])

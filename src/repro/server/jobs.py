@@ -47,7 +47,7 @@ from repro.core.fastod import FastOD, FastODConfig
 from repro.deltalog import DeltaBatch, DeltaLog, delta_log_path
 from repro.engine.budget import DeadlineBudget
 from repro.errors import DataError, ReproError
-from repro.obs import events, metrics, trace
+from repro.obs import accounting, events, metrics, profiler, trace
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.relation.fingerprint import fingerprint
 from repro.server.catalog import CatalogEntry, DatasetCatalog
@@ -140,7 +140,8 @@ class Job:
     __slots__ = ("id", "kind", "fingerprint", "params", "status",
                  "cached", "error", "payload", "executor_stats",
                  "submitted_at", "started_at", "finished_at", "budget",
-                 "cancel_requested", "trace", "_done")
+                 "cancel_requested", "trace", "trace_id", "profile",
+                 "resources", "_done", "_defer_done")
 
     def __init__(self, job_id: str, kind: str, fingerprint: str,
                  params: Dict):
@@ -161,7 +162,20 @@ class Job:
         #: span export of this job's run (``GET /jobs/<id>/trace``);
         #: ``None`` until the job actually ran on the runner thread
         self.trace: Optional[List[Dict]] = None
+        #: correlation id tying this job's spans, worker exports, and
+        #: event lines together
+        self.trace_id = trace.new_trace_id()
+        #: collapsed flamegraph text (``GET /jobs/<id>/profile``);
+        #: ``None`` until the job ran with observability enabled
+        self.profile: Optional[str] = None
+        #: per-job resource accounting — coordinator + worker rusage,
+        #: shm/zero-copy bytes, task counts (``GET /jobs/<id>``)
+        self.resources: Optional[Dict] = None
         self._done = threading.Event()
+        #: the runner thread sets this while it owns the job so that
+        #: waiters only wake after trace/profile/resources are
+        #: attached, not at the handler's in-flight ``_finish``
+        self._defer_done = False
 
     @property
     def finished(self) -> bool:
@@ -174,7 +188,8 @@ class Job:
         _JOB_SECONDS.observe(
             self.finished_at - (self.started_at or self.submitted_at),
             kind=self.kind, status=status)
-        self._done.set()
+        if not self._defer_done:
+            self._done.set()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state."""
@@ -199,6 +214,9 @@ class Job:
             payload.update(self.payload)
         if self.executor_stats is not None:
             payload["executor"] = self.executor_stats
+        if self.resources is not None:
+            payload["trace_id"] = self.trace_id
+            payload["resources"] = self.resources
         return payload
 
 
@@ -541,7 +559,16 @@ class JobScheduler:
                 job.cancel_requested = True
                 job.budget.cancel()
             pinned = None
-            buffer = trace.TraceBuffer()
+            job._defer_done = True
+            buffer = trace.TraceBuffer(trace_id=job.trace_id)
+            obs_on = metrics.enabled()
+            account = accounting.ResourceAccount() if obs_on else None
+            # a dedicated per-job profiler targeting this runner
+            # thread — NOT the ambient one, whose fork hook belongs to
+            # pool workers
+            prof = profiler.SamplingProfiler() if obs_on else None
+            if prof is not None:
+                prof.start()
             try:
                 # pin the entry for the job's whole run: catalog
                 # eviction fires on HTTP handler threads and must not
@@ -550,8 +577,10 @@ class JobScheduler:
                 self._catalog.pin(pinned)
                 handler = getattr(self, f"_run_{job.kind}")
                 with trace.collect(buffer):
-                    with trace.span("job", kind=job.kind, job=job.id):
-                        handler(job)
+                    with accounting.track(account):
+                        with trace.span("job", kind=job.kind,
+                                        job=job.id):
+                            handler(job)
             except Exception as error:   # noqa: BLE001 — job isolation
                 job.error = (
                     f"{type(error).__name__}: {error}\n"
@@ -559,11 +588,27 @@ class JobScheduler:
                 job._finish("failed")
             finally:
                 job.trace = buffer.export()
+                if prof is not None:
+                    prof.stop()
+                if account is not None:
+                    counts = prof.counts()
+                    profiler.merge_counts(counts,
+                                          account.worker_profile,
+                                          prefix="worker")
+                    job.profile = profiler.render_folded(counts)
+                    job.resources = account.finish()
                 if pinned is not None:
                     self._catalog.unpin(pinned)
+                job._defer_done = False
                 if job.finished:
+                    job._done.set()
                     self._journal_event("job_finished", job.id,
                                         job.status)
+                    if obs_on:
+                        events.emit("job.finished", job=job.id,
+                                    kind=job.kind, status=job.status,
+                                    trace_id=job.trace_id,
+                                    resources=job.resources)
 
     def _finish_ok(self, job: Job, interrupted: bool = False) -> None:
         """``cancelled`` only when the work actually stopped early —

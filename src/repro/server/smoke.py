@@ -130,9 +130,13 @@ def main() -> int:
         check(len(fp) == 64, f"registered {DATASET['family']} as "
                              f"{fp[:12]}…")
 
-        cold = client.discover(fp)
+        # force pool dispatch (the dataset sits below the grouped-rows
+        # threshold) so the trace check below sees real worker spans —
+        # work-shaping config never changes the answer
+        cold = client.discover(
+            fp, config={"workers": 2, "parallel_min_grouped_rows": 0})
         check(cold["status"] == "done" and not cold["cached"],
-              "cold discover completed")
+              "cold discover completed (pooled)")
         relation = make_dataset(
             DATASET["family"], n_rows=DATASET["n_rows"],
             n_attrs=DATASET["n_attrs"], seed=DATASET["seed"])
@@ -187,6 +191,30 @@ def main() -> int:
               f"({len(level_spans)} levels)")
         check(client.trace(warm["id"])["spans"] == [],
               "cached job trace is empty (no traversal)")
+
+        task_spans = [s for s in spans if s["name"] == "task"]
+        check(task_spans and all(s["pid"] != server.pid
+                                 for s in task_spans),
+              "worker task spans spliced into the job trace "
+              f"({len(task_spans)} tasks)")
+        folded = client.profile(cold["id"])
+        check(bool(folded.strip()) and all(
+            line.rsplit(" ", 1)[1].isdigit()
+            for line in folded.splitlines()),
+            "GET /jobs/{id}/profile returns collapsed stacks "
+            f"({len(folded.splitlines())} lines)")
+
+        cold_job = client.job(cold["id"])
+        resources = cold_job.get("resources") or {}
+        check(resources.get("cpu_user_seconds", -1.0) >= 0.0
+              and resources.get("max_rss_bytes", 0) > 0,
+              "per-job rusage covers CPU and peak RSS")
+        check(resources.get("workers", {}).get("processes", 0) >= 1
+              and resources.get("shm_bytes", 0) > 0,
+              "worker processes and shm bytes billed to the job")
+        check(cold_job.get("trace_id") and "resources"
+              in stats and "self" in stats["resources"],
+              "trace ids and process rusage exposed")
 
         # the pool exists now — remember the worker pids for the
         # orphan check

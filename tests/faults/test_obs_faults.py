@@ -1,0 +1,108 @@
+"""Observability under injected faults.
+
+A worker SIGKILL'd mid-dispatch takes its span exports down with it —
+that is fine.  What must never happen is the coordinator timeline
+going down too: the dispatch span closes (tagged, not dropped), the
+surviving retry's worker spans still splice in, and every exported
+span keeps a resolvable parent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.core.fastod import FastOD, FastODConfig
+from repro.datasets import make_dataset
+from repro.engine import DeadlineBudget, PoolExecutor
+from repro.engine.executors import SerialExecutor
+from repro.faults import FaultPlan
+from repro.obs import trace
+from repro.partitions.partition import StrippedPartition
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return make_dataset("flight", n_rows=300, n_attrs=5, seed=6)
+
+
+def one_shot(site: str, **kwargs) -> FaultPlan:
+    return FaultPlan(seed=0, rates={site: 1.0}, limits={site: 1},
+                     **kwargs)
+
+
+def traced_chaos_run(relation, site):
+    config = FastODConfig(workers=2, parallel_min_grouped_rows=0)
+    buffer = trace.TraceBuffer()
+    with faults.injected(one_shot(site)):
+        with trace.collect(buffer):
+            result = FastOD(relation, config).run()
+    return result, buffer.export()
+
+
+def assert_timeline_intact(spans):
+    """Every span resolves to the root through exported parents, and
+    intervals are sane — nothing half-written by a crashed dispatch."""
+    assert spans
+    ids = {s["id"] for s in spans}
+    names = {s["name"] for s in spans}
+    assert "job" not in names           # engine-level run, no service
+    assert "level" in names
+    assert "pool-dispatch" in names
+    for span in spans:
+        assert span["parent"] == 0 or span["parent"] in ids
+        assert span["end"] >= span["start"]
+        assert span["seconds"] >= 0.0
+
+
+class TestCrashKeepsTimeline:
+    def test_worker_kill_mid_run(self, relation):
+        clean = FastOD(relation,
+                       FastODConfig(workers=1)).run().to_dict()
+        result, spans = traced_chaos_run(relation, "pool.worker.kill")
+        assert sorted(map(str, result.fds)) == sorted(
+            str(od) for od in
+            FastOD(relation, FastODConfig(workers=1)).run().fds)
+        assert result.to_dict()["n_fds"] == clean["n_fds"]
+        assert result.to_dict()["n_ocds"] == clean["n_ocds"]
+        assert_timeline_intact(spans)
+
+    def test_task_fault_mid_run(self, relation):
+        # a task-level exception (not a kill) still ships no partial
+        # obs payload and the retry's spans splice cleanly
+        result, spans = traced_chaos_run(relation, "worker.task")
+        clean = FastOD(relation, FastODConfig(workers=1)).run()
+        assert sorted(map(str, result.ocds)) == sorted(
+            map(str, clean.ocds))
+        assert_timeline_intact(spans)
+
+    def test_dropped_queue_message(self, relation):
+        # a dropped result message surfaces as a stall; the failed
+        # dispatch span closes tagged with the error instead of
+        # dangling open, and the retry dispatch splices cleanly
+        encoded = relation.encode()
+        contexts = {1 << a: StrippedPartition.for_attribute(encoded, a)
+                    for a in range(encoded.arity)}
+        tasks = [((a, b), 1 << a, "swap", a, b)
+                 for a in range(encoded.arity)
+                 for b in range(encoded.arity) if a != b]
+        budget = DeadlineBudget.unlimited()
+        clean, _ = SerialExecutor(encoded).run_scans(
+            dict(contexts), list(tasks), budget)
+        buffer = trace.TraceBuffer()
+        with faults.injected(one_shot("pool.queue.drop")):
+            with PoolExecutor(encoded, 2, min_grouped_rows=0,
+                              stall_timeout=0.5) as ex:
+                with trace.collect(buffer):
+                    verdicts, _ = ex.run_scans(
+                        dict(contexts), list(tasks), budget)
+        assert verdicts == clean
+        spans = buffer.export()
+        assert spans
+        ids = {s["id"] for s in spans}
+        dispatches = [s for s in spans if s["name"] == "pool-dispatch"]
+        assert dispatches
+        assert any(s.get("error") == "WorkerStallError"
+                   for s in dispatches)
+        for span in spans:
+            assert span["parent"] == 0 or span["parent"] in ids
+            assert span["end"] >= span["start"]

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.obs import events
+from repro.obs import events, trace
 
 
 @pytest.fixture
@@ -47,3 +47,25 @@ class TestEmit:
             events.emit("x", field=1)    # must not raise
         finally:
             events.set_sink(None)
+
+
+class TestTraceCorrelation:
+    def test_emit_inside_span_carries_ids(self, captured):
+        with trace.collect() as buffer:
+            with trace.span("outer"):
+                events.emit("x")
+        payload = json.loads(captured[0])
+        assert payload["trace_id"] == buffer.trace_id
+        assert payload["span_id"] == 1
+
+    def test_emit_outside_span_has_no_ids(self, captured):
+        events.emit("x")
+        payload = json.loads(captured[0])
+        assert "trace_id" not in payload
+        assert "span_id" not in payload
+
+    def test_caller_fields_win_on_collision(self, captured):
+        with trace.collect():
+            with trace.span("outer"):
+                events.emit("x", trace_id="explicit")
+        assert json.loads(captured[0])["trace_id"] == "explicit"

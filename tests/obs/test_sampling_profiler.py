@@ -1,0 +1,132 @@
+"""The sampling profiler: folding, merging, the sampler thread, and
+the ambient (worker-side) instance."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import profiler
+from repro.obs.profiler import SamplingProfiler
+
+
+class TestFolding:
+    def test_subtract_drops_unchanged_stacks(self):
+        counts = {"a;b": 5, "a;c": 2, "d": 1}
+        baseline = {"a;b": 3, "a;c": 2}
+        assert profiler.subtract(counts, baseline) == {"a;b": 2, "d": 1}
+
+    def test_subtract_never_goes_negative(self):
+        assert profiler.subtract({"a": 1}, {"a": 9}) == {}
+
+    def test_merge_counts_accumulates(self):
+        into = {"a": 1}
+        out = profiler.merge_counts(into, {"a": 2, "b": 3})
+        assert out is into
+        assert into == {"a": 3, "b": 3}
+
+    def test_merge_counts_prefix_reroots(self):
+        into = {}
+        profiler.merge_counts(into, {"x;y": 4}, prefix="worker")
+        assert into == {"worker;x;y": 4}
+
+    def test_render_folded_heaviest_first(self):
+        text = profiler.render_folded({"a;b": 1, "c": 9, "a;a": 1})
+        assert text.splitlines() == ["c 9", "a;a 1", "a;b 1"]
+
+    def test_render_folded_empty(self):
+        assert profiler.render_folded({}) == ""
+
+
+class TestSampler:
+    def test_start_stop_collects_this_function(self):
+        prof = SamplingProfiler(interval=0.001).start()
+        deadline = time.perf_counter() + 0.05
+        while time.perf_counter() < deadline:
+            pass
+        prof.stop()
+        counts = prof.counts()
+        assert counts
+        # the sample-on-start guarantee means this very function is a
+        # leaf frame of at least one folded stack
+        assert any("test_start_stop_collects_this_function" in stack
+                   for stack in counts)
+        assert not prof.running
+
+    def test_sample_once_without_thread(self):
+        prof = SamplingProfiler()
+        prof.sample_once()
+        (stack,) = prof.counts()
+        # sampling our own thread: the sampler's frame is the leaf,
+        # this test the frame right above it
+        frames = stack.split(";")
+        assert frames[-1] == "profiler:sample_once"
+        assert frames[-2] == (
+            "test_sampling_profiler:test_sample_once_without_thread")
+
+    def test_short_run_still_non_empty(self):
+        # shorter than one tick: the synchronous start/stop samples
+        # carry the profile
+        prof = SamplingProfiler(interval=60.0).start()
+        prof.stop()
+        assert prof.counts()
+
+    def test_stack_is_root_first(self):
+        prof = SamplingProfiler()
+        prof.sample_once()
+        (stack,) = prof.counts()
+        frames = stack.split(";")
+        assert frames[-2].endswith("test_stack_is_root_first")
+        assert len(frames) > 2          # callers fold in above it
+
+    def test_retarget_samples_other_thread(self):
+        ready = threading.Event()
+        done = threading.Event()
+        idents = {}
+
+        def parked():
+            idents["id"] = threading.get_ident()
+            ready.set()
+            done.wait(timeout=5.0)
+
+        thread = threading.Thread(target=parked, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=5.0)
+        prof = SamplingProfiler()
+        prof.retarget(idents["id"])
+        prof.sample_once()
+        done.set()
+        thread.join(timeout=5.0)
+        assert any("parked" in stack for stack in prof.counts())
+
+    def test_clear_and_render(self):
+        prof = SamplingProfiler()
+        prof.sample_once()
+        assert prof.render()
+        prof.clear()
+        assert prof.render() == ""
+
+    def test_dead_target_samples_nothing(self):
+        thread = threading.Thread(target=lambda: None)
+        thread.start()
+        thread.join()
+        prof = SamplingProfiler(thread_id=thread.ident)
+        prof.sample_once()
+        assert prof.counts() == {}
+
+
+class TestAmbient:
+    def test_singleton_and_shutdown(self):
+        first = profiler.ambient(interval=0.05)
+        try:
+            assert first.running
+            assert profiler.ambient() is first
+        finally:
+            profiler.shutdown_ambient()
+        assert not first.running
+        # a fresh instance after shutdown
+        second = profiler.ambient(interval=0.05)
+        try:
+            assert second is not first
+        finally:
+            profiler.shutdown_ambient()

@@ -134,6 +134,59 @@ class TestTraceEndpoint:
         assert caught.value.status == 404
 
 
+class TestProfileEndpoint:
+    def test_cold_job_profile_non_empty(self, client, discovered):
+        folded = client.profile(discovered["cold"]["id"])
+        assert folded
+        for line in folded.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) >= 1
+        # the run loop itself is on the coordinator's stack
+        assert "jobs:_run_loop" in folded
+
+    def test_cached_job_profile_empty(self, client, discovered):
+        # store-served repeats never run, so there is nothing to sample
+        assert client.profile(discovered["cached"]["id"]) == ""
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceClientError) as caught:
+            client.profile("job-9999")
+        assert caught.value.status == 404
+
+
+class TestResourceAccounting:
+    def test_cold_job_reports_rusage(self, client, discovered):
+        job = client.job(discovered["cold"]["id"])
+        resources = job["resources"]
+        assert resources["cpu_user_seconds"] >= 0.0
+        assert resources["cpu_system_seconds"] >= 0.0
+        assert resources["max_rss_bytes"] > 0
+        coordinator = resources["coordinator"]
+        assert coordinator["max_rss_bytes"] > 0
+        workers = resources["workers"]
+        # the module service runs workers=1 jobs; only shape is
+        # guaranteed here, counts are covered by the pool suites
+        assert set(workers) >= {"cpu_user_seconds",
+                                "cpu_system_seconds",
+                                "max_rss_bytes", "processes", "tasks"}
+        assert resources["shm_bytes"] >= 0
+        assert resources["zero_copy_bytes"] >= 0
+
+    def test_job_trace_id_matches_trace_payload(self, client,
+                                                discovered):
+        job = client.job(discovered["cold"]["id"])
+        payload = client.trace(discovered["cold"]["id"])
+        assert job["trace_id"]
+        assert payload["trace_id"] == job["trace_id"]
+
+    def test_stats_reports_process_rusage(self, client, discovered):
+        resources = client.stats()["resources"]
+        assert set(resources) == {"self", "children"}
+        assert resources["self"]["max_rss_bytes"] > 0
+        assert resources["self"]["cpu_user_seconds"] >= 0.0
+
+
 class TestHealthExtensions:
     def test_health_reports_usage(self, client, discovered):
         health = client.health()
